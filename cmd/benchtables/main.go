@@ -1,0 +1,363 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) and prints them in
+// a form directly comparable with the published numbers:
+//
+//	-table1     run-time table over DES/ALU/SM1F/SM1H (paper Table 1)
+//	-fig1       minimum settling times for the Figure 1 configuration
+//	-fig2       generic synchronising-element model demonstration (Figure 2)
+//	-fig3       transparent-latch offset example (Figure 3)
+//	-fig4       break-open directed-graph example (Figure 4)
+//	-ablations  A1 block-vs-enumeration, A2 borrowing, A3 break search,
+//	            A4 redesign loop, A5 scaling
+//	-all        everything above (default when no flag is given)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hummingbird/internal/baseline"
+	"hummingbird/internal/breakopen"
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/report"
+	"hummingbird/internal/resynth"
+	"hummingbird/internal/sta"
+	"hummingbird/internal/syncelem"
+	"hummingbird/internal/workload"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "regenerate Table 1")
+		fig1      = flag.Bool("fig1", false, "regenerate the Figure 1 experiment")
+		fig2      = flag.Bool("fig2", false, "demonstrate the Figure 2 element model")
+		fig3      = flag.Bool("fig3", false, "reproduce the Figure 3 offset example")
+		fig4      = flag.Bool("fig4", false, "reproduce the Figure 4 break-open example")
+		ablations = flag.Bool("ablations", false, "run the A1-A5 ablations")
+		all       = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	w := os.Stdout
+	any := *table1 || *fig1 || *fig2 || *fig3 || *fig4 || *ablations
+	if *all || !any {
+		*table1, *fig1, *fig2, *fig3, *fig4, *ablations = true, true, true, true, true, true
+	}
+	if *table1 {
+		runTable1(w)
+	}
+	if *fig1 {
+		runFig1(w)
+	}
+	if *fig2 {
+		runFig2(w)
+	}
+	if *fig3 {
+		runFig3(w)
+	}
+	if *fig4 {
+		runFig4(w)
+	}
+	if *ablations {
+		runAblations(w)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+// analyzeTimed loads and analyses one design, returning the Table-1 row.
+func analyzeTimed(lib *celllib.Library, d *netlist.Design) report.Row {
+	st := d.Stats(lib)
+	t0 := time.Now()
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	must(err)
+	pre := time.Since(t0)
+	t1 := time.Now()
+	rep, err := a.IdentifySlowPaths()
+	must(err)
+	ana := time.Since(t1)
+	return report.Row{
+		Name: d.Name, Cells: st.Cells, Nets: st.Nets, Latches: st.Latches,
+		Clusters: len(a.NW.Clusters), Passes: a.NW.TotalPasses(),
+		PreProcess: pre, Analysis: ana,
+		Sweeps: rep.ForwardSweeps + rep.BackwardSweeps, OK: rep.OK,
+	}
+}
+
+func runTable1(w io.Writer) {
+	fmt.Fprintln(w, "== Table 1: run times (paper: VAX 8800 CPU seconds; here: this machine) ==")
+	fmt.Fprintln(w, "paper reference: DES 3681 cells analysed in 14.87s total on a VAX 8800")
+	lib := celllib.Default()
+	rows := []report.Row{
+		analyzeTimed(lib, workload.DES()),
+		analyzeTimed(lib, workload.ALU()),
+		analyzeTimed(lib, workload.SM1F()),
+		analyzeTimed(lib, workload.SM1H()),
+	}
+	report.Table1(w, rows)
+	fmt.Fprintln(w, "extension rows (not in the paper's Table 1): gated clock / 2x second clock")
+	report.Table1(w, []report.Row{
+		analyzeTimed(lib, workload.DESGated()),
+		analyzeTimed(lib, workload.DESMultiFreq()),
+	})
+	fmt.Fprintln(w)
+}
+
+func runFig1(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 1: time-multiplexed logic across four clock phases ==")
+	lib := celllib.Default()
+	d := workload.Figure1()
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	must(err)
+	rep, err := a.IdentifySlowPaths()
+	must(err)
+	mid := a.NW.NetIdx["m"]
+	for _, cl := range a.NW.Clusters {
+		if cl.LocalIndex(mid) < 0 {
+			continue
+		}
+		fmt.Fprintf(w, "shared-gate cluster: %d analysis passes (minimum settling times per node: %d)\n",
+			cl.Plan.Passes(), cl.Plan.Passes())
+		for pi, beta := range cl.Plan.Breaks {
+			fmt.Fprintf(w, "  pass %d: clock period broken open at %v\n", pi, beta)
+		}
+	}
+	fmt.Fprintf(w, "total passes across all clusters: %d (clusters: %d)\n",
+		a.NW.TotalPasses(), len(a.NW.Clusters))
+	fmt.Fprintf(w, "timing verdict: ok=%v worst slack %v\n\n", rep.OK, rep.WorstSlack())
+}
+
+func runFig2(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 2: generic synchronising-element model ==")
+	cs, err := clock.NewSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	must(err)
+	st := &celllib.SyncTiming{Dsetup: 150, Ddz: 280, Dcz: 320}
+	elems, err := syncelem.Build("demo", celllib.Transparent, st, cs, 0, false, 2*clock.Ns, 1*clock.Ns)
+	must(err)
+	e := elems[0]
+	fmt.Fprintf(w, "element %s: transparent, pulse [%v, %v), W=%v\n", e.Name(), e.LeadAt, e.TrailAt, e.Width)
+	fmt.Fprintf(w, "  offsets: Odc=%v Odz=%v Ozc=%v Ozd=%v (Oat=%v)\n", e.Odc(), e.Odz, e.Ozc(), e.Ozd(), e.Oat())
+	fmt.Fprintf(w, "  input closure  = ideal %v + min(Odc,Odz) = %v\n", e.IdealClose, e.InputClosure())
+	fmt.Fprintf(w, "  output assert  = ideal %v + max(Ozc,Ozd) = %v\n", e.IdealAssert, e.OutputAssert())
+	fmt.Fprintf(w, "  Odz freedom: [%v, %v]\n\n", e.OdzMin(), e.OdzMax())
+}
+
+func runFig3(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 3: transparent-latch offset relationship (paper's worked example) ==")
+	cs, err := clock.NewSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	must(err)
+	st := &celllib.SyncTiming{} // no internal delays, as in the paper's example
+	elems, err := syncelem.Build("lat", celllib.Transparent, st, cs, 0, false, 2*clock.Ns, 2*clock.Ns)
+	must(err)
+	e := elems[0]
+	e.Odz = -15 * clock.Ns
+	must(e.Validate())
+	fmt.Fprintf(w, "20ns control pulse, no internal delays, output asserted 5ns after the leading edge:\n")
+	fmt.Fprintf(w, "  Ozd = %v (paper: 5ns), Odz = %v (paper: -15ns)\n", e.Ozd(), e.Odz)
+	fmt.Fprintf(w, "  2ns clock-to-control delay: Oat = Ozc = %v (paper: 2ns)\n", e.Ozc())
+	fmt.Fprintf(w, "  identity Ozd = W + Odz + Ddz: %v = %v + %v + %v\n\n", e.Ozd(), e.Width, e.Odz, e.Ddz)
+}
+
+func runFig4(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 4: breaking open the clock period ==")
+	// Eight edge times A..H around an 800-unit period; one requirement:
+	// edge E (assertion) must precede edge C (closure).
+	T := clock.Time(800)
+	names := "ABCDEFGH"
+	var cands []clock.Time
+	for i := range names {
+		cands = append(cands, clock.Time(100*i))
+	}
+	o := breakopen.Output{ID: 0, Close: 200 /*C*/, Asserts: []clock.Time{400 /*E*/}}
+	fmt.Fprintln(w, "requirement: edge E occurs before edge C")
+	fmt.Fprint(w, "breaks satisfying it:")
+	for i := range names {
+		if breakopen.Applies(o, cands[i], T) {
+			fmt.Fprintf(w, " %c", names[i])
+		}
+	}
+	fmt.Fprintln(w, "  (paper: removing original arc D->E orders E F G H A B C D)")
+	plan, err := breakopen.Solve(T, cands, []breakopen.Output{o})
+	must(err)
+	letters := make([]string, 0, len(plan.Breaks))
+	for _, b := range plan.Breaks {
+		letters = append(letters, string(names[int(b)/100]))
+	}
+	fmt.Fprintf(w, "minimum passes: %d, chosen break edge(s): %v\n\n", plan.Passes(), letters)
+}
+
+func runAblations(w io.Writer) {
+	lib := celllib.Default()
+	fmt.Fprintln(w, "== A1: block method vs explicit path enumeration ==")
+	{
+		d := workload.SM1F()
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		must(err)
+		t0 := time.Now()
+		res := sta.Analyze(a.NW)
+		blockT := time.Since(t0)
+		t1 := time.Now()
+		enum := baseline.EnumerateSlacks(a.NW)
+		enumT := time.Since(t1)
+		mism := baseline.CountMismatches(res, enum)
+		fmt.Fprintf(w, "sm1f: block %v, enumeration %v over %d transition-paths; mismatching nets: %d\n",
+			blockT, enumT, enum.Paths, mism)
+	}
+	fmt.Fprintln(w, "\n== A2: transparent vs opaque latch modelling (McWilliams-class baseline) ==")
+	{
+		d := borrowingDesign()
+		cmp, err := baseline.CompareBorrowing(lib, d, core.DefaultOptions())
+		must(err)
+		fmt.Fprintf(w, "borrowing pipeline: transparent ok=%v (worst %v); opaque ok=%v (worst %v, %d slow terminals)\n",
+			cmp.TransparentOK, cmp.TransparentWorst, cmp.OpaqueOK, cmp.OpaqueWorst, cmp.OpaqueSlow)
+	}
+	fmt.Fprintln(w, "\n== A3: exhaustive vs greedy break-open search ==")
+	{
+		d := workload.Figure1()
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		must(err)
+		exhaust, greedy := 0, 0
+		for _, cl := range a.NW.Clusters {
+			exhaust += cl.Plan.Passes()
+		}
+		// Rerun each cluster's plan greedily.
+		for _, cl := range a.NW.Clusters {
+			outs := clusterOutputs(a, cl.ID)
+			p, err := breakopen.SolveGreedy(a.NW.Clocks.Overall(), a.NW.EdgeTimes, outs)
+			must(err)
+			greedy += p.Passes()
+		}
+		fmt.Fprintf(w, "figure1: exhaustive passes=%d, greedy passes=%d\n", exhaust, greedy)
+	}
+	fmt.Fprintln(w, "\n== A4: Algorithm 3 analysis-redesign loop ==")
+	{
+		d := redesignDesign()
+		res, err := resynth.Run(lib, d, core.DefaultOptions(), 60)
+		must(err)
+		fmt.Fprintf(w, "closure ok=%v in %d iterations, %d resizings, area %d -> %d, final worst %v\n",
+			res.OK, res.Iterations, len(res.Changes), res.AreaBefore, res.AreaAfter, res.WorstSlack)
+	}
+	fmt.Fprintln(w, "\n== A5: analysis-time scaling with design size ==")
+	{
+		fmt.Fprintf(w, "%8s %12s %12s\n", "cells", "preprocess", "analysis")
+		for _, n := range []int{250, 500, 1000, 2000, 4000} {
+			d := workload.Scaling(n, 11)
+			row := analyzeTimed(lib, d)
+			fmt.Fprintf(w, "%8d %12v %12v\n", row.Cells, row.PreProcess, row.Analysis)
+		}
+	}
+}
+
+// clusterOutputs rebuilds the breakopen inputs of one cluster (for the A3
+// greedy re-solve).
+func clusterOutputs(a *core.Analyzer, clusterID int) []breakopen.Output {
+	cl := a.NW.Clusters[clusterID]
+	outs := make([]breakopen.Output, len(cl.Outputs))
+	for oi, out := range cl.Outputs {
+		o := breakopen.Output{ID: oi, Close: a.NW.Elems[out.Elem].IdealClose}
+		for ii := range cl.Inputs {
+			if cl.Reach[ii][oi] {
+				o.Asserts = append(o.Asserts, a.NW.Elems[cl.Inputs[ii].Elem].IdealAssert)
+			}
+		}
+		outs[oi] = o
+	}
+	return outs
+}
+
+// borrowingDesign is feasible only through transparent-latch borrowing.
+func borrowingDesign() *netlist.Design {
+	text := `
+design borrow
+clock phi1 period 10ns rise 0 fall 4ns
+clock phi2 period 10ns rise 5ns fall 9ns
+input IN clock phi2 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+inst g1 BUF_X1 A=IN Y=n1
+inst l1 DLATCH_X1 D=n1 G=phi1 Q=q1
+inst c1 INV_X1 A=q1 Y=w1
+inst c2 INV_X1 A=w1 Y=w2
+inst c3 INV_X1 A=w2 Y=w3
+inst c4 INV_X1 A=w3 Y=w4
+inst c5 INV_X1 A=w4 Y=w5
+inst c6 INV_X1 A=w5 Y=w6
+inst c7 INV_X1 A=w6 Y=w7
+inst c8 INV_X1 A=w7 Y=w8
+inst c9 INV_X1 A=w8 Y=w9
+inst c10 INV_X1 A=w9 Y=w10
+inst c11 INV_X1 A=w10 Y=w11
+inst c12 INV_X1 A=w11 Y=w12
+inst c13 INV_X1 A=w12 Y=w13
+inst c14 INV_X1 A=w13 Y=w14
+inst c15 INV_X1 A=w14 Y=w15
+inst c16 INV_X1 A=w15 Y=w16
+inst c17 INV_X1 A=w16 Y=w17
+inst c18 INV_X1 A=w17 Y=w18
+inst c19 INV_X1 A=w18 Y=w19
+inst c20 INV_X1 A=w19 Y=w20
+inst c21 INV_X1 A=w20 Y=w21
+inst c22 INV_X1 A=w21 Y=w22
+inst c23 INV_X1 A=w22 Y=w23
+inst c24 INV_X1 A=w23 Y=w24
+inst c25 INV_X1 A=w24 Y=w25
+inst c26 INV_X1 A=w25 Y=w26
+inst c27 INV_X1 A=w26 Y=w27
+inst c28 INV_X1 A=w27 Y=w28
+inst c29 INV_X1 A=w28 Y=w29
+inst c30 INV_X1 A=w29 Y=w30
+inst f2 DFF_X1 D=w30 CK=phi2 Q=q2
+inst g3 BUF_X1 A=q2 Y=OUT
+end
+`
+	d, err := netlist.ParseString(text)
+	must(err)
+	return d
+}
+
+// redesignDesign is a marginally slow FF chain the sizing loop can close.
+func redesignDesign() *netlist.Design {
+	text := `
+design sizing
+clock phi period 2200ps rise 0 fall 880ps
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 DFF_X1 D=IN CK=phi Q=c0
+inst i0 INV_X1 A=c0 Y=c1
+inst d00 INV_X1 A=c0 Y=x00
+inst d01 INV_X1 A=c0 Y=x01
+inst d02 INV_X1 A=c0 Y=x02
+inst i1 INV_X1 A=c1 Y=c2
+inst d10 INV_X1 A=c1 Y=x10
+inst d11 INV_X1 A=c1 Y=x11
+inst d12 INV_X1 A=c1 Y=x12
+inst i2 INV_X1 A=c2 Y=c3
+inst d20 INV_X1 A=c2 Y=x20
+inst d21 INV_X1 A=c2 Y=x21
+inst d22 INV_X1 A=c2 Y=x22
+inst i3 INV_X1 A=c3 Y=c4
+inst d30 INV_X1 A=c3 Y=x30
+inst d31 INV_X1 A=c3 Y=x31
+inst d32 INV_X1 A=c3 Y=x32
+inst i4 INV_X1 A=c4 Y=c5
+inst d40 INV_X1 A=c4 Y=x40
+inst d41 INV_X1 A=c4 Y=x41
+inst d42 INV_X1 A=c4 Y=x42
+inst i5 INV_X1 A=c5 Y=c6
+inst f2 DFF_X1 D=c6 CK=phi Q=qo
+inst go BUF_X1 A=qo Y=OUT
+end
+`
+	d, err := netlist.ParseString(text)
+	must(err)
+	return d
+}

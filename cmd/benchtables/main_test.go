@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/workload"
+)
+
+func TestRunFig1(t *testing.T) {
+	var sb strings.Builder
+	runFig1(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "2 analysis passes") {
+		t.Fatalf("fig1 output:\n%s", out)
+	}
+	if !strings.Contains(out, "ok=true") {
+		t.Fatalf("fig1 verdict:\n%s", out)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var sb strings.Builder
+	runFig2(&sb)
+	out := sb.String()
+	for _, want := range []string{"W=20ns", "min(Odc,Odz)", "max(Ozc,Ozd)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig3PaperNumbers(t *testing.T) {
+	var sb strings.Builder
+	runFig3(&sb)
+	out := sb.String()
+	for _, want := range []string{"Ozd = 5ns (paper: 5ns)", "Odz = -15ns (paper: -15ns)", "Oat = Ozc = 2ns (paper: 2ns)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	var sb strings.Builder
+	runFig4(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "breaks satisfying it: C D E") {
+		t.Fatalf("fig4 zone wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "minimum passes: 1") {
+		t.Fatalf("fig4 passes wrong:\n%s", out)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 runs the DES-sized analysis")
+	}
+	var sb strings.Builder
+	runTable1(&sb)
+	out := sb.String()
+	for _, want := range []string{"des", "3681", "alu", "899", "sm1f", "sm1h", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("a Table 1 design failed timing:\n%s", out)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations include the scaling sweep")
+	}
+	var sb strings.Builder
+	runAblations(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"mismatching nets: 0",
+		"transparent ok=true", "opaque ok=false",
+		"exhaustive passes=6, greedy passes=6",
+		"closure ok=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations lack %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFixtureDesignsValid(t *testing.T) {
+	lib := celllib.Default()
+	for _, d := range []interface {
+		Validate(*celllib.Library) error
+	}{borrowingDesign(), redesignDesign()} {
+		if err := d.Validate(lib); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterOutputsMatchPlanInputs(t *testing.T) {
+	lib := celllib.Default()
+	a, err := core.Load(lib, workload.Figure1(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range a.NW.Clusters {
+		outs := clusterOutputs(a, cl.ID)
+		if len(outs) != len(cl.Outputs) {
+			t.Fatalf("cluster %d: %d vs %d outputs", cl.ID, len(outs), len(cl.Outputs))
+		}
+	}
+}

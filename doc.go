@@ -1,0 +1,13 @@
+// Package hummingbird is a from-scratch Go reproduction of "Timing Analysis
+// in a Logic Synthesis Environment" (Weiner & Sangiovanni-Vincentelli, DAC
+// 1989) — the Hummingbird system-level static timing analyzer for networks
+// of combinational logic and synchronising elements under arbitrary
+// multi-phase, multi-frequency clocking, with correct modelling of
+// level-sensitive (transparent) latches.
+//
+// The library lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), the executables under cmd/, runnable usage
+// examples under examples/, and the benchmark harness that regenerates
+// every table and figure of the paper in bench_test.go (run with
+// go test -bench=. -benchmem) and cmd/benchtables.
+package hummingbird

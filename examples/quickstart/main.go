@@ -1,0 +1,77 @@
+// Quickstart: build a small two-phase latch pipeline with the public API,
+// run the slow-path identification of Algorithm 1, and print the verdict,
+// the tightest slacks and the cluster pass plan.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/report"
+)
+
+func main() {
+	// 1. A standard-cell library. Default() is a synthetic ~1µm CMOS
+	//    library with gates in three drive strengths plus transparent
+	//    latches (DLATCH), flip-flops (DFF) and tristate drivers (TBUF).
+	lib := celllib.Default()
+
+	// 2. A design: two non-overlapping clock phases, one transparent
+	//    latch stage and one flip-flop stage. Primary ports reference
+	//    clock edges for their assertion/closure times.
+	d := netlist.New("quickstart")
+	d.AddClock(clock.Signal{Name: "phi1", Period: 10 * clock.Ns, RiseAt: 0, FallAt: 4 * clock.Ns})
+	d.AddClock(clock.Signal{Name: "phi2", Period: 10 * clock.Ns, RiseAt: 5 * clock.Ns, FallAt: 9 * clock.Ns})
+	d.AddPort(netlist.Port{Name: "IN", Dir: netlist.Input, RefClock: "phi2", RefEdge: clock.Fall})
+	d.AddPort(netlist.Port{Name: "OUT", Dir: netlist.Output, RefClock: "phi2", RefEdge: clock.Fall, Offset: -500})
+
+	add := func(name, ref string, conns map[string]string) {
+		d.AddInstance(netlist.Instance{Name: name, Ref: ref, Conns: conns})
+	}
+	add("g1", "BUF_X1", map[string]string{"A": "IN", "Y": "n1"})
+	add("l1", "DLATCH_X1", map[string]string{"D": "n1", "G": "phi1", "Q": "q1"})
+	add("g2", "INV_X1", map[string]string{"A": "q1", "Y": "n2"})
+	add("g3", "NAND2_X1", map[string]string{"A": "n2", "B": "q1", "Y": "n3"})
+	add("l2", "DFF_X1", map[string]string{"D": "n3", "CK": "phi2", "Q": "q2"})
+	add("g4", "BUF_X2", map[string]string{"A": "q2", "Y": "OUT"})
+
+	// 3. Load: validates the netlist, resolves hierarchy, evaluates the
+	//    load-dependent component delays and elaborates the timing network
+	//    (clusters, control paths, break-open pass plans).
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Algorithm 1: identification of slow paths.
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Summary(os.Stdout, a, rep)
+	fmt.Println()
+
+	fmt.Println("tightest net slacks:")
+	report.Slacks(os.Stdout, a, rep.Result, 5)
+	fmt.Println()
+
+	fmt.Println("cluster pass plan (§7 pre-processing):")
+	report.Plan(os.Stdout, a)
+
+	// 5. Algorithm 2: delay budgets for re-synthesis.
+	c, err := a.GenerateConstraints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n2, n3 := a.NW.NetIdx["n2"], a.NW.NetIdx["n3"]
+	fmt.Printf("\nallowed delay budget n2 -> n3: %v\n", c.Allowed(n2, n3))
+}

@@ -1,0 +1,3 @@
+module hummingbird
+
+go 1.22

@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/testlib"
+)
+
+func parse(t *testing.T, text string) *netlist.Design {
+	t.Helper()
+	d, err := netlist.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOpaqueLibrary(t *testing.T) {
+	lib := testlib.Lib()
+	opq := OpaqueLibrary(lib)
+	if opq.Len() != lib.Len() {
+		t.Fatalf("cell count changed: %d vs %d", opq.Len(), lib.Len())
+	}
+	if opq.Cell("LAT").Kind != celllib.EdgeTriggered {
+		t.Fatal("LAT not opaque")
+	}
+	if opq.Cell("FFD").Kind != celllib.EdgeTriggered {
+		t.Fatal("FFD changed")
+	}
+	if opq.Cell("BUFD").Kind != celllib.Comb {
+		t.Fatal("comb cell changed")
+	}
+	// The original library is untouched.
+	if lib.Cell("LAT").Kind != celllib.Transparent {
+		t.Fatal("source library mutated")
+	}
+	// Sync parameters deep-copied.
+	opq.Cell("LAT").Sync.Dsetup = 999
+	if lib.Cell("LAT").Sync.Dsetup == 999 {
+		t.Fatal("sync timing aliased")
+	}
+}
+
+// borrowText is feasible only through transparent-latch borrowing: 55ns of
+// logic between l1 (phi1, trail 40ns) and the phi2 capture at 90ns requires
+// l1 to assert before 35ns — inside the transparency window.
+const borrowText = `
+design borrow
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi2 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+inst g1 D1NS A=IN Y=n1
+inst l1 LAT D=n1 G=phi1 Q=q1
+inst g2 D55NS A=q1 Y=n2
+inst f2 FFD D=n2 CK=phi2 Q=q2
+inst g3 D1NS A=q2 Y=OUT
+end
+`
+
+func TestOpaqueMissesBorrowing(t *testing.T) {
+	lib := testlib.Lib()
+	cmp, err := CompareBorrowing(lib, parse(t, borrowText), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.TransparentOK {
+		t.Fatalf("transparent analysis should pass: %+v", cmp)
+	}
+	if cmp.OpaqueOK {
+		t.Fatalf("opaque analysis should flag the borrowing path: %+v", cmp)
+	}
+	if cmp.OpaqueSlow == 0 || cmp.OpaqueWorst >= 0 {
+		t.Fatalf("opaque violation detail wrong: %+v", cmp)
+	}
+}
+
+func TestOpaqueAgreesOnFFDesigns(t *testing.T) {
+	// Pure flip-flop designs have no transparency; both analyses agree.
+	text := `
+design ff
+clock phi period 100ns rise 0 fall 40ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 FFD D=IN CK=phi Q=q1
+inst g1 D55NS A=q1 Y=n1
+inst f2 FFD D=n1 CK=phi Q=q2
+inst g2 D1NS A=q2 Y=OUT
+end
+`
+	lib := testlib.Lib()
+	cmp, err := CompareBorrowing(lib, parse(t, text), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TransparentOK != cmp.OpaqueOK {
+		t.Fatalf("FF design: analyses disagree: %+v", cmp)
+	}
+	if cmp.TransparentWorst != cmp.OpaqueWorst {
+		t.Fatalf("FF design: worst slacks differ: %+v", cmp)
+	}
+}
+
+func TestAnalyzeOpaqueNoDOF(t *testing.T) {
+	lib := testlib.Lib()
+	rep, err := AnalyzeOpaque(lib, parse(t, borrowText), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("opaque pass unexpected")
+	}
+	// With no DOF anywhere, Algorithm 1 must settle in one forward sweep.
+	if rep.ForwardSweeps > 1 || rep.BackwardSweeps > 1 {
+		t.Fatalf("opaque analysis iterated: %d/%d", rep.ForwardSweeps, rep.BackwardSweeps)
+	}
+}
+
+func TestEnumerationMatchesBlock(t *testing.T) {
+	// Reconvergent positive-unate network (equal rise/fall delays).
+	nw := testlib.Network(t, `
+design recon
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+inst g1 BUFD A=IN Y=a
+inst g2 BUFD A=a Y=b
+inst g3 BUFD A=a Y=c
+inst g4 D5NS A=b Y=d
+inst g5 BUFD A=c Y=d2
+inst g6 D1NS A=d Y=e
+inst g7 D1NS A=d2 Y=e2
+inst l1 LAT D=e G=phi1 Q=q1
+inst f1 FFD D=e2 CK=phi2 Q=q2
+inst g8 BUFD A=q1 Y=o1
+inst g9 BUFD A=q2 Y=o2
+inst gx BUFD A=o1 Y=OUT2x
+inst f3 FFD D=o2 CK=phi2 Q=q3
+inst f4 FFD D=OUT2x CK=phi2 Q=q4
+inst gz BUFD A=q3 Y=OUT
+end
+`)
+	mismatches, paths := BlockVsEnum(nw)
+	if mismatches != 0 {
+		t.Fatalf("block vs enumeration: %d mismatching nets", mismatches)
+	}
+	if paths == 0 {
+		t.Fatal("no paths enumerated")
+	}
+}
+
+// Property: on random positive-unate DAG clusters, block equals
+// enumeration net-for-net.
+func TestEnumerationMatchesBlockRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		sb.WriteString(`
+design rnd
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+`)
+		// Random layered DAG of buffers with random fixed delays.
+		nLayers := 2 + r.Intn(3)
+		prev := []string{"IN"}
+		gate := 0
+		// INVD's asymmetric rise/fall delays stress the transition-space
+		// equivalence.
+		cells := []string{"BUFD", "D1NS", "D5NS", "INVD"}
+		var last []string
+		for l := 0; l < nLayers; l++ {
+			width := 1 + r.Intn(3)
+			var cur []string
+			for w := 0; w < width; w++ {
+				src := prev[r.Intn(len(prev))]
+				net := nodeName(l, w)
+				sb.WriteString("inst g")
+				sb.WriteString(nodeName(gate, 0))
+				gate++
+				sb.WriteString(" " + cells[r.Intn(len(cells))])
+				sb.WriteString(" A=" + src + " Y=" + net + "\n")
+				cur = append(cur, net)
+			}
+			prev = append(prev, cur...)
+			last = cur
+		}
+		// Capture a couple of nets with FFs.
+		sb.WriteString("inst fcap FFD D=" + last[len(last)-1] + " CK=phi2 Q=qc\n")
+		sb.WriteString("inst gout BUFD A=qc Y=OUT\nend\n")
+		nw := testlib.Network(t, sb.String())
+		if mism, _ := BlockVsEnum(nw); mism != 0 {
+			t.Fatalf("seed %d: %d mismatches", seed, mism)
+		}
+	}
+}
+
+func nodeName(a, b int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	return string(alpha[a%26]) + string(alpha[b%26]) + string(alpha[(a/26)%26])
+}
+
+func TestEnumerationCountsPaths(t *testing.T) {
+	// Diamond ×2 gives 4 paths input→output (plus stubs).
+	nw := testlib.Network(t, `
+design dia
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+inst g1 BUFD A=IN Y=a1
+inst g2 BUFD A=IN Y=a2
+inst gx XORD A=a1 B=a2 Y=b
+inst g3 BUFD A=b Y=c1
+inst g4 BUFD A=b Y=c2
+inst gy XORD A=c1 B=c2 Y=d
+inst f1 FFD D=d CK=phi2 Q=q
+inst go BUFD A=q Y=OUT
+end
+`)
+	enum := EnumerateSlacks(nw)
+	// Transition-space paths IN→d: 2 launch transitions × 2 diamond arms
+	// × 2 XOR output transitions × 2 arms × 2 XOR transitions = 32; the
+	// q→OUT cluster adds one path per launch transition. Total 34.
+	if enum.Paths != 34 {
+		t.Fatalf("paths = %d, want 34", enum.Paths)
+	}
+}

@@ -1,0 +1,446 @@
+package breakopen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hummingbird/internal/clock"
+)
+
+// validPlan checks that every output is assigned a pass that applies to it.
+func validPlan(t *testing.T, p *Plan, outs []Output) {
+	t.Helper()
+	for _, o := range outs {
+		bi, ok := p.Assign[o.ID]
+		if !ok {
+			t.Fatalf("output %d unassigned", o.ID)
+		}
+		if !Applies(o, p.Breaks[bi], p.T) {
+			t.Fatalf("output %d assigned non-applying pass at %v", o.ID, p.Breaks[bi])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	T := clock.Time(100)
+	if AssertPos(30, 10, T) != 20 || AssertPos(5, 10, T) != 95 || AssertPos(10, 10, T) != 0 {
+		t.Fatal("AssertPos wrong")
+	}
+	if ClosePos(30, 10, T) != 20 || ClosePos(5, 10, T) != 95 {
+		t.Fatal("ClosePos wrong")
+	}
+	// Coincident closure maps to the window END (the D = T special case).
+	if ClosePos(10, 10, T) != 100 {
+		t.Fatalf("coincident ClosePos = %v, want 100", ClosePos(10, 10, T))
+	}
+}
+
+func TestAppliesSameEdge(t *testing.T) {
+	T := clock.Time(100)
+	o := Output{ID: 0, Close: 40, Asserts: []clock.Time{40}}
+	if !Applies(o, 40, T) {
+		t.Fatal("break at the shared edge must apply (D = T)")
+	}
+	if Applies(o, 50, T) || Applies(o, 0, T) {
+		t.Fatal("same-edge pair applies away from its edge")
+	}
+}
+
+func TestSingleClockFFPipeline(t *testing.T) {
+	// All launches and captures on one edge at t=40: one pass suffices,
+	// broken exactly at the edge.
+	T := clock.Time(100)
+	cands := []clock.Time{0, 40}
+	outs := []Output{
+		{ID: 1, Close: 40, Asserts: []clock.Time{40}},
+		{ID: 2, Close: 40, Asserts: []clock.Time{40}},
+	}
+	p, err := Solve(T, cands, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 1 || p.Breaks[0] != 40 {
+		t.Fatalf("plan = %+v", p)
+	}
+	validPlan(t, p, outs)
+	if !p.Exhaustive {
+		t.Fatal("exact search did not run")
+	}
+}
+
+func TestTwoPhaseSinglePass(t *testing.T) {
+	// Classic two-phase latch pipeline: phi1 [0,20), phi2 [50,70), T=100.
+	// Paths phi1->phi2 (a=0, c=70) and phi2->phi1 (a=50, c=20).
+	T := clock.Time(100)
+	cands := []clock.Time{0, 20, 50, 70}
+	outs := []Output{
+		{ID: 1, Close: 70, Asserts: []clock.Time{0}},  // zone [70, 70+30]
+		{ID: 2, Close: 20, Asserts: []clock.Time{50}}, // zone [20, 50]
+	}
+	p, err := Solve(T, cands, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zones [70,0] and [20,50] share... [70,100)∪[0,0] vs [20,50]: the
+	// candidates in zone1 = {70, 0}; zone2 = {20, 50}. Disjoint -> 2 passes.
+	if p.Passes() != 2 {
+		t.Fatalf("passes = %d, want 2 (%+v)", p.Passes(), p)
+	}
+	validPlan(t, p, outs)
+}
+
+// TestFigure1TwoPasses reproduces the Figure 1 configuration: a logic gate
+// whose inputs come from latches on phi1 and phi3 and whose output is
+// captured by latches on phi2 and phi4 (four equally spaced phases). The
+// gate is "time multiplexed within each overall clock period": its output
+// must settle twice, and the minimum number of analysis passes is 2.
+func TestFigure1TwoPasses(t *testing.T) {
+	cs, err := clock.MultiPhase(4, 200, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := cs.Overall()
+	var cands []clock.Time
+	for _, e := range cs.Edges() {
+		cands = append(cands, e.At)
+	}
+	// Latch on phi_i is transparent on [50(i-1), 50(i-1)+30): assertion at
+	// lead, closure at trail.
+	outs := []Output{
+		{ID: 1, Close: 80, Asserts: []clock.Time{0, 100}},  // capture on phi2.trail
+		{ID: 2, Close: 180, Asserts: []clock.Time{0, 100}}, // capture on phi4.trail
+	}
+	p, err := Solve(T, cands, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 2 {
+		t.Fatalf("Figure 1 needs 2 passes, got %d (%+v)", p.Passes(), p)
+	}
+	validPlan(t, p, outs)
+	// The two outputs land in different passes.
+	if p.Assign[1] == p.Assign[2] {
+		t.Fatalf("outputs share a pass: %+v", p.Assign)
+	}
+	lb, err := MinPassesLowerBound(T, cands, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 2 {
+		t.Fatalf("lower bound = %d, want 2", lb)
+	}
+}
+
+// TestFigure4Example mirrors the Figure 4 discussion: eight edge times
+// A..H; the requirement "edge E occurs before edge C" (a path asserted at E
+// and closed at C) is satisfied by breaking the circle at the original arc
+// D→E — in our encoding, by the window start at E's time — giving the order
+// E F G H A B C D.
+func TestFigure4Example(t *testing.T) {
+	T := clock.Time(800)
+	// A=0 B=100 ... H=700.
+	names := "ABCDEFGH"
+	at := func(ch byte) clock.Time { return clock.Time(100 * int64(indexOf(names, ch))) }
+	cands := make([]clock.Time, 0, 8)
+	for i := range names {
+		cands = append(cands, at(names[i]))
+	}
+	o := Output{ID: 1, Close: at('C'), Asserts: []clock.Time{at('E')}}
+	// Window starting at E: E F G H A B C D — E before C.
+	if !Applies(o, at('E'), T) {
+		t.Fatal("break at E (removal of arc D→E) must satisfy E-before-C")
+	}
+	// Window starting at F: F..E — C appears before E: does not apply.
+	if Applies(o, at('F'), T) {
+		t.Fatal("break at F should not satisfy E-before-C")
+	}
+	// Zone is the cyclic interval [C, E]: breaks at C, D, E only.
+	for i := range names {
+		beta := at(names[i])
+		want := names[i] == 'C' || names[i] == 'D' || names[i] == 'E'
+		if got := Applies(o, beta, T); got != want {
+			t.Errorf("Applies at %c = %v, want %v", names[i], got, want)
+		}
+	}
+	p, err := Solve(T, cands, []Output{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 1 {
+		t.Fatalf("single requirement needs one pass, got %d", p.Passes())
+	}
+	// Assignment prefers the window placing C closest to the end: break C.
+	if p.Breaks[p.Assign[1]] != at('C') {
+		t.Fatalf("assigned break %v, want C=%v", p.Breaks[p.Assign[1]], at('C'))
+	}
+}
+
+func indexOf(s string, ch byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ch {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestOutputWithNoInputs(t *testing.T) {
+	T := clock.Time(100)
+	outs := []Output{{ID: 7, Close: 30}}
+	p, err := Solve(T, []clock.Time{0, 30, 60}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 1 {
+		t.Fatalf("passes = %d", p.Passes())
+	}
+	validPlan(t, p, outs)
+}
+
+func TestNoOutputs(t *testing.T) {
+	p, err := Solve(100, []clock.Time{0, 50}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 0 || len(p.Assign) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Solve(0, []clock.Time{0}, nil); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Solve(100, nil, nil); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := Solve(100, []clock.Time{120}, nil); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+	if _, err := Solve(100, []clock.Time{0}, []Output{{ID: 1, Close: 120}}); err == nil {
+		t.Fatal("out-of-range closure accepted")
+	}
+	// Closure not among candidates.
+	if _, err := Solve(100, []clock.Time{0}, []Output{{ID: 1, Close: 50}}); err == nil {
+		t.Fatal("non-candidate closure accepted")
+	}
+	// Greedy: a same-edge pair whose only applying break (its own edge) is
+	// not a candidate is unsatisfiable.
+	if _, err := SolveGreedy(100, []clock.Time{0}, []Output{{ID: 1, Close: 50, Asserts: []clock.Time{50}}}); err == nil {
+		t.Fatal("greedy: unsatisfiable output accepted")
+	}
+}
+
+func TestThreeDisjointZones(t *testing.T) {
+	T := clock.Time(300)
+	cands := []clock.Time{0, 50, 100, 150, 200, 250}
+	outs := []Output{
+		{ID: 1, Close: 0, Asserts: []clock.Time{50}},    // zone [0,50]
+		{ID: 2, Close: 100, Asserts: []clock.Time{150}}, // zone [100,150]
+		{ID: 3, Close: 200, Asserts: []clock.Time{250}}, // zone [200,250]
+	}
+	p, err := Solve(T, cands, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Passes() != 3 {
+		t.Fatalf("passes = %d, want 3", p.Passes())
+	}
+	validPlan(t, p, outs)
+}
+
+// bruteForceMin finds the true minimum cover size by trying every subset.
+func bruteForceMin(T clock.Time, cands []clock.Time, outs []Output) int {
+	n := len(cands)
+	best := n + 1
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		ok := true
+		for _, o := range outs {
+			hit := false
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 && Applies(o, cands[i], T) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			size := 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					size++
+				}
+			}
+			if size < best {
+				best = size
+			}
+		}
+	}
+	return best
+}
+
+// Property: the exhaustive solver matches the brute-force optimum, the plan
+// is valid, and greedy never beats the optimum.
+func TestSolveOptimalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := clock.Time(40 + 10*r.Intn(20))
+		nc := 2 + r.Intn(6)
+		candSet := map[clock.Time]bool{}
+		for len(candSet) < nc {
+			candSet[clock.Time(r.Intn(int(T)))] = true
+		}
+		var cands []clock.Time
+		for c := range candSet {
+			cands = append(cands, c)
+		}
+		no := 1 + r.Intn(5)
+		outs := make([]Output, no)
+		for i := range outs {
+			c := cands[r.Intn(len(cands))]
+			na := 1 + r.Intn(3)
+			as := make([]clock.Time, na)
+			for j := range as {
+				as[j] = cands[r.Intn(len(cands))]
+			}
+			outs[i] = Output{ID: i, Close: c, Asserts: as}
+		}
+		p, err := Solve(T, cands, outs)
+		if err != nil {
+			return false
+		}
+		for _, o := range outs {
+			bi, ok := p.Assign[o.ID]
+			if !ok || !Applies(o, p.Breaks[bi], T) {
+				return false
+			}
+		}
+		want := bruteForceMin(T, cands, outs)
+		if want <= maxExactBreaks && p.Passes() != want {
+			return false
+		}
+		g, err := SolveGreedy(T, cands, outs)
+		if err != nil {
+			return false
+		}
+		if g.Passes() < want {
+			return false
+		}
+		lb, err := MinPassesLowerBound(T, cands, outs)
+		if err != nil || lb > want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the assigned pass places the output's closure at least as close
+// to the window end as any other applying chosen pass.
+func TestAssignmentClosestToEnd(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := clock.Time(60 + 10*r.Intn(10))
+		cands := []clock.Time{}
+		for v := clock.Time(0); v < T; v += 10 {
+			cands = append(cands, v)
+		}
+		outs := make([]Output, 4)
+		for i := range outs {
+			outs[i] = Output{
+				ID:    i,
+				Close: cands[r.Intn(len(cands))],
+				Asserts: []clock.Time{
+					cands[r.Intn(len(cands))], cands[r.Intn(len(cands))],
+				},
+			}
+		}
+		p, err := Solve(T, cands, outs)
+		if err != nil {
+			return false
+		}
+		for _, o := range outs {
+			got := ClosePos(o.Close, p.Breaks[p.Assign[o.ID]], T)
+			for _, beta := range p.Breaks {
+				if Applies(o, beta, T) && ClosePos(o.Close, beta, T) > got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the effective path constraint D = posC(c) − posA(a) is the
+// same in every window that orders a before c — the choice of applying
+// pass never changes a path's constraint, only which outputs are evaluated.
+func TestPathConstraintWindowInvariant(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := clock.Time(50 + r.Intn(200))
+		a := clock.Time(r.Intn(int(T)))
+		c := clock.Time(r.Intn(int(T)))
+		o := Output{ID: 0, Close: c, Asserts: []clock.Time{a}}
+		var ref clock.Time = -1
+		for beta := clock.Time(0); beta < T; beta++ {
+			if !Applies(o, beta, T) {
+				continue
+			}
+			d := ClosePos(c, beta, T) - AssertPos(a, beta, T)
+			if d <= 0 || d > T {
+				return false // D must lie in (0, T] (§4)
+			}
+			if ref == -1 {
+				ref = d
+			} else if d != ref {
+				return false
+			}
+		}
+		return ref != -1 // at least the break at c applies
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctZones(t *testing.T) {
+	// Supersets are dropped; duplicates collapse.
+	zs := []uint64{0b111, 0b101, 0b101, 0b100}
+	ds := distinctZones(zs)
+	if len(ds) != 1 || ds[0] != 0b100 {
+		t.Fatalf("distinct zones = %b", ds)
+	}
+	zs2 := []uint64{0b011, 0b110}
+	ds2 := distinctZones(zs2)
+	if len(ds2) != 2 {
+		t.Fatalf("incomparable zones collapsed: %b", ds2)
+	}
+}
+
+func TestGreedyMatchesOnEasyCases(t *testing.T) {
+	T := clock.Time(100)
+	cands := []clock.Time{0, 25, 50, 75}
+	outs := []Output{
+		{ID: 1, Close: 0, Asserts: []clock.Time{50}},
+		{ID: 2, Close: 25, Asserts: []clock.Time{50}},
+	}
+	// Zones: [0,50] and [25,50]; one break at 25 or 50 covers both.
+	p, _ := Solve(T, cands, outs)
+	g, _ := SolveGreedy(T, cands, outs)
+	if p.Passes() != 1 || g.Passes() != 1 {
+		t.Fatalf("passes exact=%d greedy=%d", p.Passes(), g.Passes())
+	}
+	if g.Exhaustive {
+		t.Fatal("greedy plan mislabelled")
+	}
+}

@@ -1,0 +1,139 @@
+package celllib
+
+import (
+	"fmt"
+
+	"hummingbird/internal/clock"
+)
+
+// Default constructs the synthetic standard-cell library used by the
+// examples, workload generators and benchmarks. It plays the role of the
+// Berkeley standard-cell library the paper's experiments were run against:
+// static-CMOS gates in several drive strengths plus transparent latches,
+// trailing-edge flip-flops and clocked tristate drivers.
+//
+// Numbers are representative of a ~1µm CMOS standard-cell process (hundreds
+// of picoseconds of intrinsic gate delay, a few fF of pin capacitance) —
+// the same era as the paper's DES/ALU experiments — but they are synthetic:
+// only the *shape* of analysis results depends on them.
+func Default() *Library {
+	l := NewLibrary("hb-generic-1u")
+
+	type proto struct {
+		base     string
+		function string
+		nIn      int
+		sense    Sense
+		// intrinsic rise/fall at drive 1, ps
+		ir, ifl clock.Time
+		// slope at drive 1, ps/fF
+		sr, sf int64
+		area   int64
+	}
+	protos := []proto{
+		{"INV", "Y=!A", 1, NegativeUnate, 120, 90, 9, 7, 2},
+		{"BUF", "Y=A", 1, PositiveUnate, 220, 190, 8, 7, 3},
+		{"NAND2", "Y=!(A&B)", 2, NegativeUnate, 160, 120, 11, 8, 3},
+		{"NAND3", "Y=!(A&B&C)", 3, NegativeUnate, 210, 150, 13, 9, 4},
+		{"NAND4", "Y=!(A&B&C&D)", 4, NegativeUnate, 260, 180, 15, 10, 5},
+		{"NOR2", "Y=!(A|B)", 2, NegativeUnate, 200, 130, 14, 8, 3},
+		{"NOR3", "Y=!(A|B|C)", 3, NegativeUnate, 270, 160, 17, 9, 4},
+		{"AND2", "Y=A&B", 2, PositiveUnate, 280, 230, 10, 8, 4},
+		{"OR2", "Y=A|B", 2, PositiveUnate, 300, 240, 11, 8, 4},
+		{"AOI21", "Y=!((A&B)|C)", 3, NegativeUnate, 230, 160, 14, 9, 4},
+		{"OAI21", "Y=!((A|B)&C)", 3, NegativeUnate, 240, 170, 14, 9, 4},
+		{"XOR2", "Y=A^B", 2, NonUnate, 340, 310, 14, 12, 6},
+		{"XNOR2", "Y=!(A^B)", 2, NonUnate, 350, 320, 14, 12, 6},
+		{"MUX2", "Y=S?B:A", 3, NonUnate, 330, 300, 12, 10, 6},
+	}
+	for _, p := range protos {
+		for _, drive := range []int{1, 2, 4} {
+			l.MustAdd(combCell(p.base, p.function, p.nIn, p.sense, p.ir, p.ifl, p.sr, p.sf, p.area, drive))
+		}
+	}
+
+	for _, drive := range []int{1, 2} {
+		l.MustAdd(latchCell("DLATCH", Transparent, false, drive))
+		l.MustAdd(latchCell("DLATCHN", Transparent, true, drive))
+		l.MustAdd(latchCell("DFF", EdgeTriggered, false, drive))
+		l.MustAdd(latchCell("TBUF", Tristate, false, drive))
+	}
+	return l
+}
+
+// combCell builds one combinational cell at the given drive strength: pins
+// A,B,C,... plus output Y; all input arcs share the prototype delays. Drive
+// k divides slopes by k and adds modest intrinsic/area cost.
+func combCell(base, function string, nIn int, sense Sense, ir, ifl clock.Time, sr, sf, area int64, drive int) *Cell {
+	name := fmt.Sprintf("%s_X%d", base, drive)
+	pins := make([]Pin, 0, nIn+1)
+	inNames := []string{"A", "B", "C", "D"}
+	if base == "MUX2" {
+		inNames = []string{"A", "B", "S"}
+	}
+	for i := 0; i < nIn; i++ {
+		pins = append(pins, Pin{Name: inNames[i], Dir: In, Role: Data, C: Cap(3 + drive)})
+	}
+	pins = append(pins, Pin{Name: "Y", Dir: Out})
+	d := clock.Time(drive)
+	arcs := make([]Arc, 0, nIn)
+	for i := 0; i < nIn; i++ {
+		// Later inputs of a CMOS stack are slightly faster; stagger by 10ps
+		// per position so arcs are distinguishable in tests and reports.
+		stag := clock.Time(10 * i)
+		ad := ArcDelay{
+			MaxRise: Linear{Intrinsic: ir + 20*(d-1) - stag, Slope: sr / int64(drive)},
+			MaxFall: Linear{Intrinsic: ifl + 15*(d-1) - stag, Slope: sf / int64(drive)},
+		}
+		// Min delays: 60% of intrinsic, 50% of slope — a fixed empirical
+		// early/late spread.
+		ad.MinRise = Linear{Intrinsic: ad.MaxRise.Intrinsic * 6 / 10, Slope: ad.MaxRise.Slope / 2}
+		ad.MinFall = Linear{Intrinsic: ad.MaxFall.Intrinsic * 6 / 10, Slope: ad.MaxFall.Slope / 2}
+		arcs = append(arcs, Arc{From: inNames[i], To: "Y", Sense: sense, Delay: ad})
+	}
+	return &Cell{
+		Name: name, Kind: Comb, Function: function,
+		Area: area + int64(drive), Drive: drive, Pins: pins, Arcs: arcs,
+	}
+}
+
+// latchCell builds a synchronising element. Pin names follow convention:
+// D (data), G or CK (control), Q (output); tristate drivers use A/EN/Y.
+func latchCell(base string, kind Kind, activeLow bool, drive int) *Cell {
+	name := fmt.Sprintf("%s_X%d", base, drive)
+	dataPin, ctrlPin, outPin := "D", "G", "Q"
+	switch kind {
+	case EdgeTriggered:
+		ctrlPin = "CK"
+	case Tristate:
+		dataPin, ctrlPin, outPin = "A", "EN", "Y"
+	}
+	dq := clock.Time(280) // data->output transparent-mode delay, drive 1
+	cq := clock.Time(320) // control->output delay, drive 1
+	setup := clock.Time(150)
+	d := int64(drive)
+	mk := func(intr clock.Time, slope int64) ArcDelay {
+		maxL := Linear{Intrinsic: intr + clock.Time(25*(d-1)), Slope: slope / d}
+		minL := Linear{Intrinsic: maxL.Intrinsic * 6 / 10, Slope: maxL.Slope / 2}
+		return ArcDelay{MaxRise: maxL, MaxFall: maxL, MinRise: minL, MinFall: minL}
+	}
+	ctrlSense := PositiveUnate
+	if activeLow {
+		ctrlSense = NegativeUnate
+	}
+	return &Cell{
+		Name: name, Kind: kind,
+		Function: fmt.Sprintf("%s latch", kind),
+		Area:     8 + d, Drive: drive,
+		Pins: []Pin{
+			{Name: dataPin, Dir: In, Role: Data, C: Cap(3 + drive)},
+			{Name: ctrlPin, Dir: In, Role: Control, C: Cap(4 + drive)},
+			{Name: outPin, Dir: Out},
+		},
+		Arcs: []Arc{
+			{From: dataPin, To: outPin, Sense: PositiveUnate, Delay: mk(dq, 10)},
+			{From: ctrlPin, To: outPin, Sense: ctrlSense, Delay: mk(cq, 11)},
+		},
+		Sync: &SyncTiming{Dsetup: setup, Ddz: dq, Dcz: cq, ActiveLow: activeLow},
+	}
+}

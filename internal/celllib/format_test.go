@@ -1,0 +1,158 @@
+package celllib
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLib = `
+# custom library
+library mylib
+cell INVX kind comb area 3 drive 2
+  function Y=!A
+  pin A in cap 4
+  pin Y out
+  arc A Y sense neg maxrise 120ps 9 maxfall 90ps 7 minrise 72ps 4 minfall 54ps 3
+endcell
+cell LATX kind transparent area 9 drive 1
+  pin D in cap 4
+  pin G in control cap 5
+  pin Q out
+  arc D Q sense pos maxrise 0.28ns 10 maxfall 280 10
+  sync setup 150ps ddz 280ps dcz 320ps
+endcell
+cell LATN kind transparent area 9 drive 1
+  pin D in cap 4
+  pin G in control cap 5
+  pin Q out
+  arc D Q sense pos maxrise 280 10 maxfall 280 10
+  sync setup 150 ddz 280 dcz 320 activelow
+endcell
+cell FFX kind edge area 10 drive 1
+  pin D in cap 4
+  pin CK in control cap 5
+  pin Q out
+  arc D Q sense pos maxrise 0 0 maxfall 0 0
+  sync setup 200 ddz 0 dcz 300
+endcell
+end
+`
+
+func TestParseLibrary(t *testing.T) {
+	lib, err := ParseLibraryString(sampleLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "mylib" || lib.Len() != 4 {
+		t.Fatalf("library shape: %s %d", lib.Name, lib.Len())
+	}
+	inv := lib.Cell("INVX")
+	if inv == nil || inv.Kind != Comb || inv.Drive != 2 || inv.Area != 3 {
+		t.Fatalf("INVX header: %+v", inv)
+	}
+	if inv.Function != "Y=!A" {
+		t.Fatalf("function %q", inv.Function)
+	}
+	if inv.Pin("A").C != 4 || inv.Pin("Y").Dir != Out {
+		t.Fatal("INVX pins")
+	}
+	a := inv.Arcs[0]
+	if a.Sense != NegativeUnate || a.Delay.MaxRise.Intrinsic != 120 || a.Delay.MaxRise.Slope != 9 {
+		t.Fatalf("INVX arc: %+v", a)
+	}
+	if a.Delay.MinFall.Intrinsic != 54 {
+		t.Fatalf("min fall: %+v", a.Delay.MinFall)
+	}
+	lat := lib.Cell("LATX")
+	if lat.Kind != Transparent || lat.Sync == nil || lat.Sync.Dsetup != 150 {
+		t.Fatalf("LATX: %+v", lat)
+	}
+	// Fractional-ns intrinsic parsed.
+	if lat.Arcs[0].Delay.MaxRise.Intrinsic != 280 {
+		t.Fatalf("LATX intrinsic: %v", lat.Arcs[0].Delay.MaxRise.Intrinsic)
+	}
+	// Omitted min delays default to max.
+	if lat.Arcs[0].Delay.MinRise != lat.Arcs[0].Delay.MaxRise {
+		t.Fatal("min did not default to max")
+	}
+	if !lib.Cell("LATN").Sync.ActiveLow {
+		t.Fatal("activelow lost")
+	}
+	if lib.Cell("FFX").Kind != EdgeTriggered || lib.Cell("FFX").ControlPin() != "CK" {
+		t.Fatal("FFX")
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"no library", "end\n", "end before library"},
+		{"missing end", "library l\n", "missing 'end'"},
+		{"dup library", "library a\nlibrary b\nend\n", "duplicate library"},
+		{"cell before lib", "cell X\nlibrary l\nend\n", "cell before library"},
+		{"nested cell", "library l\ncell A\ncell B\nendcell\nendcell\nend\n", "nested cell"},
+		{"stray endcell", "library l\nendcell\nend\n", "outside cell"},
+		{"pin outside", "library l\npin A in\nend\n", "pin outside cell"},
+		{"arc outside", "library l\narc A Y\nend\n", "arc outside cell"},
+		{"sync outside", "library l\nsync setup 1\nend\n", "sync outside cell"},
+		{"bad kind", "library l\ncell X kind banana\nendcell\nend\n", "unknown kind"},
+		{"bad pin dir", "library l\ncell X\npin A sideways\npin Y out\nendcell\nend\n", "direction"},
+		{"bad sense", "library l\ncell X\npin A in\npin Y out\narc A Y sense maybe\nendcell\nend\n", "unknown sense"},
+		{"bad slope", "library l\ncell X\npin A in\npin Y out\narc A Y sense pos maxrise 10 x\nendcell\nend\n", "bad slope"},
+		{"bad time", "library l\ncell X\npin A in\npin Y out\narc A Y sense pos maxrise 1.0001ns 1\nendcell\nend\n", "whole picoseconds"},
+		{"end inside cell", "library l\ncell X\nend\n", "end inside cell"},
+		{"content after end", "library l\nend\ncell X\n", "content after"},
+		{"unknown directive", "library l\nwibble\nend\n", "unknown directive"},
+		{"invalid cell", "library l\ncell X\npin A in\nendcell\nend\n", "no output"},
+		{"dangling attr", "library l\ncell X kind\nendcell\nend\n", "dangling"},
+	}
+	for _, c := range cases {
+		_, err := ParseLibraryString(c.text)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	orig := Default()
+	var sb strings.Builder
+	if err := WriteLibrary(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLibraryString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\nfirst lines:\n%s", err, sb.String()[:400])
+	}
+	if back.Len() != orig.Len() || back.Name != orig.Name {
+		t.Fatalf("shape: %d/%s vs %d/%s", back.Len(), back.Name, orig.Len(), orig.Name)
+	}
+	for _, name := range orig.Names() {
+		a, b := orig.Cell(name), back.Cell(name)
+		if a.Kind != b.Kind || a.Area != b.Area || a.Drive != b.Drive || a.Function != b.Function {
+			t.Fatalf("%s header mismatch", name)
+		}
+		if len(a.Pins) != len(b.Pins) || len(a.Arcs) != len(b.Arcs) {
+			t.Fatalf("%s shape mismatch", name)
+		}
+		for i := range a.Pins {
+			if a.Pins[i] != b.Pins[i] {
+				t.Fatalf("%s pin %d: %+v vs %+v", name, i, a.Pins[i], b.Pins[i])
+			}
+		}
+		for i := range a.Arcs {
+			if a.Arcs[i] != b.Arcs[i] {
+				t.Fatalf("%s arc %d: %+v vs %+v", name, i, a.Arcs[i], b.Arcs[i])
+			}
+		}
+		if (a.Sync == nil) != (b.Sync == nil) {
+			t.Fatalf("%s sync presence", name)
+		}
+		if a.Sync != nil && *a.Sync != *b.Sync {
+			t.Fatalf("%s sync: %+v vs %+v", name, *a.Sync, *b.Sync)
+		}
+	}
+}

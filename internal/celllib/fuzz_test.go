@@ -1,0 +1,37 @@
+package celllib
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLibrary checks the library parser never panics and that every
+// accepted library survives a write/parse round trip with all cells valid.
+func FuzzParseLibrary(f *testing.F) {
+	f.Add(sampleLib)
+	f.Add("library l\nend\n")
+	f.Add("library l\ncell C\npin A in\npin Y out\nendcell\nend\n")
+	f.Add("library l\ncell C kind tristate area 1 drive 9\npin A in\npin E in control\npin Y out\nsync setup 1 ddz 2 dcz 3 activelow\nendcell\nend\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		lib, err := ParseLibraryString(text)
+		if err != nil {
+			return
+		}
+		for _, name := range lib.Names() {
+			if err := lib.Cell(name).Validate(); err != nil {
+				t.Fatalf("parser admitted invalid cell: %v", err)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteLibrary(&sb, lib); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseLibraryString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Len() != lib.Len() {
+			t.Fatal("round trip changed cell count")
+		}
+	})
+}

@@ -1,0 +1,657 @@
+// Package cluster elaborates a resolved netlist into the analyzable timing
+// network of the paper: it identifies synchronising elements (replicating
+// them per control pulse, §4), analyses control paths from the clock
+// generators to every control input (computing Oat and the §3 monotonic
+// inversion parity), extracts the combinational *clusters* ("a maximal
+// connected network of combinational logic elements", §7), verifies the §3
+// acyclicity assumption inside each, and runs the break-open pre-processing
+// that decides the minimum set of analysis passes per cluster.
+//
+// Enable paths (§4) — combinational paths from a synchronising-element
+// output (or a primary input) into the control input of another element
+// through clock-gating logic — are supported conservatively: each enable
+// net entering a control cone becomes a virtual capture endpoint whose
+// ideal closure is the *leading* edge of every gated pulse, advanced by the
+// worst-case delay of the gating logic between the enable net and the
+// control pin. The clock-side spine of the cone must still be a monotonic
+// function of exactly one clock; the enable side is ordinary data logic.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"hummingbird/internal/breakopen"
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/delaycalc"
+	"hummingbird/internal/graph"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/syncelem"
+)
+
+// Arc is one combinational timing arc between two nets, carrying its
+// evaluated delays.
+type Arc struct {
+	Inst     string // owning instance, for reporting and re-synthesis
+	FromPin  string
+	ToPin    string
+	From, To int // net ids
+	Sense    celllib.Sense
+	D        delaycalc.Delays
+}
+
+// In is a cluster input: one generic-element occurrence asserting onto a
+// member net.
+type In struct {
+	Elem int // index into Network.Elems
+	Net  int
+}
+
+// Out is a cluster output: one generic-element occurrence whose data input
+// is fed from a member net.
+type Out struct {
+	Elem int // index into Network.Elems
+	Net  int
+}
+
+// Cluster is one maximal connected combinational network, pre-processed for
+// block analysis.
+type Cluster struct {
+	ID   int
+	Nets []int // member net ids, sorted
+	Arcs []Arc
+	// Order is a topological order of the member nets (net ids).
+	Order   []int
+	Inputs  []In
+	Outputs []Out
+	// Reach[i][o] reports whether a combinational path connects input i's
+	// net to output o's net (same net counts: a direct latch→latch
+	// connection is a zero-delay path).
+	Reach [][]bool
+	// Plan is the break-open pass plan; Plan.Assign is keyed by output
+	// position within Outputs.
+	Plan *breakopen.Plan
+
+	local map[int]int // net id -> index in Nets
+	adj   map[int][]int
+}
+
+// LocalIndex returns the position of net id within Nets, or -1.
+func (c *Cluster) LocalIndex(net int) int {
+	if i, ok := c.local[net]; ok {
+		return i
+	}
+	return -1
+}
+
+// ArcsFrom returns the indices into Arcs of arcs leaving the given net.
+func (c *Cluster) ArcsFrom(net int) []int { return c.adj[net] }
+
+// SyncSite is one physical synchronisation point: a latch/FF/tristate
+// instance, a primary port, or a virtual enable-capture endpoint, expanded
+// into one or more generic elements.
+type SyncSite struct {
+	Name   string
+	IsPort bool
+	Dir    netlist.PortDir // ports and enable endpoints only
+	Kind   celllib.Kind
+	// DataNet is the net feeding the data input (-1 for primary inputs);
+	// OutNet is the driven net (-1 for primary outputs and enable
+	// endpoints); CtrlNet is the control net (-1 for ports/endpoints).
+	DataNet, OutNet, CtrlNet int
+	Sig                      int
+	Inverted                 bool
+	CtrlMax, CtrlMin         clock.Time
+	// Elems indexes the site's generic elements within Network.Elems.
+	Elems []int
+}
+
+// Network is the fully elaborated timing view of one design.
+type Network struct {
+	Lib    *celllib.Library
+	Design *netlist.Design
+	Clocks *clock.Set
+	Calc   *delaycalc.Calc
+
+	Nets   []string
+	NetIdx map[string]int
+
+	Sites []SyncSite
+	// Elems holds every generic element occurrence; Elems[i].Inst matches
+	// the owning site's Name.
+	Elems    []*syncelem.Element
+	SiteOf   []int // element index -> site index
+	Clusters []*Cluster
+
+	// EdgeTimes are the distinct clock edge times (break candidates).
+	EdgeTimes []clock.Time
+
+	// ctrlNets marks the pure clock-cone nets (clock sources, buffers and
+	// gating-gate outputs); enable-side nets stay false and remain data.
+	ctrlNets []bool
+}
+
+// enableIn is one enable net feeding a control cone, with the worst-case
+// gating-logic delay from that net to the control pin.
+type enableIn struct {
+	net         int
+	delayToCtrl clock.Time
+}
+
+// Build elaborates a resolved design (every instance reference must resolve
+// in lib — flatten or roll up hierarchy first).
+func Build(lib *celllib.Library, design *netlist.Design, cs *clock.Set, calc *delaycalc.Calc) (*Network, error) {
+	nw := &Network{Lib: lib, Design: design, Clocks: cs, Calc: calc}
+	nw.Nets = design.NetNames()
+	nw.NetIdx = make(map[string]int, len(nw.Nets))
+	for i, n := range nw.Nets {
+		nw.NetIdx[n] = i
+	}
+	seen := map[clock.Time]bool{}
+	for _, e := range cs.Edges() {
+		if !seen[e.At] {
+			seen[e.At] = true
+			nw.EdgeTimes = append(nw.EdgeTimes, e.At)
+		}
+	}
+	sort.Slice(nw.EdgeTimes, func(i, j int) bool { return nw.EdgeTimes[i] < nw.EdgeTimes[j] })
+
+	combArcs, err := nw.collectArcs()
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.buildSites(combArcs); err != nil {
+		return nil, err
+	}
+	if err := nw.extractClusters(combArcs); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// collectArcs gathers every combinational timing arc (arcs of sync cells are
+// handled through the element model instead).
+func (nw *Network) collectArcs() ([]Arc, error) {
+	var arcs []Arc
+	for i := range nw.Design.Instances {
+		inst := &nw.Design.Instances[i]
+		cell := nw.Lib.Cell(inst.Ref)
+		if cell == nil {
+			return nil, fmt.Errorf("cluster: instance %s: unresolved reference %q (flatten or roll up first)", inst.Name, inst.Ref)
+		}
+		if cell.IsSync() {
+			continue
+		}
+		for ai := range cell.Arcs {
+			arc := &cell.Arcs[ai]
+			fromNet, ok1 := inst.Conns[arc.From]
+			toNet, ok2 := inst.Conns[arc.To]
+			if !ok1 || !ok2 {
+				continue
+			}
+			arcs = append(arcs, Arc{
+				Inst: inst.Name, FromPin: arc.From, ToPin: arc.To,
+				From: nw.NetIdx[fromNet], To: nw.NetIdx[toNet],
+				Sense: arc.Sense,
+				D:     nw.Calc.ArcDelays(inst, arc),
+			})
+		}
+	}
+	return arcs, nil
+}
+
+// ctrlInfo is the memoized control-path analysis result for one net.
+type ctrlInfo struct {
+	sig        int
+	parityEven bool // some clock path with an even number of inversions
+	parityOdd  bool
+	maxDelay   clock.Time
+	minDelay   clock.Time
+	visiting   bool
+	// isEnable marks a net whose cone contains no clock at all: it is
+	// driven (transitively) by synchronising-element outputs or primary
+	// inputs — the data side of an enable path (§4).
+	isEnable bool
+}
+
+// buildSites identifies synchronising instances and ports, analyses their
+// control paths (including enable-path classification) and builds the
+// generic elements.
+func (nw *Network) buildSites(arcs []Arc) error {
+	inArcs := make(map[int][]*Arc)
+	for i := range arcs {
+		inArcs[arcs[i].To] = append(inArcs[arcs[i].To], &arcs[i])
+	}
+	clockNet := map[int]int{} // net id -> clock signal index
+	for ci, c := range nw.Design.Clocks {
+		if n, ok := nw.NetIdx[c.Name]; ok {
+			clockNet[n] = ci
+		}
+	}
+	syncOut := map[int]string{} // nets driven by sync outputs
+	for i := range nw.Design.Instances {
+		inst := &nw.Design.Instances[i]
+		cell := nw.Lib.Cell(inst.Ref)
+		if cell == nil || !cell.IsSync() {
+			continue
+		}
+		for _, op := range cell.Outputs() {
+			if net, ok := inst.Conns[op]; ok {
+				syncOut[nw.NetIdx[net]] = inst.Name
+			}
+		}
+	}
+	piNet := map[int]bool{}
+	for _, p := range nw.Design.Ports {
+		if p.Dir == netlist.Input {
+			piNet[nw.NetIdx[p.Name]] = true
+		}
+	}
+
+	memo := make(map[int]*ctrlInfo)
+	var trace func(net int) (*ctrlInfo, error)
+	trace = func(net int) (*ctrlInfo, error) {
+		if ci, ok := memo[net]; ok {
+			if ci.visiting {
+				return nil, fmt.Errorf("cluster: combinational cycle in control path through net %q", nw.Nets[net])
+			}
+			return ci, nil
+		}
+		ci := &ctrlInfo{sig: -1}
+		memo[net] = ci
+		if sig, ok := clockNet[net]; ok {
+			ci.sig = sig
+			ci.parityEven = true
+			return ci, nil
+		}
+		// Synchronising-element outputs and primary inputs terminate the
+		// cone on its data side: the net is an enable (§4).
+		if _, ok := syncOut[net]; ok {
+			ci.isEnable = true
+			return ci, nil
+		}
+		if piNet[net] {
+			ci.isEnable = true
+			return ci, nil
+		}
+		preds := inArcs[net]
+		if len(preds) == 0 {
+			return nil, fmt.Errorf("cluster: control input traces back to undriven net %q", nw.Nets[net])
+		}
+		ci.visiting = true
+		sawClock := false
+		first := true
+		for _, a := range preds {
+			up, err := trace(a.From)
+			if err != nil {
+				return nil, err
+			}
+			if up.isEnable {
+				continue // enable side: no monotonicity or delay role
+			}
+			sawClock = true
+			if a.Sense == celllib.NonUnate {
+				return nil, fmt.Errorf("cluster: control path through instance %s is non-monotonic in the clock (non-unate arc); violates the §3 control assumption", a.Inst)
+			}
+			if ci.sig == -1 {
+				ci.sig = up.sig
+			} else if up.sig != ci.sig {
+				return nil, fmt.Errorf("cluster: net %q is a function of more than one clock signal", nw.Nets[net])
+			}
+			inv := a.Sense == celllib.NegativeUnate
+			pe := (up.parityEven && !inv) || (up.parityOdd && inv)
+			po := (up.parityOdd && !inv) || (up.parityEven && inv)
+			ci.parityEven = ci.parityEven || pe
+			ci.parityOdd = ci.parityOdd || po
+			if d := up.maxDelay + a.D.Max(); d > ci.maxDelay {
+				ci.maxDelay = d
+			}
+			md := up.minDelay + a.D.Min()
+			if first || md < ci.minDelay {
+				ci.minDelay = md
+			}
+			first = false
+		}
+		ci.visiting = false
+		if !sawClock {
+			ci.isEnable = true
+			return ci, nil
+		}
+		if ci.parityEven && ci.parityOdd {
+			return nil, fmt.Errorf("cluster: net %q has control paths of both inversion parities; violates the §3 monotonic-control assumption", nw.Nets[net])
+		}
+		return ci, nil
+	}
+
+	// collectEnables returns, for every enable net feeding one element's
+	// control cone, the worst-case combinational delay from that net to the
+	// control pin. The cone is acyclic (trace rejects cycles), so a
+	// worklist longest-path over the cone is exact.
+	collectEnables := func(ctrlNet int) []enableIn {
+		best := map[int]clock.Time{}
+		downTo := map[int]clock.Time{ctrlNet: 0}
+		work := []int{ctrlNet}
+		for len(work) > 0 {
+			net := work[len(work)-1]
+			work = work[:len(work)-1]
+			acc := downTo[net]
+			for _, a := range inArcs[net] {
+				up := memo[a.From]
+				if up == nil {
+					continue
+				}
+				d := acc + a.D.Max()
+				if up.isEnable {
+					if prev, ok := best[a.From]; !ok || d > prev {
+						best[a.From] = d
+					}
+					continue
+				}
+				if prev, ok := downTo[a.From]; !ok || d > prev {
+					downTo[a.From] = d
+					work = append(work, a.From)
+				}
+			}
+		}
+		out := make([]enableIn, 0, len(best))
+		for net, d := range best {
+			out = append(out, enableIn{net: net, delayToCtrl: d})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].net < out[j].net })
+		return out
+	}
+
+	addSite := func(site SyncSite, elems []*syncelem.Element) {
+		siteIdx := len(nw.Sites)
+		for _, e := range elems {
+			site.Elems = append(site.Elems, len(nw.Elems))
+			nw.Elems = append(nw.Elems, e)
+			nw.SiteOf = append(nw.SiteOf, siteIdx)
+		}
+		nw.Sites = append(nw.Sites, site)
+	}
+
+	for i := range nw.Design.Instances {
+		inst := &nw.Design.Instances[i]
+		cell := nw.Lib.Cell(inst.Ref)
+		if cell == nil || !cell.IsSync() {
+			continue
+		}
+		ctrlPin := cell.ControlPin()
+		ctrlNetName, ok := inst.Conns[ctrlPin]
+		if !ok {
+			return fmt.Errorf("cluster: %s: control pin %s unconnected", inst.Name, ctrlPin)
+		}
+		ctrlNet := nw.NetIdx[ctrlNetName]
+		ci, err := trace(ctrlNet)
+		if err != nil {
+			return fmt.Errorf("%w (control input of %s)", err, inst.Name)
+		}
+		if ci.isEnable || ci.sig < 0 {
+			return fmt.Errorf("cluster: control input of %s is not a function of any clock", inst.Name)
+		}
+		dataPins := cell.DataPins()
+		if len(dataPins) != 1 {
+			return fmt.Errorf("cluster: %s (%s): synchronising elements must have exactly one data input, found %d", inst.Name, inst.Ref, len(dataPins))
+		}
+		dataNet := -1
+		if n, ok := inst.Conns[dataPins[0]]; ok {
+			dataNet = nw.NetIdx[n]
+		} else {
+			return fmt.Errorf("cluster: %s: data pin %s unconnected", inst.Name, dataPins[0])
+		}
+		outNet := -1
+		if n, ok := inst.Conns[cell.Outputs()[0]]; ok {
+			outNet = nw.NetIdx[n]
+		}
+		inverted := ci.parityOdd
+		elems, err := syncelem.Build(inst.Name, cell.Kind, cell.Sync, nw.Clocks, ci.sig, inverted, ci.maxDelay, ci.minDelay)
+		if err != nil {
+			return err
+		}
+		addSite(SyncSite{
+			Name: inst.Name, Kind: cell.Kind,
+			DataNet: dataNet, OutNet: outNet, CtrlNet: ctrlNet,
+			Sig: ci.sig, Inverted: inverted,
+			CtrlMax: ci.maxDelay, CtrlMin: ci.minDelay,
+		}, elems)
+
+		// Enable paths into this element's control cone: one virtual
+		// capture endpoint per enable net per control pulse, closing at
+		// the pulse's leading edge advanced by the gating-logic depth
+		// (the enable must be stable before the pulse it gates begins;
+		// the clock network's own delay is conservatively ignored).
+		for idx, en := range collectEnables(ctrlNet) {
+			name := fmt.Sprintf("%s.en%d", inst.Name, idx)
+			var enElems []*syncelem.Element
+			for k, se := range elems {
+				enElems = append(enElems, &syncelem.Element{
+					Inst: name, Occur: k, Kind: celllib.EdgeTriggered,
+					Sig:         ci.sig,
+					IdealAssert: se.LeadAt, AssertEdge: se.LeadEdge,
+					IdealClose: se.LeadAt, CloseEdge: se.LeadEdge,
+					LeadEdge: se.LeadEdge, TrailEdge: se.LeadEdge,
+					LeadAt: se.LeadAt, TrailAt: se.LeadAt,
+					Port: true, PortOffset: -en.delayToCtrl,
+				})
+			}
+			addSite(SyncSite{
+				Name: name, IsPort: true, Dir: netlist.Output,
+				Kind: celllib.EdgeTriggered, Sig: ci.sig,
+				DataNet: en.net, OutNet: -1, CtrlNet: -1,
+			}, enElems)
+		}
+	}
+
+	for _, p := range nw.Design.Ports {
+		if p.RefClock == "" {
+			return fmt.Errorf("cluster: primary %s %q needs a clock reference for timing analysis", p.Dir, p.Name)
+		}
+		sig := nw.Clocks.Index(p.RefClock)
+		if sig < 0 {
+			return fmt.Errorf("cluster: port %q references unknown clock %q", p.Name, p.RefClock)
+		}
+		elems, err := syncelem.BuildPort(p.Name, nw.Clocks, sig, p.RefEdge, p.Offset)
+		if err != nil {
+			return err
+		}
+		net := nw.NetIdx[p.Name]
+		site := SyncSite{Name: p.Name, IsPort: true, Dir: p.Dir, Kind: celllib.EdgeTriggered, Sig: sig,
+			DataNet: -1, OutNet: -1, CtrlNet: -1}
+		if p.Dir == netlist.Input {
+			site.OutNet = net
+		} else {
+			site.DataNet = net
+		}
+		addSite(site, elems)
+	}
+
+	// The pure clock cone: clock source nets plus every traced net that is
+	// not on the enable side.
+	nw.ctrlNets = make([]bool, len(nw.Nets))
+	for n := range clockNet {
+		nw.ctrlNets[n] = true
+	}
+	for n, ci := range memo {
+		if !ci.isEnable {
+			nw.ctrlNets[n] = true
+		}
+	}
+	return nil
+}
+
+// extractClusters partitions the combinational arcs into maximal connected
+// clusters, excluding the pure clock cones, and pre-processes each.
+func (nw *Network) extractClusters(arcs []Arc) error {
+	n := len(nw.Nets)
+	isCtrl := nw.ctrlNets
+	if isCtrl == nil {
+		isCtrl = make([]bool, n)
+	}
+	// A clock-cone net consumed as data is outside the supported class.
+	for _, s := range nw.Sites {
+		if s.DataNet >= 0 && isCtrl[s.DataNet] {
+			return fmt.Errorf("cluster: control/clock net %q feeds the data input of %s; clock nets as data are not supported", nw.Nets[s.DataNet], s.Name)
+		}
+	}
+	for i := range arcs {
+		if isCtrl[arcs[i].From] && !isCtrl[arcs[i].To] {
+			return fmt.Errorf("cluster: control net %q feeds data logic through instance %s", nw.Nets[arcs[i].From], arcs[i].Inst)
+		}
+	}
+
+	// Union of data nets: weak components over data arcs.
+	g := graph.New(n)
+	for i := range arcs {
+		if isCtrl[arcs[i].From] || isCtrl[arcs[i].To] {
+			continue
+		}
+		g.AddEdge(arcs[i].From, arcs[i].To)
+	}
+	comp, _ := g.UndirectedComponents()
+	byComp := make(map[int]*Cluster)
+	getCluster := func(c int) *Cluster {
+		cl, ok := byComp[c]
+		if !ok {
+			cl = &Cluster{ID: len(byComp), local: map[int]int{}, adj: map[int][]int{}}
+			byComp[c] = cl
+		}
+		return cl
+	}
+	// Member nets: nets that carry data arcs or touch a sync terminal.
+	touches := make([]bool, n)
+	for i := range arcs {
+		if !isCtrl[arcs[i].From] && !isCtrl[arcs[i].To] {
+			touches[arcs[i].From] = true
+			touches[arcs[i].To] = true
+		}
+	}
+	for _, s := range nw.Sites {
+		if s.OutNet >= 0 && !isCtrl[s.OutNet] {
+			touches[s.OutNet] = true
+		}
+		if s.DataNet >= 0 {
+			touches[s.DataNet] = true
+		}
+	}
+	for net := 0; net < n; net++ {
+		if !touches[net] || isCtrl[net] {
+			continue
+		}
+		cl := getCluster(comp[net])
+		cl.local[net] = len(cl.Nets)
+		cl.Nets = append(cl.Nets, net)
+	}
+	for i := range arcs {
+		if isCtrl[arcs[i].From] || isCtrl[arcs[i].To] {
+			continue
+		}
+		cl := getCluster(comp[arcs[i].From])
+		cl.adj[arcs[i].From] = append(cl.adj[arcs[i].From], len(cl.Arcs))
+		cl.Arcs = append(cl.Arcs, arcs[i])
+	}
+	// Endpoints.
+	for ei := range nw.Elems {
+		site := nw.Sites[nw.SiteOf[ei]]
+		if site.OutNet >= 0 && touches[site.OutNet] && !isCtrl[site.OutNet] {
+			cl := getCluster(comp[site.OutNet])
+			cl.Inputs = append(cl.Inputs, In{Elem: ei, Net: site.OutNet})
+		}
+		if site.DataNet >= 0 && touches[site.DataNet] {
+			cl := getCluster(comp[site.DataNet])
+			cl.Outputs = append(cl.Outputs, Out{Elem: ei, Net: site.DataNet})
+		}
+	}
+	// Deterministic cluster order: by smallest member net id.
+	var clusters []*Cluster
+	for _, cl := range byComp {
+		sort.Ints(cl.Nets)
+		// Rebuild local index after sorting.
+		for i, netID := range cl.Nets {
+			cl.local[netID] = i
+		}
+		clusters = append(clusters, cl)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Nets[0] < clusters[j].Nets[0] })
+	for i, cl := range clusters {
+		cl.ID = i
+		sort.Slice(cl.Inputs, func(a, b int) bool { return cl.Inputs[a].Elem < cl.Inputs[b].Elem })
+		sort.Slice(cl.Outputs, func(a, b int) bool { return cl.Outputs[a].Elem < cl.Outputs[b].Elem })
+		if err := nw.preprocess(cl); err != nil {
+			return err
+		}
+	}
+	nw.Clusters = clusters
+	return nil
+}
+
+// preprocess checks acyclicity, orders the cluster, computes input→output
+// reachability and solves the break-open plan (§7).
+func (nw *Network) preprocess(cl *Cluster) error {
+	local := graph.New(len(cl.Nets))
+	for _, a := range cl.Arcs {
+		local.AddEdge(cl.local[a.From], cl.local[a.To])
+	}
+	orderLocal, err := local.TopoSort()
+	if err != nil {
+		cyc := local.FindCycle()
+		names := make([]string, len(cyc))
+		for i, v := range cyc {
+			names[i] = nw.Nets[cl.Nets[v]]
+		}
+		return fmt.Errorf("cluster %d: combinational cycle through nets %v (violates the §3 acyclicity assumption)", cl.ID, names)
+	}
+	cl.Order = make([]int, len(orderLocal))
+	for i, v := range orderLocal {
+		cl.Order[i] = cl.Nets[v]
+	}
+	// Reachability input→output.
+	cl.Reach = make([][]bool, len(cl.Inputs))
+	for ii, in := range cl.Inputs {
+		mask := local.ReachableFrom(cl.local[in.Net])
+		row := make([]bool, len(cl.Outputs))
+		for oi, out := range cl.Outputs {
+			row[oi] = mask[cl.local[out.Net]]
+		}
+		cl.Reach[ii] = row
+	}
+	// Break-open outputs.
+	outs := make([]breakopen.Output, len(cl.Outputs))
+	for oi, out := range cl.Outputs {
+		o := breakopen.Output{ID: oi, Close: nw.Elems[out.Elem].IdealClose}
+		for ii := range cl.Inputs {
+			if cl.Reach[ii][oi] {
+				o.Asserts = append(o.Asserts, nw.Elems[cl.Inputs[ii].Elem].IdealAssert)
+			}
+		}
+		outs[oi] = o
+	}
+	plan, err := breakopen.Solve(nw.Clocks.Overall(), nw.EdgeTimes, outs)
+	if err != nil {
+		return fmt.Errorf("cluster %d: %w", cl.ID, err)
+	}
+	cl.Plan = plan
+	return nil
+}
+
+// TotalPasses sums the analysis passes over all clusters (pre-processing
+// statistic reported alongside Table 1).
+func (nw *Network) TotalPasses() int {
+	total := 0
+	for _, cl := range nw.Clusters {
+		total += cl.Plan.Passes()
+	}
+	return total
+}
+
+// ElemsOf returns the element indices of the named site (instance, port or
+// enable endpoint).
+func (nw *Network) ElemsOf(name string) []int {
+	for _, s := range nw.Sites {
+		if s.Name == name {
+			return s.Elems
+		}
+	}
+	return nil
+}

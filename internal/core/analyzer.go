@@ -1,0 +1,315 @@
+// Package core implements the paper's system-level timing-analysis
+// algorithms: Algorithm 1 (identification of slow paths via complete and
+// partial slack transfer) and Algorithm 2 (timing-constraint generation via
+// time snatching), over the elaborated network of internal/cluster and the
+// block slack computation of internal/sta.
+//
+// The analyzer owns the synchronising-element offsets (the Odz degrees of
+// freedom of the transparent latches) and drives them to the fixed points
+// the paper defines. After Algorithm 1, every synchronising-element
+// terminal on a too-slow path has non-positive node slack and all other
+// terminals have strictly positive slack (marginally fast paths may be
+// flagged slow — a consequence of the simplified element model the paper
+// accepts, §6).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
+	"hummingbird/internal/delaycalc"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/sta"
+	"hummingbird/internal/syncelem"
+)
+
+// Options tunes the analyzer.
+type Options struct {
+	// PartialDivisor is the divisor n > 1 of the §6 partial slack
+	// transfers (iterations 3 and 4 of Algorithm 1). Default 2.
+	PartialDivisor int64
+	// MaxSweeps caps each iteration's sweep count as a safety net. The
+	// paper bounds acyclic designs at one more sweep than the number of
+	// synchronising elements on a directed path; combinational cycles
+	// through latches (§3) circulate their deficit, and a *feasible* loop
+	// operating near its critical utilisation can need on the order of
+	// W/loop-slack sweeps before the borrowing settles. Default:
+	// max(64, 4 × elements); raise it for near-critical loop-heavy
+	// designs if the non-convergence error suggests so.
+	MaxSweeps int
+	// Delay evaluation options for the load model.
+	Delay delaycalc.Options
+	// Adjustments holds per-instance additive delay adjustments (ps),
+	// applied before elaboration — the interactive what-if mode of §8.
+	Adjustments map[string]clock.Time
+	// FullSweeps disables incremental re-analysis: every fixed-point sweep
+	// recomputes every cluster, as the paper's plain formulation does.
+	// The default (incremental) recomputes only the clusters adjacent to
+	// elements whose offsets moved; results are identical (the A6
+	// ablation measures the speed difference).
+	FullSweeps bool
+}
+
+// DefaultOptions returns the options used by the benchmarks.
+func DefaultOptions() Options {
+	return Options{PartialDivisor: 2, Delay: delaycalc.DefaultOptions()}
+}
+
+// defaultMaxSweeps sizes the sweep safety cap; see Options.MaxSweeps.
+func defaultMaxSweeps(elems int) int {
+	if n := 4 * elems; n > 64 {
+		return n
+	}
+	return 64
+}
+
+// Analyzer binds a design to its elaborated network and drives the timing
+// algorithms.
+type Analyzer struct {
+	Lib    *celllib.Library // resolved library (base + rolled-up modules)
+	Design *netlist.Design
+	NW     *cluster.Network
+	Opts   Options
+
+	// elemClusters[e] lists the cluster ids owning element e's terminals
+	// (its data-input endpoint and its output endpoint), for incremental
+	// re-analysis.
+	elemClusters [][]int
+}
+
+// buildElemClusters indexes which clusters each element's terminals live in.
+func (a *Analyzer) buildElemClusters() {
+	a.elemClusters = make([][]int, len(a.NW.Elems))
+	add := func(e, cl int) {
+		for _, have := range a.elemClusters[e] {
+			if have == cl {
+				return
+			}
+		}
+		a.elemClusters[e] = append(a.elemClusters[e], cl)
+	}
+	for _, cl := range a.NW.Clusters {
+		for _, in := range cl.Inputs {
+			add(in.Elem, cl.ID)
+		}
+		for _, out := range cl.Outputs {
+			add(out.Elem, cl.ID)
+		}
+	}
+}
+
+// sweep applies op to every element against the current result, then
+// refreshes res — incrementally over the touched clusters unless
+// FullSweeps is set. It reports whether anything moved.
+func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, bool) {
+	dirty := map[int]bool{}
+	moved := false
+	for ei, e := range a.NW.Elems {
+		if op(ei, e) > 0 {
+			moved = true
+			for _, cl := range a.elemClusters[ei] {
+				dirty[cl] = true
+			}
+		}
+	}
+	if !moved {
+		return res, false
+	}
+	if a.Opts.FullSweeps {
+		return sta.Analyze(a.NW), true
+	}
+	ids := make([]int, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sta.Recompute(a.NW, res, ids)
+	return res, true
+}
+
+// Load validates a design, resolves its hierarchy (rolling combinational
+// modules up into super-cells, §8's SM1H path), evaluates component delays
+// and elaborates the timing network. It is the single entry point the
+// executables and examples use.
+func Load(lib *celllib.Library, design *netlist.Design, opts Options) (*Analyzer, error) {
+	if opts.PartialDivisor <= 1 {
+		opts.PartialDivisor = 2
+	}
+	if err := design.Validate(lib); err != nil {
+		return nil, err
+	}
+	resolved := lib
+	if len(design.Modules) > 0 {
+		ext, err := delaycalc.RollUpModules(lib, design, opts.Delay)
+		if err != nil {
+			return nil, err
+		}
+		resolved = ext
+	}
+	cs, err := design.ClockSet()
+	if err != nil {
+		return nil, err
+	}
+	calc, err := delaycalc.New(resolved, design, opts.Delay)
+	if err != nil {
+		return nil, err
+	}
+	for inst, delta := range opts.Adjustments {
+		calc.Adjust(inst, delta)
+	}
+	nw, err := cluster.Build(resolved, design, cs, calc)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = defaultMaxSweeps(len(nw.Elems))
+	}
+	a := &Analyzer{Lib: resolved, Design: design, NW: nw, Opts: opts}
+	a.buildElemClusters()
+	return a, nil
+}
+
+// LoadFlat is Load for an already-resolved (flat) design with a prebuilt
+// network — used by tests that construct networks directly.
+func LoadFlat(nw *cluster.Network, opts Options) *Analyzer {
+	if opts.PartialDivisor <= 1 {
+		opts.PartialDivisor = 2
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = defaultMaxSweeps(len(nw.Elems))
+	}
+	a := &Analyzer{Lib: nw.Lib, Design: nw.Design, NW: nw, Opts: opts}
+	a.buildElemClusters()
+	return a
+}
+
+// Report is the outcome of Algorithm 1.
+type Report struct {
+	// OK is true when every path is fast enough (all slacks positive).
+	OK bool
+	// Result is the final block analysis at the fixed-point offsets.
+	Result *sta.Result
+	// ForwardSweeps / BackwardSweeps count the complete-transfer cycles of
+	// iterations 1 and 2 (the paper's run-time driver: "the number of
+	// iterations required ... depend[s] upon the specified clock speeds").
+	ForwardSweeps, BackwardSweeps int
+	// SlowElems lists the element indices whose terminals ended with
+	// non-positive slack (members of too-slow paths).
+	SlowElems []int
+	// SlowPaths holds one worst path per violated capture terminal.
+	SlowPaths []SlowPath
+}
+
+// WorstSlack returns the minimum terminal slack of the final analysis.
+func (r *Report) WorstSlack() clock.Time { return r.Result.WorstSlack() }
+
+// allPositive reports whether every element terminal slack is > 0.
+func allPositive(res *sta.Result) bool {
+	for i := range res.InSlack {
+		if res.InSlack[i] <= 0 || res.OutSlack[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ResetOffsets restores every element's initial offsets (Algorithm 1's
+// "select any set of offsets satisfying the synchronising element
+// constraints" uses the latest-closure initialisation of syncelem.Build).
+func (a *Analyzer) ResetOffsets() {
+	for _, e := range a.NW.Elems {
+		if e.HasDOF() {
+			e.Odz = e.OdzMax()
+		}
+	}
+}
+
+// IdentifySlowPaths runs Algorithm 1 and returns the report.
+func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
+	rep := &Report{}
+	res := sta.Analyze(a.NW)
+
+	// Iteration 1: complete forward slack transfer to a fixed point.
+	for sweep := 0; ; sweep++ {
+		if sweep > a.Opts.MaxSweeps {
+			return nil, fmt.Errorf("core: iteration 1 exceeded %d sweeps (non-convergence)", a.Opts.MaxSweeps)
+		}
+		rep.ForwardSweeps++
+		if allPositive(res) {
+			return a.finish(rep, res)
+		}
+		var moved bool
+		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.CompleteForward(res.InSlack[ei])
+		})
+		if !moved {
+			break
+		}
+	}
+
+	// Iteration 2: complete backward slack transfer to a fixed point.
+	for sweep := 0; ; sweep++ {
+		if sweep > a.Opts.MaxSweeps {
+			return nil, fmt.Errorf("core: iteration 2 exceeded %d sweeps (non-convergence)", a.Opts.MaxSweeps)
+		}
+		rep.BackwardSweeps++
+		if allPositive(res) {
+			return a.finish(rep, res)
+		}
+		var moved bool
+		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.CompleteBackward(res.OutSlack[ei])
+		})
+		if !moved {
+			break
+		}
+	}
+
+	// Iteration 3: one partial forward transfer per complete backward
+	// cycle made; iteration 4: one partial backward per forward cycle.
+	// These return some time to every fast-enough path so it ends with
+	// strictly positive slack (§6).
+	for k := 0; k < rep.BackwardSweeps; k++ {
+		res, _ = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.PartialForward(res.InSlack[ei], a.Opts.PartialDivisor)
+		})
+	}
+	for k := 0; k < rep.ForwardSweeps; k++ {
+		res, _ = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.PartialBackward(res.OutSlack[ei], a.Opts.PartialDivisor)
+		})
+	}
+
+	// Final step: all node slacks are current in res (sweep keeps them up
+	// to date, incrementally or in full).
+	return a.finish(rep, res)
+}
+
+func (a *Analyzer) finish(rep *Report, res *sta.Result) (*Report, error) {
+	rep.Result = res
+	rep.OK = allPositive(res)
+	if !rep.OK {
+		for ei := range a.NW.Elems {
+			if res.InSlack[ei] <= 0 || res.OutSlack[ei] <= 0 {
+				rep.SlowElems = append(rep.SlowElems, ei)
+			}
+		}
+		rep.SlowPaths = a.traceSlowPaths(res)
+	}
+	return rep, nil
+}
+
+// SlowNets returns the names of all nets whose final node slack is
+// non-positive — the nets the OCT-flagging option of §8 would mark.
+func (a *Analyzer) SlowNets(res *sta.Result) []string {
+	var out []string
+	for n, s := range res.NetSlack {
+		if s <= 0 {
+			out = append(out, a.NW.Nets[n])
+		}
+	}
+	return out
+}

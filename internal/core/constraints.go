@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"hummingbird/internal/clock"
+	"hummingbird/internal/sta"
+	"hummingbird/internal/syncelem"
+)
+
+// Constraints is Algorithm 2's output: signal ready times (traced forward,
+// iteration 1) and required times (traced backward, iteration 2) for every
+// net, per cluster analysis pass, in that pass's window coordinates.
+//
+// For every node on a too-slow path these are the *actual* times; for every
+// other node they are an upper bound on the ready time and a lower bound on
+// the required time such that, for any two nodes on a combinational path,
+// the difference exceeds the path delay (§3). A re-synthesis tool may speed
+// any path up to meet them, or slow a fast path down within them.
+type Constraints struct {
+	// Ready holds the pass details after the backward-snatch fixed point;
+	// its ReadyR/ReadyF fields are the recorded ready times at all cell
+	// inputs.
+	Ready []sta.PassDetail
+	// Required holds the pass details after the forward-snatch fixed
+	// point; its ReqR/ReqF fields are the recorded required times at all
+	// cell outputs.
+	Required []sta.PassDetail
+	// BackwardSnatches and ForwardSnatches count the fixed-point sweeps.
+	BackwardSnatches, ForwardSnatches int
+}
+
+// GenerateConstraints runs Algorithm 2. The analyzer's offsets should
+// already be at Algorithm 1's fixed point (Initialise: "Use Algorithm 1 to
+// generate initial offsets"); call IdentifySlowPaths first.
+func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
+	nw := a.NW
+	c := &Constraints{}
+
+	// Iteration 1: snatch time backward across all synchronising elements
+	// until none is snatched; this traces actual ready times forward
+	// through the network, stopping when the actual times have been found
+	// for nodes in paths that are too slow.
+	res := sta.Analyze(nw)
+	for sweep := 0; ; sweep++ {
+		if sweep > a.Opts.MaxSweeps {
+			return nil, fmt.Errorf("core: constraint iteration 1 exceeded %d sweeps", a.Opts.MaxSweeps)
+		}
+		c.BackwardSnatches++
+		var moved bool
+		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.SnatchBackward(res.InSlack[ei])
+		})
+		if !moved {
+			c.Ready = append([]sta.PassDetail(nil), res.Passes...)
+			break
+		}
+	}
+
+	// Iteration 2: snatch time forward until none; traces required times
+	// backwards.
+	for sweep := 0; ; sweep++ {
+		if sweep > a.Opts.MaxSweeps {
+			return nil, fmt.Errorf("core: constraint iteration 2 exceeded %d sweeps", a.Opts.MaxSweeps)
+		}
+		c.ForwardSnatches++
+		var moved bool
+		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+			return e.SnatchForward(res.OutSlack[ei])
+		})
+		if !moved {
+			c.Required = append([]sta.PassDetail(nil), res.Passes...)
+			break
+		}
+	}
+	return c, nil
+}
+
+// NetTimes is the recorded timing of one net in one analysis pass.
+type NetTimes struct {
+	Cluster, Pass        int
+	Beta                 clock.Time
+	ReadyRise, ReadyFall clock.Time
+	ReqRise, ReqFall     clock.Time
+}
+
+// Ready returns the later of the recorded rise/fall ready times.
+func (n NetTimes) Ready() clock.Time {
+	if n.ReadyRise > n.ReadyFall {
+		return n.ReadyRise
+	}
+	return n.ReadyFall
+}
+
+// Required returns the earlier of the recorded rise/fall required times.
+func (n NetTimes) Required() clock.Time {
+	if n.ReqRise < n.ReqFall {
+		return n.ReqRise
+	}
+	return n.ReqFall
+}
+
+// NetTimes collects the per-pass recorded times of one net (global id).
+func (c *Constraints) NetTimes(net int) []NetTimes {
+	var out []NetTimes
+	for pi := range c.Ready {
+		rp := &c.Ready[pi]
+		var qp *sta.PassDetail
+		for qi := range c.Required {
+			if c.Required[qi].Cluster == rp.Cluster && c.Required[qi].Pass == rp.Pass {
+				qp = &c.Required[qi]
+				break
+			}
+		}
+		if qp == nil {
+			continue
+		}
+		for li, id := range rp.Nets {
+			if id != net {
+				continue
+			}
+			out = append(out, NetTimes{
+				Cluster: rp.Cluster, Pass: rp.Pass, Beta: rp.Beta,
+				ReadyRise: rp.ReadyR[li], ReadyFall: rp.ReadyF[li],
+				ReqRise: qp.ReqR[li], ReqFall: qp.ReqF[li],
+			})
+		}
+	}
+	return out
+}
+
+// Allowed returns the tightest delay budget between two nets over all
+// passes where both are analyzed: min over passes of (required(to) −
+// ready(from)). A combinational path from→to is fast enough whenever its
+// worst delay does not exceed this budget. Returns +Inf if the pair never
+// appears in a common pass.
+func (c *Constraints) Allowed(from, to int) clock.Time {
+	budget := clock.Inf
+	for pi := range c.Ready {
+		rp := &c.Ready[pi]
+		var qp *sta.PassDetail
+		for qi := range c.Required {
+			if c.Required[qi].Cluster == rp.Cluster && c.Required[qi].Pass == rp.Pass {
+				qp = &c.Required[qi]
+				break
+			}
+		}
+		if qp == nil {
+			continue
+		}
+		fi, ti := -1, -1
+		for li, id := range rp.Nets {
+			if id == from {
+				fi = li
+			}
+			if id == to {
+				ti = li
+			}
+		}
+		if fi < 0 || ti < 0 {
+			continue
+		}
+		ready := rp.ReadyR[fi]
+		if rp.ReadyF[fi] > ready {
+			ready = rp.ReadyF[fi]
+		}
+		req := qp.ReqR[ti]
+		if qp.ReqF[ti] < req {
+			req = qp.ReqF[ti]
+		}
+		if ready == -clock.Inf || req == clock.Inf {
+			continue
+		}
+		if b := req - ready; b < budget {
+			budget = b
+		}
+	}
+	return budget
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/netlist"
+)
+
+// ScaleClocks returns a copy of the design whose clock waveforms are scaled
+// by num/den — the §8 interactive mode's "changes may be made to the shapes
+// of the clock waveforms" as a bulk operation.
+//
+// Scaling must preserve the §3 harmonic relation between the periods;
+// rounding each period independently would break it and make the overall
+// period (the LCM) explode. All periods are therefore expressed on their
+// common grid G = gcd(periods): the grid is scaled and rounded once, and
+// every period is rebuilt as its exact multiple of the scaled grid. Phases
+// are rounded independently (they carry no harmonic constraint). An error
+// is reported if scaling collapses the grid or a pulse.
+func ScaleClocks(design *netlist.Design, num, den int64) (*netlist.Design, error) {
+	if num <= 0 || den <= 0 {
+		return nil, fmt.Errorf("core: scale %d/%d must be positive", num, den)
+	}
+	if len(design.Clocks) == 0 {
+		return nil, fmt.Errorf("core: design %s has no clocks to scale", design.Name)
+	}
+	var g clock.Time
+	for _, c := range design.Clocks {
+		g = gcdT(g, c.Period)
+	}
+	gScaled := g * clock.Time(num) / clock.Time(den)
+	if gScaled <= 0 {
+		return nil, fmt.Errorf("core: scale %d/%d collapses the clock grid %v", num, den, g)
+	}
+	d := *design
+	d.Clocks = append([]clock.Signal(nil), design.Clocks...)
+	for i := range d.Clocks {
+		c := &d.Clocks[i]
+		c.Period = (c.Period / g) * gScaled
+		c.RiseAt = c.RiseAt * clock.Time(num) / clock.Time(den)
+		c.FallAt = c.FallAt * clock.Time(num) / clock.Time(den)
+		// Rounding may land a phase exactly on the (smaller) period.
+		if c.RiseAt >= c.Period {
+			c.RiseAt = c.Period - 1
+		}
+		if c.FallAt >= c.Period {
+			c.FallAt = c.Period - 1
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: scaling %d/%d: %w", num, den, err)
+		}
+	}
+	return &d, nil
+}
+
+func gcdT(a, b clock.Time) clock.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// FeasibleAt reports whether the design meets timing with its clocks scaled
+// by num/den.
+func FeasibleAt(lib *celllib.Library, design *netlist.Design, opts Options, num, den int64) (bool, error) {
+	scaled, err := ScaleClocks(design, num, den)
+	if err != nil {
+		return false, err
+	}
+	a, err := Load(lib, scaled, opts)
+	if err != nil {
+		return false, err
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		return false, err
+	}
+	return rep.OK, nil
+}
+
+// MinFeasiblePeriod binary-searches the smallest overall clock period (in
+// picoseconds, at the given resolution) at which the design meets timing,
+// scaling every clock waveform proportionally. It returns the period of
+// the design's *first* clock at the feasible optimum. The search assumes
+// feasibility is monotone in the scale — true for proportional scaling,
+// since every window grows with the period while component delays stay
+// fixed. Returns an error if the design is infeasible even at hi.
+func MinFeasiblePeriod(lib *celllib.Library, design *netlist.Design, opts Options, lo, hi, resolution clock.Time) (clock.Time, error) {
+	if len(design.Clocks) == 0 {
+		return 0, fmt.Errorf("core: design %s has no clocks", design.Name)
+	}
+	if resolution <= 0 {
+		resolution = 1
+	}
+	base := design.Clocks[0].Period
+	if lo <= 0 || hi < lo {
+		return 0, fmt.Errorf("core: bad search range [%v, %v]", lo, hi)
+	}
+	ok, err := FeasibleAt(lib, design, opts, int64(hi), int64(base))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: design %s infeasible even at period %v", design.Name, hi)
+	}
+	// Invariant: feasible at hi; unknown at lo (tested first).
+	if ok, err = FeasibleAt(lib, design, opts, int64(lo), int64(base)); err != nil {
+		// Degenerate scaled waveforms at the low end count as infeasible.
+		ok = false
+	}
+	if ok {
+		return lo, nil
+	}
+	for hi-lo > resolution {
+		mid := lo + (hi-lo)/2
+		ok, err := FeasibleAt(lib, design, opts, int64(mid), int64(base))
+		if err != nil {
+			ok = false
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

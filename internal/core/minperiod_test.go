@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/testlib"
+)
+
+func parseDesign(t *testing.T, text string) *netlist.Design {
+	t.Helper()
+	d, err := netlist.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestScaleClocks(t *testing.T) {
+	d := parseDesign(t, `
+design s
+clock phi period 100ns rise 10ns fall 50ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst g1 BUFD A=IN Y=OUT
+end
+`)
+	s, err := ScaleClocks(d, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clocks[0]
+	if c.Period != 50*clock.Ns || c.RiseAt != 5*clock.Ns || c.FallAt != 25*clock.Ns {
+		t.Fatalf("scaled clock = %+v", c)
+	}
+	// The original design is untouched.
+	if d.Clocks[0].Period != 100*clock.Ns {
+		t.Fatal("source mutated")
+	}
+	if _, err := ScaleClocks(d, 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	// Collapsing a pulse to zero width is rejected.
+	tiny := parseDesign(t, `
+design t
+clock phi period 10ns rise 0 fall 1ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst g1 BUFD A=IN Y=OUT
+end
+`)
+	if _, err := ScaleClocks(tiny, 1, 2000); err == nil {
+		t.Fatal("degenerate scale accepted")
+	}
+}
+
+// TestMinFeasiblePeriod: a single-clock FF pipeline with a known chain
+// delay. Launch at the fall edge (2/5 of the period), capture one period
+// later; with the fixture FF (zero setup, zero Dcz) the constraint is
+// period > chain delay, so the minimum feasible period is the chain delay
+// (40ns) within resolution.
+func TestMinFeasiblePeriod(t *testing.T) {
+	lib := testlib.Lib()
+	d := parseDesign(t, `
+design mp
+clock phi period 100ns rise 0 fall 40ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 FFD D=IN CK=phi Q=q1
+inst g1 D40NS A=q1 Y=n1
+inst f2 FFD D=n1 CK=phi Q=q2
+inst g2 D1NS A=q2 Y=OUT
+end
+`)
+	got, err := MinFeasiblePeriod(lib, d, Options{}, 10*clock.Ns, 100*clock.Ns, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum is 40ns + epsilon (slack must be strictly positive).
+	if got < 40*clock.Ns || got > 41*clock.Ns {
+		t.Fatalf("min period = %v, want ~40ns", got)
+	}
+	// Feasibility brackets the returned value.
+	if ok, _ := FeasibleAt(lib, d, Options{}, int64(got), int64(100*clock.Ns)); !ok {
+		t.Fatal("returned period infeasible")
+	}
+	if ok, _ := FeasibleAt(lib, d, Options{}, int64(got-500), int64(100*clock.Ns)); ok {
+		t.Fatal("period well below the optimum is feasible")
+	}
+}
+
+func TestMinFeasiblePeriodErrors(t *testing.T) {
+	lib := testlib.Lib()
+	d := parseDesign(t, `
+design mp2
+clock phi period 100ns rise 0 fall 40ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 FFD D=IN CK=phi Q=q1
+inst g1 D60NS A=q1 Y=n1
+inst f2 FFD D=n1 CK=phi Q=q2
+inst g2 D1NS A=q2 Y=OUT
+end
+`)
+	if _, err := MinFeasiblePeriod(lib, d, Options{}, 10*clock.Ns, 50*clock.Ns, 100); err == nil {
+		t.Fatal("infeasible-at-hi accepted")
+	}
+	if _, err := MinFeasiblePeriod(lib, d, Options{}, 0, 50*clock.Ns, 100); err == nil {
+		t.Fatal("bad range accepted")
+	}
+	noClock := netlist.New("none")
+	if _, err := MinFeasiblePeriod(lib, noClock, Options{}, 1, 2, 1); err == nil {
+		t.Fatal("clockless design accepted")
+	}
+}
+
+// TestMinFeasiblePeriodBorrowing: with a transparent latch mid-pipeline the
+// minimum period is set by the loop constraint rather than a single stage:
+// 30ns+30ns of logic around two latch stages fits in one period once the
+// period exceeds ~60ns (both stages borrow), far below the 2×-per-stage FF
+// bound.
+func TestMinFeasiblePeriodBorrowing(t *testing.T) {
+	lib := testlib.Lib()
+	text := `
+design mpb
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge rise offset 0
+output OUT clock phi1 edge rise offset 0
+inst gx XORD A=IN B=q2b Y=d1
+inst l1 LAT D=d1 G=phi1 Q=q1
+inst g2 D30NS A=q1 Y=d2
+inst l2 LAT D=d2 G=phi2 Q=q2
+inst g4 D30NS A=q2 Y=q2b
+inst g3 BUFD A=q1 Y=OUT
+end
+`
+	dLatch := parseDesign(t, text)
+	latchMin, err := MinFeasiblePeriod(lib, dLatch, Options{}, 20*clock.Ns, 200*clock.Ns, 1*clock.Ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 60.1ns loop must fit within one overall period plus the
+	// transparency windows; it is certainly feasible below 100ns and
+	// cannot beat the total loop delay.
+	if latchMin >= 100*clock.Ns || latchMin <= 60*clock.Ns {
+		t.Fatalf("latch pipeline min period = %v", latchMin)
+	}
+	// The opaque equivalent (FFs) needs roughly a full period per stage:
+	// its minimum is substantially larger.
+	dFF := parseDesign(t, `
+design mpf
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge rise offset 0
+output OUT clock phi1 edge rise offset 0
+inst gx XORD A=IN B=q2b Y=d1
+inst l1 FFD D=d1 CK=phi1 Q=q1
+inst g2 D30NS A=q1 Y=d2
+inst l2 FFD D=d2 CK=phi2 Q=q2
+inst g4 D30NS A=q2 Y=q2b
+inst g3 BUFD A=q1 Y=OUT
+end
+`)
+	ffMin, err := MinFeasiblePeriod(lib, dFF, Options{}, 20*clock.Ns, 400*clock.Ns, 1*clock.Ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffMin <= latchMin {
+		t.Fatalf("FF pipeline (%v) should need a longer period than the latch pipeline (%v)", ffMin, latchMin)
+	}
+}
+
+// TestScaleClocksPreservesHarmonicRelation: scaling a multi-frequency set
+// by an awkward ratio must keep the periods harmonically related (the
+// overall period scales proportionally instead of exploding).
+func TestScaleClocksPreservesHarmonicRelation(t *testing.T) {
+	d := parseDesign(t, `
+design mf
+clock slow period 100ns rise 0 fall 40ns
+clock fast period 50ns rise 20ns fall 45ns
+input IN clock slow edge fall offset 0
+output OUT clock slow edge fall offset 0
+inst g1 BUFD A=IN Y=OUT
+end
+`)
+	s, err := ScaleClocks(d, 33333, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := s.Clocks[0], s.Clocks[1]
+	if slow.Period%fast.Period != 0 {
+		t.Fatalf("harmonic relation broken: %v vs %v", slow.Period, fast.Period)
+	}
+	cs, err := clock.NewSet(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Overall() != slow.Period {
+		t.Fatalf("overall %v != slow period %v", cs.Overall(), slow.Period)
+	}
+	// The scaled design remains analyzable end to end.
+	lib := testlib.Lib()
+	if _, err := Load(lib, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinFeasiblePeriodMultiFrequency terminates quickly on a two-frequency
+// design (the regression that motivated grid-based scaling).
+func TestMinFeasiblePeriodMultiFrequency(t *testing.T) {
+	lib := testlib.Lib()
+	d := parseDesign(t, `
+design mf2
+clock slow period 100ns rise 0 fall 40ns
+clock fast period 50ns rise 20ns fall 45ns
+input IN clock slow edge fall offset 0
+output OUT clock slow edge fall offset 0
+inst f1 FFD D=IN CK=slow Q=q1
+inst g1 D1NS A=q1 Y=n1
+inst f2 FFD D=n1 CK=fast Q=q2
+inst g2 D1NS A=q2 Y=OUT
+end
+`)
+	p, err := MinFeasiblePeriod(lib, d, Options{}, 1*clock.Ns, 100*clock.Ns, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binding pair is the slow→fast crossing: launch at slow.fall
+	// (2/5 P) into the fast capture at 9/20 P — a window of P/20. The 1ns
+	// stage therefore needs P ≳ 20ns.
+	if p < 15*clock.Ns || p > 30*clock.Ns {
+		t.Fatalf("multi-frequency min period = %v, want ~20ns", p)
+	}
+}
+
+func TestFeasibleAtMatchesDirectAnalysis(t *testing.T) {
+	lib := celllib.Default()
+	d := parseDesign(t, `
+design fa
+clock phi period 10ns rise 0 fall 4ns
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 DFF_X1 D=IN CK=phi Q=q1
+inst g1 INV_X1 A=q1 Y=n1
+inst f2 DFF_X1 D=n1 CK=phi Q=q2
+inst g2 BUF_X1 A=q2 Y=OUT
+end
+`)
+	ok, err := FeasibleAt(lib, d, DefaultOptions(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(lib, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != rep.OK {
+		t.Fatalf("FeasibleAt=%v, direct=%v", ok, rep.OK)
+	}
+}

@@ -1,0 +1,357 @@
+// Package logic provides three-valued (0 / 1 / X) evaluation of the
+// boolean expressions that annotate library cells ("Y=!(A&B)",
+// "Y=S?B:A"). The dynamic-validation simulator (internal/sim) uses it to
+// compute gate outputs; the X value models unknown or not-yet-settled
+// nodes, so an X captured by a latch is direct evidence of a timing
+// failure.
+//
+// Grammar (precedence high→low): literals/identifiers/parentheses, unary
+// !, &, ^, |, and the ternary S?A:B (right-associative, lowest). The
+// left-hand side of "OUT=expr" names the output pin.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a three-valued logic level.
+type Value uint8
+
+const (
+	// X is unknown / unsettled.
+	X Value = iota
+	// Zero is logic low.
+	Zero
+	// One is logic high.
+	One
+)
+
+// String renders 0, 1 or X.
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// FromBool converts a bool to a Value.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Not returns three-valued negation.
+func Not(a Value) Value {
+	switch a {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// And returns three-valued conjunction (0 dominates X).
+func And(a, b Value) Value {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns three-valued disjunction (1 dominates X).
+func Or(a, b Value) Value {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns three-valued exclusive or (any X poisons).
+func Xor(a, b Value) Value {
+	if a == X || b == X {
+		return X
+	}
+	if a == b {
+		return Zero
+	}
+	return One
+}
+
+// Mux returns s ? a : b with X-select resolution (if both branches agree
+// the select doesn't matter).
+func Mux(s, a, b Value) Value {
+	switch s {
+	case One:
+		return a
+	case Zero:
+		return b
+	default:
+		if a == b {
+			return a
+		}
+		return X
+	}
+}
+
+// Expr is one parsed cell function.
+type Expr struct {
+	// Out is the named output pin (the left-hand side).
+	Out  string
+	root node
+	ins  []string
+}
+
+// Inputs returns the referenced input names, sorted and deduplicated.
+func (e *Expr) Inputs() []string { return e.ins }
+
+// Eval evaluates the expression; unbound identifiers read as X.
+func (e *Expr) Eval(env map[string]Value) Value { return e.root.eval(env) }
+
+type node interface {
+	eval(env map[string]Value) Value
+}
+
+type identNode string
+
+func (n identNode) eval(env map[string]Value) Value {
+	if v, ok := env[string(n)]; ok {
+		return v
+	}
+	return X
+}
+
+type constNode Value
+
+func (n constNode) eval(map[string]Value) Value { return Value(n) }
+
+type notNode struct{ a node }
+
+func (n notNode) eval(env map[string]Value) Value { return Not(n.a.eval(env)) }
+
+type binNode struct {
+	op   byte // '&', '|', '^'
+	a, b node
+}
+
+func (n binNode) eval(env map[string]Value) Value {
+	switch n.op {
+	case '&':
+		return And(n.a.eval(env), n.b.eval(env))
+	case '|':
+		return Or(n.a.eval(env), n.b.eval(env))
+	default:
+		return Xor(n.a.eval(env), n.b.eval(env))
+	}
+}
+
+type muxNode struct{ s, a, b node }
+
+func (n muxNode) eval(env map[string]Value) Value {
+	return Mux(n.s.eval(env), n.a.eval(env), n.b.eval(env))
+}
+
+// Parse parses "OUT=expr".
+func Parse(function string) (*Expr, error) {
+	eq := strings.IndexByte(function, '=')
+	if eq <= 0 {
+		return nil, fmt.Errorf("logic: %q lacks an OUT= prefix", function)
+	}
+	out := strings.TrimSpace(function[:eq])
+	p := &parser{src: function[eq+1:]}
+	root, err := p.ternary()
+	if err != nil {
+		return nil, fmt.Errorf("logic: %q: %w", function, err)
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("logic: %q: trailing input at %q", function, p.src[p.pos:])
+	}
+	e := &Expr{Out: out, root: root}
+	seen := map[string]bool{}
+	collect(root, seen)
+	for id := range seen {
+		e.ins = append(e.ins, id)
+	}
+	sort.Strings(e.ins)
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for fixture construction.
+func MustParse(function string) *Expr {
+	e, err := Parse(function)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func collect(n node, seen map[string]bool) {
+	switch v := n.(type) {
+	case identNode:
+		seen[string(v)] = true
+	case notNode:
+		collect(v.a, seen)
+	case binNode:
+		collect(v.a, seen)
+		collect(v.b, seen)
+	case muxNode:
+		collect(v.s, seen)
+		collect(v.a, seen)
+		collect(v.b, seen)
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// ternary := or ('?' ternary ':' ternary)?
+func (p *parser) ternary() (node, error) {
+	cond, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != '?' {
+		return cond, nil
+	}
+	p.pos++
+	a, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != ':' {
+		return nil, fmt.Errorf("expected ':' at offset %d", p.pos)
+	}
+	p.pos++
+	b, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return muxNode{s: cond, a: a, b: b}, nil
+}
+
+func (p *parser) or() (node, error) {
+	left, err := p.xor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.xor()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: '|', a: left, b: right}
+	}
+	return left, nil
+}
+
+func (p *parser) xor() (node, error) {
+	left, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '^' {
+		p.pos++
+		right, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: '^', a: left, b: right}
+	}
+	return left, nil
+}
+
+func (p *parser) and() (node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: '&', a: left, b: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (node, error) {
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		a, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{a: a}, nil
+	case c == '(':
+		p.pos++
+		inner, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case c == '0':
+		p.pos++
+		return constNode(Zero), nil
+	case c == '1':
+		p.pos++
+		return constNode(One), nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		return identNode(p.src[start:p.pos]), nil
+	case c == 0:
+		return nil, fmt.Errorf("unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

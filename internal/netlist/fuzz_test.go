@@ -1,0 +1,53 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the netlist parser never panics and that accepted
+// designs survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleText)
+	f.Add("design d\nend\n")
+	f.Add("design d\nclock c period 10ns rise 0 fall 5ns\nend\n")
+	f.Add("design d\ninst i INV_X1 A=x Y=y\nend\n")
+	f.Add("module m\nendmodule\n")
+	f.Add("design d\ninput A clock c edge rise offset -1ns\nend\n")
+	f.Add("#\n\ndesign \x00weird\nend")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, d); err != nil {
+			t.Fatalf("write of parsed design failed: %v", err)
+		}
+		d2, err := ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if d2.Name != d.Name || len(d2.Instances) != len(d.Instances) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzParseTime checks the time-literal parser never panics and agrees
+// with FormatTime on its own output.
+func FuzzParseTime(f *testing.F) {
+	for _, s := range []string{"0", "1ns", "-2.5ns", "100ps", "3us", "x", "9999999999999999999ns"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseTime(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseTime(FormatTime(v))
+		if err != nil || back != v {
+			t.Fatalf("FormatTime(%v) = %q does not round trip (%v, %v)", v, FormatTime(v), back, err)
+		}
+	})
+}

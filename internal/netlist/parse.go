@@ -1,0 +1,353 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hummingbird/internal/clock"
+)
+
+// The textual netlist format is the repository's stand-in for the OCT
+// database interface of §8: a line-oriented description of clocks, timed
+// primary ports, combinational modules and cell instances.
+//
+//	# comment
+//	design NAME
+//	clock NAME period TIME rise TIME fall TIME
+//	input NAME [clock CLK edge rise|fall offset TIME]
+//	output NAME [clock CLK edge rise|fall offset TIME]
+//	module NAME
+//	  input A B ...
+//	  output Y ...
+//	  inst INST CELL PIN=NET ...
+//	endmodule
+//	inst INST CELL|MODULE PIN=NET ...
+//	end
+//
+// TIME accepts "250", "250ps", "1.5ns", "-0.2ns", "2us"; a bare integer is
+// picoseconds.
+
+// ParseTime parses a time literal into picoseconds.
+func ParseTime(s string) (clock.Time, error) {
+	unit := clock.Ps
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		num, unit = s[:len(s)-2], clock.Ns
+	case strings.HasSuffix(s, "us"):
+		num, unit = s[:len(s)-2], clock.Us
+	}
+	if num == "" {
+		return 0, fmt.Errorf("netlist: empty time literal %q", s)
+	}
+	if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+		return clock.Time(i) * unit, nil
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("netlist: bad time literal %q", s)
+	}
+	v := f * float64(unit)
+	if v != float64(int64(v)) {
+		return 0, fmt.Errorf("netlist: time literal %q is not a whole number of picoseconds", s)
+	}
+	return clock.Time(v), nil
+}
+
+// FormatTime renders a time in the most compact unit that stays integral.
+func FormatTime(t clock.Time) string {
+	switch {
+	case t == 0:
+		return "0"
+	case t%clock.Us == 0:
+		return fmt.Sprintf("%dus", t/clock.Us)
+	case t%clock.Ns == 0:
+		return fmt.Sprintf("%dns", t/clock.Ns)
+	default:
+		return fmt.Sprintf("%dps", t)
+	}
+}
+
+// Parse reads one design in the textual netlist format.
+func Parse(r io.Reader) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		top    *Design
+		cur    *Design // top or module being filled
+		lineNo int
+		ended  bool
+	)
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("netlist: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ended {
+			return nil, fail("content after 'end'")
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "design":
+			if top != nil {
+				return nil, fail("duplicate design line")
+			}
+			if len(f) != 2 {
+				return nil, fail("usage: design NAME")
+			}
+			top = New(f[1])
+			cur = top
+		case "clock":
+			if cur == nil {
+				return nil, fail("clock before design")
+			}
+			if cur != top {
+				return nil, fail("clock inside module")
+			}
+			sig, err := parseClock(f)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			top.AddClock(sig)
+		case "input", "output":
+			if cur == nil {
+				return nil, fail("port before design")
+			}
+			dir := Input
+			if f[0] == "output" {
+				dir = Output
+			}
+			if err := parsePorts(cur, dir, f[1:], cur != top); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "module":
+			if cur == nil {
+				return nil, fail("module before design")
+			}
+			if cur != top {
+				return nil, fail("nested module")
+			}
+			if len(f) != 2 {
+				return nil, fail("usage: module NAME")
+			}
+			if _, dup := top.Modules[f[1]]; dup {
+				return nil, fail("duplicate module %q", f[1])
+			}
+			cur = New(f[1])
+		case "endmodule":
+			if cur == top || cur == nil {
+				return nil, fail("endmodule outside module")
+			}
+			top.AddModule(cur)
+			cur = top
+		case "inst":
+			if cur == nil {
+				return nil, fail("inst before design")
+			}
+			if len(f) < 3 {
+				return nil, fail("usage: inst NAME REF PIN=NET ...")
+			}
+			conns := make(map[string]string, len(f)-3)
+			for _, kv := range f[3:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq <= 0 || eq == len(kv)-1 {
+					return nil, fail("bad connection %q (want PIN=NET)", kv)
+				}
+				pin, net := kv[:eq], kv[eq+1:]
+				if _, dup := conns[pin]; dup {
+					return nil, fail("pin %q connected twice", pin)
+				}
+				conns[pin] = net
+			}
+			cur.AddInstance(Instance{Name: f[1], Ref: f[2], Conns: conns})
+		case "end":
+			if cur == nil {
+				return nil, fail("end before design")
+			}
+			if cur != top {
+				return nil, fail("end inside module (missing endmodule)")
+			}
+			ended = true
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if top == nil {
+		return nil, fmt.Errorf("netlist: no design found")
+	}
+	if !ended {
+		return nil, fmt.Errorf("netlist: missing 'end'")
+	}
+	return top, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Design, error) { return Parse(strings.NewReader(s)) }
+
+func parseClock(f []string) (clock.Signal, error) {
+	// clock NAME period TIME rise TIME fall TIME
+	var sig clock.Signal
+	if len(f) != 8 || f[2] != "period" || f[4] != "rise" || f[6] != "fall" {
+		return sig, fmt.Errorf("usage: clock NAME period TIME rise TIME fall TIME")
+	}
+	sig.Name = f[1]
+	var err error
+	if sig.Period, err = ParseTime(f[3]); err != nil {
+		return sig, err
+	}
+	if sig.RiseAt, err = ParseTime(f[5]); err != nil {
+		return sig, err
+	}
+	if sig.FallAt, err = ParseTime(f[7]); err != nil {
+		return sig, err
+	}
+	return sig, sig.Validate()
+}
+
+// parsePorts handles both the bare multi-name form used inside modules
+// ("input A B C") and the timed top-level form
+// ("input NAME clock CLK edge rise|fall offset TIME").
+func parsePorts(d *Design, dir PortDir, f []string, inModule bool) error {
+	if len(f) == 0 {
+		return fmt.Errorf("port line without names")
+	}
+	if len(f) >= 2 && f[1] == "clock" {
+		if inModule {
+			return fmt.Errorf("module port %q may not carry a timing reference", f[0])
+		}
+		p := Port{Name: f[0], Dir: dir}
+		rest := f[1:]
+		for len(rest) > 0 {
+			switch rest[0] {
+			case "clock":
+				if len(rest) < 2 {
+					return fmt.Errorf("port %s: clock needs a name", p.Name)
+				}
+				p.RefClock = rest[1]
+				rest = rest[2:]
+			case "edge":
+				if len(rest) < 2 {
+					return fmt.Errorf("port %s: edge needs rise|fall", p.Name)
+				}
+				switch rest[1] {
+				case "rise":
+					p.RefEdge = clock.Rise
+				case "fall":
+					p.RefEdge = clock.Fall
+				default:
+					return fmt.Errorf("port %s: bad edge %q", p.Name, rest[1])
+				}
+				rest = rest[2:]
+			case "offset":
+				if len(rest) < 2 {
+					return fmt.Errorf("port %s: offset needs a time", p.Name)
+				}
+				t, err := ParseTime(rest[1])
+				if err != nil {
+					return err
+				}
+				p.Offset = t
+				rest = rest[2:]
+			default:
+				return fmt.Errorf("port %s: unknown attribute %q", p.Name, rest[0])
+			}
+		}
+		d.AddPort(p)
+		return nil
+	}
+	for _, name := range f {
+		d.AddPort(Port{Name: name, Dir: dir})
+	}
+	return nil
+}
+
+// Write renders the design in the textual netlist format; Parse(Write(d))
+// round-trips.
+func Write(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "design %s\n", d.Name)
+	for _, c := range d.Clocks {
+		fmt.Fprintf(bw, "clock %s period %s rise %s fall %s\n",
+			c.Name, FormatTime(c.Period), FormatTime(c.RiseAt), FormatTime(c.FallAt))
+	}
+	for _, p := range d.Ports {
+		if p.RefClock == "" {
+			fmt.Fprintf(bw, "%s %s\n", p.Dir, p.Name)
+			continue
+		}
+		fmt.Fprintf(bw, "%s %s clock %s edge %s offset %s\n",
+			p.Dir, p.Name, p.RefClock, p.RefEdge, FormatTime(p.Offset))
+	}
+	moduleNames := make([]string, 0, len(d.Modules))
+	for n := range d.Modules {
+		moduleNames = append(moduleNames, n)
+	}
+	for i := 1; i < len(moduleNames); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && moduleNames[j-1] > moduleNames[j]; j-- {
+			moduleNames[j-1], moduleNames[j] = moduleNames[j], moduleNames[j-1]
+		}
+	}
+	for _, name := range moduleNames {
+		m := d.Modules[name]
+		fmt.Fprintf(bw, "module %s\n", m.Name)
+		writePortGroups(bw, m)
+		for _, inst := range m.Instances {
+			writeInst(bw, inst, "  ")
+		}
+		fmt.Fprintf(bw, "endmodule\n")
+	}
+	for _, inst := range d.Instances {
+		writeInst(bw, inst, "")
+	}
+	fmt.Fprintf(bw, "end\n")
+	return bw.Flush()
+}
+
+func writePortGroups(w io.Writer, m *Design) {
+	var ins, outs []string
+	for _, p := range m.Ports {
+		if p.Dir == Input {
+			ins = append(ins, p.Name)
+		} else {
+			outs = append(outs, p.Name)
+		}
+	}
+	if len(ins) > 0 {
+		fmt.Fprintf(w, "  input %s\n", strings.Join(ins, " "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(w, "  output %s\n", strings.Join(outs, " "))
+	}
+}
+
+func writeInst(w io.Writer, inst Instance, indent string) {
+	pins := make([]string, 0, len(inst.Conns))
+	for pin := range inst.Conns {
+		pins = append(pins, pin)
+	}
+	for i := 1; i < len(pins); i++ {
+		for j := i; j > 0 && pins[j-1] > pins[j]; j-- {
+			pins[j-1], pins[j] = pins[j], pins[j-1]
+		}
+	}
+	var sb strings.Builder
+	for _, pin := range pins {
+		sb.WriteByte(' ')
+		sb.WriteString(pin)
+		sb.WriteByte('=')
+		sb.WriteString(inst.Conns[pin])
+	}
+	fmt.Fprintf(w, "%sinst %s %s%s\n", indent, inst.Name, inst.Ref, sb.String())
+}

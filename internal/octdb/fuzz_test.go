@@ -1,0 +1,35 @@
+package octdb
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/netlist"
+)
+
+// FuzzLoad checks the property-file loader never panics and that anything
+// it accepts saves and reloads identically.
+func FuzzLoad(f *testing.F) {
+	f.Add(`prop net "n1" "hb.slackPs" int -5`)
+	f.Add(`prop design "" "hb.verdict" str "ok"`)
+	f.Add(`prop inst "g \"x\"" "note" str "a b c"`)
+	f.Add("# comment\n\nprop port \"P\" \"k\" int 7")
+	f.Add(`prop net "unterminated`)
+	f.Fuzz(func(t *testing.T, text string) {
+		db := New(netlist.New("d"))
+		if err := db.Load(strings.NewReader(text)); err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := db.Save(&sb); err != nil {
+			t.Fatal(err)
+		}
+		db2 := New(netlist.New("d"))
+		if err := db2.Load(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("round trip changed property count: %d vs %d", db2.Len(), db.Len())
+		}
+	})
+}

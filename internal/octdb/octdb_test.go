@@ -1,0 +1,180 @@
+package octdb
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	db := New(netlist.New("d"))
+	if _, ok := db.Get(NetObj, "n1", "x"); ok {
+		t.Fatal("phantom property")
+	}
+	db.Set(NetObj, "n1", "x", IntValue(5))
+	v, ok := db.Get(NetObj, "n1", "x")
+	if !ok || !v.IsInt || v.Int != 5 {
+		t.Fatalf("get = %+v %v", v, ok)
+	}
+	// Same name on a different kind is a different property.
+	if _, ok := db.Get(InstObj, "n1", "x"); ok {
+		t.Fatal("kind collision")
+	}
+	db.Set(NetObj, "n1", "x", StringValue("hi"))
+	v, _ = db.Get(NetObj, "n1", "x")
+	if v.IsInt || v.Str != "hi" {
+		t.Fatal("overwrite failed")
+	}
+	db.Delete(NetObj, "n1", "x")
+	if _, ok := db.Get(NetObj, "n1", "x"); ok {
+		t.Fatal("delete failed")
+	}
+	db.Delete(NetObj, "n1", "x") // no-op
+	if db.Len() != 0 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestObjectsWithAndClearPrefix(t *testing.T) {
+	db := New(netlist.New("d"))
+	db.Set(NetObj, "b", "hb.slowPath", IntValue(1))
+	db.Set(NetObj, "a", "hb.slowPath", IntValue(1))
+	db.Set(InstObj, "g", "hb.slowPath", IntValue(1))
+	db.Set(NetObj, "c", "other", IntValue(1))
+	got := db.ObjectsWith(NetObj, "hb.slowPath")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("ObjectsWith = %v", got)
+	}
+	db.ClearPrefix("hb.")
+	if db.Len() != 1 {
+		t.Fatalf("ClearPrefix left %d", db.Len())
+	}
+	if _, ok := db.Get(NetObj, "c", "other"); !ok {
+		t.Fatal("unrelated property cleared")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New(netlist.New("d"))
+	db.Set(DesignObj, "", "hb.verdict", StringValue("slow"))
+	db.Set(NetObj, "weird net \"name\"", "hb.slackPs", IntValue(-123))
+	db.Set(InstObj, "g1", "note", StringValue("multi word value"))
+	db.Set(PortObj, "IN", "k", IntValue(7))
+	var sb strings.Builder
+	if err := db.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(netlist.New("d"))
+	if err := db2.Load(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("load: %v\n%s", err, sb.String())
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("len %d vs %d", db2.Len(), db.Len())
+	}
+	v, ok := db2.Get(NetObj, "weird net \"name\"", "hb.slackPs")
+	if !ok || v.Int != -123 {
+		t.Fatalf("quoted net lost: %+v %v", v, ok)
+	}
+	v, _ = db2.Get(InstObj, "g1", "note")
+	if v.Str != "multi word value" {
+		t.Fatalf("multi-word string lost: %q", v.Str)
+	}
+	// Save is deterministic.
+	var sb2 strings.Builder
+	if err := db.Save(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("nondeterministic save")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"prop bogus \"x\" \"y\" int 1",
+		"prop net \"x\" \"y\" float 1.5",
+		"prop net x \"y\" int 1",
+		"prop net \"x\" \"y\" int abc",
+		"junk line",
+		"prop net \"x\" \"y\" str noquotes",
+	}
+	for _, c := range cases {
+		db := New(netlist.New("d"))
+		if err := db.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Comments and blanks are fine.
+	db := New(netlist.New("d"))
+	if err := db.Load(strings.NewReader("# comment\n\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagSlowPaths(t *testing.T) {
+	lib := celllib.Default()
+	d, err := netlist.ParseString(`
+design slow
+clock phi period 1ns rise 0 fall 400ps
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 DFF_X1 D=IN CK=phi Q=q1
+inst g1 INV_X1 A=q1 Y=n1
+inst g2 INV_X1 A=n1 Y=n2
+inst g3 INV_X1 A=n2 Y=n3
+inst g4 INV_X1 A=n3 Y=n4
+inst f2 DFF_X1 D=n4 CK=phi Q=q2
+inst g5 BUF_X1 A=q2 Y=OUT
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("fixture should be slow at a 1ns period")
+	}
+	db := New(d)
+	db.Set(NetObj, "stale", "hb.slowPath", IntValue(1))
+	FlagSlowPaths(db, a, rep)
+	if _, ok := db.Get(NetObj, "stale", "hb.slowPath"); ok {
+		t.Fatal("stale annotation survived")
+	}
+	v, ok := db.Get(DesignObj, "", PropVerdict)
+	if !ok || v.Str != "slow" {
+		t.Fatalf("verdict = %+v %v", v, ok)
+	}
+	if nets := db.ObjectsWith(NetObj, PropSlowPath); len(nets) == 0 {
+		t.Fatal("no slow nets flagged")
+	}
+	if insts := db.ObjectsWith(InstObj, PropSlowPath); len(insts) == 0 {
+		t.Fatal("no slow instances flagged")
+	}
+	w, _ := db.Get(DesignObj, "", PropWorst)
+	if w.Int >= 0 {
+		t.Fatalf("worst slack %d not negative", w.Int)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DesignObj.String() != "design" || NetObj.String() != "net" ||
+		InstObj.String() != "inst" || PortObj.String() != "port" {
+		t.Fatal("ObjKind strings")
+	}
+	if !strings.Contains(ObjKind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+	if IntValue(-3).String() != "-3" || StringValue("x").String() != "x" {
+		t.Fatal("Value strings")
+	}
+}

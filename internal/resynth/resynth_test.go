@@ -1,0 +1,170 @@
+package resynth
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+)
+
+var lib = celllib.Default()
+
+func TestUpsize(t *testing.T) {
+	if got := upsize(lib, "INV_X1"); got != "INV_X2" {
+		t.Fatalf("upsize INV_X1 = %q", got)
+	}
+	if got := upsize(lib, "INV_X2"); got != "INV_X4" {
+		t.Fatalf("upsize INV_X2 = %q", got)
+	}
+	if got := upsize(lib, "INV_X4"); got != "" {
+		t.Fatalf("upsize INV_X4 = %q", got)
+	}
+	if got := upsize(lib, "DLATCH_X1"); got != "DLATCH_X2" {
+		t.Fatalf("upsize DLATCH_X1 = %q", got)
+	}
+	if got := upsize(lib, "NOSUFFIX"); got != "" {
+		t.Fatalf("upsize NOSUFFIX = %q", got)
+	}
+}
+
+// slowChain builds an FF-to-FF design whose logic chain just misses the
+// clock period at drive X1 but fits once key gates are upsized: n heavily
+// loaded inverters between two flip-flops. The period is in picoseconds.
+func slowChain(t *testing.T, n, periodPs int) *netlist.Design {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+design chain
+clock phi period %dps rise 0 fall %dps
+input IN clock phi edge fall offset 0
+output OUT clock phi edge fall offset 0
+inst f1 DFF_X1 D=IN CK=phi Q=c0
+`, periodPs, periodPs*2/5)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "inst inv%d INV_X1 A=c%d Y=c%d\n", i, i, i+1)
+		// Fanout dummies load every stage.
+		for d := 0; d < 4; d++ {
+			fmt.Fprintf(&sb, "inst dum%d_%d INV_X1 A=c%d Y=dd%d_%d\n", i, d, i, i, d)
+		}
+	}
+	fmt.Fprintf(&sb, "inst f2 DFF_X1 D=c%d CK=phi Q=qo\n", n)
+	fmt.Fprintf(&sb, "inst go BUF_X1 A=qo Y=OUT\nend\n")
+	d, err := netlist.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAlgorithm3ReachesClosure(t *testing.T) {
+	// Find a period where the X1 design is slow (so the loop has work).
+	var design *netlist.Design
+	period := 0
+	for p := 4500; p >= 2000; p -= 250 {
+		d := slowChain(t, 8, p)
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.IdentifySlowPaths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK && rep.WorstSlack() > -3000 {
+			design, period = slowChain(t, 8, p), p
+			break
+		}
+	}
+	if design == nil {
+		t.Fatal("could not construct a marginally slow chain")
+	}
+	res, err := Run(lib, design, core.DefaultOptions(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("no closure at period %dps: worst %v after %d iterations (%d changes)",
+			period, res.WorstSlack, res.Iterations, len(res.Changes))
+	}
+	if len(res.Changes) == 0 {
+		t.Fatal("closure without any redesign?")
+	}
+	if res.AreaAfter <= res.AreaBefore {
+		t.Fatalf("speed-up was free: area %d -> %d", res.AreaBefore, res.AreaAfter)
+	}
+	// Verify the mutated design independently.
+	a, err := core.Load(lib, design, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatal("final design fails independent re-analysis")
+	}
+	// All changes target real instances and increase drive.
+	for _, ch := range res.Changes {
+		if ch.Gain <= 0 {
+			t.Fatalf("non-positive gain change: %+v", ch)
+		}
+		if upsize(lib, ch.FromCell) != ch.ToCell {
+			t.Fatalf("change is not a single-step upsize: %+v", ch)
+		}
+	}
+}
+
+func TestAlgorithm3AlreadyFast(t *testing.T) {
+	d := slowChain(t, 2, 50000)
+	res, err := Run(lib, d, core.DefaultOptions(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Iterations != 1 || len(res.Changes) != 0 {
+		t.Fatalf("fast design mishandled: %+v", res)
+	}
+	if res.AreaAfter != res.AreaBefore {
+		t.Fatal("area changed without changes")
+	}
+}
+
+func TestAlgorithm3GivesUpHonestly(t *testing.T) {
+	// A 1ns period is unreachable no matter the sizing.
+	d := slowChain(t, 8, 1000)
+	res, err := Run(lib, d, core.DefaultOptions(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("impossible target reported closed")
+	}
+	if res.WorstSlack >= 0 {
+		t.Fatalf("worst slack %v on failed closure", res.WorstSlack)
+	}
+}
+
+func TestDesignAreaAccounting(t *testing.T) {
+	d := slowChain(t, 2, 50000)
+	a0 := designArea(lib, d)
+	if a0 <= 0 {
+		t.Fatal("zero area")
+	}
+	// Upsizing one instance increases total area by the cell delta.
+	for i := range d.Instances {
+		if d.Instances[i].Name == "inv0" {
+			d.Instances[i].Ref = "INV_X4"
+		}
+	}
+	a1 := designArea(lib, d)
+	want := lib.Cell("INV_X4").Area - lib.Cell("INV_X1").Area
+	if a1-a0 != want {
+		t.Fatalf("area delta = %d, want %d", a1-a0, want)
+	}
+}

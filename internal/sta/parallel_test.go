@@ -1,0 +1,76 @@
+package sta
+
+import (
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/cluster"
+	"hummingbird/internal/delaycalc"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/workload"
+)
+
+func buildWorkload(t *testing.T, d *netlist.Design) *cluster.Network {
+	t.Helper()
+	lib := celllib.Default()
+	if err := d.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.ClockSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc, err := delaycalc.New(lib, d, delaycalc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := cluster.Build(lib, d, cs, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestAnalyzeParallelEquivalence: the parallel analysis must agree with the
+// sequential one bit for bit, including the pass-detail ordering.
+func TestAnalyzeParallelEquivalence(t *testing.T) {
+	nw := buildWorkload(t, workload.ALU())
+	seq := Analyze(nw)
+	for _, workers := range []int{1, 2, 4, 8} {
+		par := AnalyzeParallel(nw, workers)
+		for i := range seq.InSlack {
+			if par.InSlack[i] != seq.InSlack[i] || par.OutSlack[i] != seq.OutSlack[i] {
+				t.Fatalf("workers=%d: element %d slacks differ", workers, i)
+			}
+		}
+		for n := range seq.NetSlack {
+			if par.NetSlack[n] != seq.NetSlack[n] {
+				t.Fatalf("workers=%d: net %d slack differs", workers, n)
+			}
+		}
+		if len(par.Passes) != len(seq.Passes) {
+			t.Fatalf("workers=%d: pass count %d vs %d", workers, len(par.Passes), len(seq.Passes))
+		}
+		for p := range seq.Passes {
+			a, b := &seq.Passes[p], &par.Passes[p]
+			if a.Cluster != b.Cluster || a.Pass != b.Pass || a.Beta != b.Beta {
+				t.Fatalf("workers=%d: pass %d identity differs", workers, p)
+			}
+			for i := range a.ReadyR {
+				if a.ReadyR[i] != b.ReadyR[i] || a.ReqF[i] != b.ReqF[i] {
+					t.Fatalf("workers=%d: pass %d detail differs", workers, p)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeParallelSingleClusterFallback(t *testing.T) {
+	nw := buildWorkload(t, workload.SM1F())
+	// SM1F is a single cluster: the parallel path falls back to Analyze.
+	seq := Analyze(nw)
+	par := AnalyzeParallel(nw, 8)
+	if seq.WorstSlack() != par.WorstSlack() {
+		t.Fatal("fallback differs")
+	}
+}

@@ -1,0 +1,472 @@
+// Package sta performs the block slack computation of §7 (Hitchcock's block
+// method [6], with the separate rise/fall settling times of Bening et al.
+// [7]): for every cluster and every break-open analysis pass it traces
+// signal ready times forward (equation 1), required times backward and node
+// slacks (equation 2), at the cluster's current synchronising-element
+// offsets.
+//
+// All times inside one pass are *window coordinates*: picoseconds since the
+// pass's break point β. Cluster input assertion times and output closure
+// times land in the window via the breakopen position conventions, then the
+// element offsets are added. Outputs the pass is not assigned to receive an
+// infinite closure time ("we set the node slack to a large number", §7);
+// the final slack of a node is the minimum over all passes.
+package sta
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hummingbird/internal/breakopen"
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
+)
+
+const (
+	posInf = clock.Inf
+	negInf = -clock.Inf
+)
+
+// PassDetail is the full per-net timing of one analysis pass of one
+// cluster, in window coordinates.
+type PassDetail struct {
+	Cluster int
+	Pass    int
+	Beta    clock.Time
+	// Nets lists the cluster's member nets (global ids); the parallel
+	// slices below are indexed identically.
+	Nets   []int
+	ReadyR []clock.Time
+	ReadyF []clock.Time
+	ReqR   []clock.Time
+	ReqF   []clock.Time
+}
+
+// Result is one full analysis of a network at its current offsets.
+type Result struct {
+	// InSlack[e] is the node slack at element e's data input terminal
+	// (the cluster-output constraint), +Inf if e has no analyzed input.
+	InSlack []clock.Time
+	// OutSlack[e] is the node slack at element e's output terminal: the
+	// tightest constraint over all paths leaving it, +Inf if none.
+	OutSlack []clock.Time
+	// NetSlack[n] is the minimum node slack of net n over all passes and
+	// transitions, +Inf for nets outside any analyzed cluster.
+	NetSlack []clock.Time
+	// Passes carries the per-pass detail used for reporting and for
+	// Algorithm 2's recorded ready/required times.
+	Passes []PassDetail
+}
+
+// MinElemSlack returns the smaller of the element's terminal slacks.
+func (r *Result) MinElemSlack(e int) clock.Time {
+	s := r.InSlack[e]
+	if r.OutSlack[e] < s {
+		s = r.OutSlack[e]
+	}
+	return s
+}
+
+// WorstSlack returns the minimum slack over every element terminal.
+func (r *Result) WorstSlack() clock.Time {
+	w := posInf
+	for i := range r.InSlack {
+		if r.InSlack[i] < w {
+			w = r.InSlack[i]
+		}
+		if r.OutSlack[i] < w {
+			w = r.OutSlack[i]
+		}
+	}
+	return w
+}
+
+// Analyze runs every pass of every cluster against the network's current
+// element offsets.
+func Analyze(nw *cluster.Network) *Result {
+	res := newResult(nw)
+	for _, cl := range nw.Clusters {
+		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
+	}
+	return res
+}
+
+// AnalyzeParallel is Analyze with the per-cluster work spread across the
+// given number of goroutines. Clusters touch disjoint slices of the result
+// (every net, and every element terminal, belongs to exactly one cluster),
+// so no locking is needed beyond the final deterministic merge of the pass
+// details. Results are identical to Analyze.
+func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
+	if workers <= 1 || len(nw.Clusters) <= 1 {
+		return Analyze(nw)
+	}
+	res := newResult(nw)
+	details := make([][]PassDetail, len(nw.Clusters))
+	var wg sync.WaitGroup
+	next := int32(0)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= len(nw.Clusters) {
+					return
+				}
+				details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, d := range details {
+		res.Passes = append(res.Passes, d...)
+	}
+	return res
+}
+
+// Recompute re-runs the block analysis for just the named clusters,
+// updating res in place. Because every net, and every element terminal,
+// belongs to exactly one cluster, a cluster's contributions to the result
+// can be reset and rebuilt independently — the basis of the incremental
+// mode of Algorithm 1's sweeps: after a slack transfer only the clusters
+// adjacent to the moved element change.
+func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
+	dirty := make(map[int]bool, len(clusterIDs))
+	for _, id := range clusterIDs {
+		dirty[id] = true
+		cl := nw.Clusters[id]
+		for _, in := range cl.Inputs {
+			res.OutSlack[in.Elem] = posInf
+		}
+		for _, out := range cl.Outputs {
+			res.InSlack[out.Elem] = posInf
+		}
+		for _, n := range cl.Nets {
+			res.NetSlack[n] = posInf
+		}
+	}
+	// Drop every dirty cluster's old pass details in one filter pass.
+	kept := res.Passes[:0]
+	for _, p := range res.Passes {
+		if !dirty[p.Cluster] {
+			kept = append(kept, p)
+		}
+	}
+	res.Passes = kept
+	for _, id := range clusterIDs {
+		res.Passes = append(res.Passes, analyzeCluster(nw, nw.Clusters[id], res)...)
+	}
+}
+
+func newResult(nw *cluster.Network) *Result {
+	res := &Result{
+		InSlack:  make([]clock.Time, len(nw.Elems)),
+		OutSlack: make([]clock.Time, len(nw.Elems)),
+		NetSlack: make([]clock.Time, len(nw.Nets)),
+	}
+	for i := range res.InSlack {
+		res.InSlack[i], res.OutSlack[i] = posInf, posInf
+	}
+	for i := range res.NetSlack {
+		res.NetSlack[i] = posInf
+	}
+	return res
+}
+
+func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []PassDetail {
+	var details []PassDetail
+	T := nw.Clocks.Overall()
+	n := len(cl.Nets)
+	readyR := make([]clock.Time, n)
+	readyF := make([]clock.Time, n)
+	reqR := make([]clock.Time, n)
+	reqF := make([]clock.Time, n)
+
+	for pi, beta := range cl.Plan.Breaks {
+		for i := 0; i < n; i++ {
+			readyR[i], readyF[i] = negInf, negInf
+			reqR[i], reqF[i] = posInf, posInf
+		}
+		// Cluster input assertions (both transitions assert together).
+		for _, in := range cl.Inputs {
+			e := nw.Elems[in.Elem]
+			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffset()
+			li := cl.LocalIndex(in.Net)
+			if a > readyR[li] {
+				readyR[li] = a
+			}
+			if a > readyF[li] {
+				readyF[li] = a
+			}
+		}
+		// Equation 1: forward ready times in topological order.
+		for _, netID := range cl.Order {
+			li := cl.LocalIndex(netID)
+			rr, rf := readyR[li], readyF[li]
+			if rr == negInf && rf == negInf {
+				continue
+			}
+			for _, ai := range cl.ArcsFrom(netID) {
+				a := &cl.Arcs[ai]
+				lo := cl.LocalIndex(a.To)
+				or, of := arcForward(a, rr, rf)
+				if or > readyR[lo] {
+					readyR[lo] = or
+				}
+				if of > readyF[lo] {
+					readyF[lo] = of
+				}
+			}
+		}
+		// Closure times at assigned outputs; input-terminal slacks.
+		for oi, out := range cl.Outputs {
+			assigned, ok := cl.Plan.Assign[oi]
+			if !ok || assigned != pi {
+				continue
+			}
+			e := nw.Elems[out.Elem]
+			c := breakopen.ClosePos(e.IdealClose, beta, T) + e.InputOffset()
+			li := cl.LocalIndex(out.Net)
+			if c < reqR[li] {
+				reqR[li] = c
+			}
+			if c < reqF[li] {
+				reqF[li] = c
+			}
+			ready := maxT(readyR[li], readyF[li])
+			if ready != negInf {
+				if s := c - ready; s < res.InSlack[out.Elem] {
+					res.InSlack[out.Elem] = s
+				}
+			}
+		}
+		// Equation 2: required times backward in reverse topological order.
+		for k := len(cl.Order) - 1; k >= 0; k-- {
+			netID := cl.Order[k]
+			li := cl.LocalIndex(netID)
+			for _, ai := range cl.ArcsFrom(netID) {
+				a := &cl.Arcs[ai]
+				lo := cl.LocalIndex(a.To)
+				qr, qf := arcBackward(a, reqR[lo], reqF[lo])
+				if qr < reqR[li] {
+					reqR[li] = qr
+				}
+				if qf < reqF[li] {
+					reqF[li] = qf
+				}
+			}
+		}
+		// Output-terminal slacks of the cluster inputs, and net slacks.
+		for _, in := range cl.Inputs {
+			e := nw.Elems[in.Elem]
+			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffset()
+			li := cl.LocalIndex(in.Net)
+			q := minT(reqR[li], reqF[li])
+			if q != posInf {
+				if s := q - a; s < res.OutSlack[in.Elem] {
+					res.OutSlack[in.Elem] = s
+				}
+			}
+		}
+		for i, netID := range cl.Nets {
+			sr, sf := posInf, posInf
+			if readyR[i] != negInf && reqR[i] != posInf {
+				sr = reqR[i] - readyR[i]
+			}
+			if readyF[i] != negInf && reqF[i] != posInf {
+				sf = reqF[i] - readyF[i]
+			}
+			if s := minT(sr, sf); s < res.NetSlack[netID] {
+				res.NetSlack[netID] = s
+			}
+		}
+		details = append(details, PassDetail{
+			Cluster: cl.ID, Pass: pi, Beta: beta,
+			Nets:   cl.Nets,
+			ReadyR: append([]clock.Time(nil), readyR...),
+			ReadyF: append([]clock.Time(nil), readyF...),
+			ReqR:   append([]clock.Time(nil), reqR...),
+			ReqF:   append([]clock.Time(nil), reqF...),
+		})
+	}
+	// Clusters may legitimately have zero passes (no outputs): element
+	// output terminals feeding them keep +Inf slack.
+	return details
+}
+
+// arcForward maps input ready times through an arc's unateness to the
+// output transitions it produces.
+func arcForward(a *cluster.Arc, rr, rf clock.Time) (or, of clock.Time) {
+	or, of = negInf, negInf
+	switch a.Sense {
+	case celllib.PositiveUnate:
+		if rr != negInf {
+			or = rr + a.D.MaxRise
+		}
+		if rf != negInf {
+			of = rf + a.D.MaxFall
+		}
+	case celllib.NegativeUnate:
+		if rf != negInf {
+			or = rf + a.D.MaxRise
+		}
+		if rr != negInf {
+			of = rr + a.D.MaxFall
+		}
+	default: // NonUnate
+		worst := maxT(rr, rf)
+		if worst != negInf {
+			or = worst + a.D.MaxRise
+			of = worst + a.D.MaxFall
+		}
+	}
+	return or, of
+}
+
+// arcBackward maps output required times back to the arc's input.
+func arcBackward(a *cluster.Arc, qr, qf clock.Time) (ir, ifl clock.Time) {
+	ir, ifl = posInf, posInf
+	switch a.Sense {
+	case celllib.PositiveUnate:
+		if qr != posInf {
+			ir = qr - a.D.MaxRise
+		}
+		if qf != posInf {
+			ifl = qf - a.D.MaxFall
+		}
+	case celllib.NegativeUnate:
+		if qr != posInf {
+			ifl = qr - a.D.MaxRise
+		}
+		if qf != posInf {
+			ir = qf - a.D.MaxFall
+		}
+	default: // NonUnate
+		var w clock.Time = posInf
+		if qr != posInf {
+			w = qr - a.D.MaxRise
+		}
+		if qf != posInf && qf-a.D.MaxFall < w {
+			w = qf - a.D.MaxFall
+		}
+		ir, ifl = w, w
+	}
+	return ir, ifl
+}
+
+func maxT(a, b clock.Time) clock.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b clock.Time) clock.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PathDelayMax returns the worst-case combinational delay from net `from`
+// to net `to` within the cluster (max over transitions), or −1 if no path
+// exists. Used by slow-path enumeration and the baselines.
+func PathDelayMax(cl *cluster.Cluster, from, to int) clock.Time {
+	n := len(cl.Nets)
+	dr := make([]clock.Time, n)
+	df := make([]clock.Time, n)
+	for i := range dr {
+		dr[i], df[i] = negInf, negInf
+	}
+	ls := cl.LocalIndex(from)
+	lt := cl.LocalIndex(to)
+	if ls < 0 || lt < 0 {
+		return -1
+	}
+	dr[ls], df[ls] = 0, 0
+	for _, netID := range cl.Order {
+		li := cl.LocalIndex(netID)
+		if dr[li] == negInf && df[li] == negInf {
+			continue
+		}
+		for _, ai := range cl.ArcsFrom(netID) {
+			a := &cl.Arcs[ai]
+			lo := cl.LocalIndex(a.To)
+			or, of := arcForward(a, dr[li], df[li])
+			if or > dr[lo] {
+				dr[lo] = or
+			}
+			if of > df[lo] {
+				df[lo] = of
+			}
+		}
+	}
+	d := maxT(dr[lt], df[lt])
+	if d == negInf {
+		return -1
+	}
+	return d
+}
+
+// PathDelayMin returns the best-case combinational delay from net `from` to
+// net `to` (min over transitions and paths), or −1 if no path exists. Used
+// by the supplementary (double-clocking) path checks of §4.
+func PathDelayMin(cl *cluster.Cluster, from, to int) clock.Time {
+	n := len(cl.Nets)
+	dr := make([]clock.Time, n)
+	df := make([]clock.Time, n)
+	for i := range dr {
+		dr[i], df[i] = posInf, posInf
+	}
+	ls := cl.LocalIndex(from)
+	lt := cl.LocalIndex(to)
+	if ls < 0 || lt < 0 {
+		return -1
+	}
+	dr[ls], df[ls] = 0, 0
+	for _, netID := range cl.Order {
+		li := cl.LocalIndex(netID)
+		if dr[li] == posInf && df[li] == posInf {
+			continue
+		}
+		for _, ai := range cl.ArcsFrom(netID) {
+			a := &cl.Arcs[ai]
+			lo := cl.LocalIndex(a.To)
+			var or, of clock.Time = posInf, posInf
+			switch a.Sense {
+			case celllib.PositiveUnate:
+				if dr[li] != posInf {
+					or = dr[li] + a.D.MinRise
+				}
+				if df[li] != posInf {
+					of = df[li] + a.D.MinFall
+				}
+			case celllib.NegativeUnate:
+				if df[li] != posInf {
+					or = df[li] + a.D.MinRise
+				}
+				if dr[li] != posInf {
+					of = dr[li] + a.D.MinFall
+				}
+			default:
+				best := minT(dr[li], df[li])
+				if best != posInf {
+					or = best + a.D.MinRise
+					of = best + a.D.MinFall
+				}
+			}
+			if or < dr[lo] {
+				dr[lo] = or
+			}
+			if of < df[lo] {
+				df[lo] = of
+			}
+		}
+	}
+	d := minT(dr[lt], df[lt])
+	if d == posInf {
+		return -1
+	}
+	return d
+}

@@ -1,0 +1,132 @@
+// Package testlib provides the deterministic fixture library shared by the
+// test suites of the analysis packages: constant (zero-slope) delay cells
+// and zero-parameter synchronising elements, so expected slacks can be
+// computed by hand, plus fixed-delay cells (D1..D60NS) for building paths
+// of exact lengths.
+package testlib
+
+import (
+	"fmt"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
+	"hummingbird/internal/delaycalc"
+	"hummingbird/internal/netlist"
+)
+
+// Lib builds the fixture library. Cells:
+//
+//	BUFD  — positive-unate buffer, 100ps rise/fall (min 50)
+//	INVD  — negative-unate inverter, 100ps rise / 60ps fall (min 50/30)
+//	XORD  — non-unate two-input gate, 100ps (min 50)
+//	DxNS  — positive-unate buffers with exactly x ns of delay (min x/2),
+//	        for x in {1,5,10,20,30,40,55,60}
+//	LAT   — transparent latch, Dsetup=Ddz=Dcz=0
+//	LATN  — active-low transparent latch
+//	FFD   — trailing-edge flip-flop, Dsetup=Ddz=Dcz=0
+//	FFS   — flip-flop with Dsetup=2ns, Dcz=1ns
+func Lib() *celllib.Library {
+	l := celllib.NewLibrary("fixture")
+	fixed := func(rise, fall clock.Time) celllib.ArcDelay {
+		return celllib.ArcDelay{
+			MaxRise: celllib.Linear{Intrinsic: rise},
+			MaxFall: celllib.Linear{Intrinsic: fall},
+			MinRise: celllib.Linear{Intrinsic: rise / 2},
+			MinFall: celllib.Linear{Intrinsic: fall / 2},
+		}
+	}
+	buf := func(name string, d clock.Time) *celllib.Cell {
+		return &celllib.Cell{
+			Name: name, Kind: celllib.Comb, Function: "Y=A", Area: 1, Drive: 1,
+			Pins: []celllib.Pin{{Name: "A", Dir: celllib.In}, {Name: "Y", Dir: celllib.Out}},
+			Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.PositiveUnate, Delay: fixed(d, d)}},
+		}
+	}
+	l.MustAdd(buf("BUFD", 100))
+	for _, ns := range []clock.Time{1, 5, 10, 20, 30, 40, 55, 60} {
+		l.MustAdd(buf(fmt.Sprintf("D%dNS", ns), ns*clock.Ns))
+	}
+	l.MustAdd(&celllib.Cell{
+		Name: "INVD", Kind: celllib.Comb, Function: "Y=!A", Area: 1, Drive: 1,
+		Pins: []celllib.Pin{{Name: "A", Dir: celllib.In}, {Name: "Y", Dir: celllib.Out}},
+		Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.NegativeUnate, Delay: fixed(100, 60)}},
+	})
+	l.MustAdd(&celllib.Cell{
+		Name: "XORD", Kind: celllib.Comb, Function: "Y=A^B", Area: 1, Drive: 1,
+		Pins: []celllib.Pin{
+			{Name: "A", Dir: celllib.In}, {Name: "B", Dir: celllib.In},
+			{Name: "Y", Dir: celllib.Out},
+		},
+		Arcs: []celllib.Arc{
+			{From: "A", To: "Y", Sense: celllib.NonUnate, Delay: fixed(100, 100)},
+			{From: "B", To: "Y", Sense: celllib.NonUnate, Delay: fixed(100, 100)},
+		},
+	})
+	latch := func(name string, kind celllib.Kind, st celllib.SyncTiming) *celllib.Cell {
+		ctrl := "G"
+		if kind == celllib.EdgeTriggered {
+			ctrl = "CK"
+		}
+		sense := celllib.PositiveUnate
+		if st.ActiveLow {
+			sense = celllib.NegativeUnate
+		}
+		return &celllib.Cell{
+			Name: name, Kind: kind, Function: "latch", Area: 2, Drive: 1,
+			Pins: []celllib.Pin{
+				{Name: "D", Dir: celllib.In},
+				{Name: ctrl, Dir: celllib.In, Role: celllib.Control},
+				{Name: "Q", Dir: celllib.Out},
+			},
+			Arcs: []celllib.Arc{
+				{From: "D", To: "Q", Sense: celllib.PositiveUnate, Delay: fixed(st.Ddz, st.Ddz)},
+				{From: ctrl, To: "Q", Sense: sense, Delay: fixed(st.Dcz, st.Dcz)},
+			},
+			Sync: &st,
+		}
+	}
+	l.MustAdd(latch("LAT", celllib.Transparent, celllib.SyncTiming{}))
+	l.MustAdd(latch("LATN", celllib.Transparent, celllib.SyncTiming{ActiveLow: true}))
+	l.MustAdd(latch("FFD", celllib.EdgeTriggered, celllib.SyncTiming{}))
+	l.MustAdd(latch("FFS", celllib.EdgeTriggered, celllib.SyncTiming{Dsetup: 2 * clock.Ns, Dcz: 1 * clock.Ns}))
+	return l
+}
+
+// Network parses, validates and elaborates a design text against Lib(),
+// with a zero wire-load model (delays are exactly the cell intrinsics).
+func Network(t *testing.T, text string) *cluster.Network {
+	t.Helper()
+	lib := Lib()
+	d, err := netlist.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := d.ClockSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc, err := delaycalc.New(lib, d, delaycalc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := cluster.Build(lib, d, cs, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// Elem returns the first generic element of the named site.
+func Elem(t *testing.T, nw *cluster.Network, name string) int {
+	t.Helper()
+	ids := nw.ElemsOf(name)
+	if len(ids) == 0 {
+		t.Fatalf("no elements for %s", name)
+	}
+	return ids[0]
+}

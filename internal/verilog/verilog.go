@@ -1,0 +1,423 @@
+// Package verilog imports a structural Verilog-1995 subset into the
+// netlist model, so gate-level output from ordinary synthesis flows can be
+// analysed directly. Supported:
+//
+//   - module declarations with port lists, input/output/wire declarations
+//     (scalar nets only), and endmodule;
+//   - cell instantiations with named port connections:
+//     INV_X1 g1(.A(n1), .Y(n2));
+//   - instantiations of other modules in the same file (mapped to netlist
+//     submodules, which the analyzer rolls up — they must be combinational);
+//   - // line and /* block */ comments.
+//
+// Not supported (rejected with a clear error): vectors/buses, positional
+// connections, assign statements, behavioural constructs, parameters.
+//
+// Verilog carries no clock-waveform or port-timing information; the
+// importer returns a design without clocks or port timing references. The
+// caller supplies them afterwards — see Constrain and the CLI's
+// -verilog/-constraints flags.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"hummingbird/internal/netlist"
+)
+
+// Import parses the Verilog source and returns the design for the module
+// named top ("" selects the single module, or errors when several exist).
+// Every other module in the file becomes a submodule definition of the
+// result.
+func Import(r io.Reader, top string) (*netlist.Design, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := lex(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var mods []*module
+	for !p.eof() {
+		m, err := p.module()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("verilog: no modules found")
+	}
+	byName := map[string]*module{}
+	for _, m := range mods {
+		if _, dup := byName[m.name]; dup {
+			return nil, fmt.Errorf("verilog: duplicate module %q", m.name)
+		}
+		byName[m.name] = m
+	}
+	if top == "" {
+		if len(mods) == 1 {
+			top = mods[0].name
+		} else {
+			// The conventional choice: the module no other module
+			// instantiates.
+			instantiated := map[string]bool{}
+			for _, m := range mods {
+				for _, inst := range m.insts {
+					instantiated[inst.ref] = true
+				}
+			}
+			for _, m := range mods {
+				if !instantiated[m.name] {
+					if top != "" {
+						return nil, fmt.Errorf("verilog: multiple top candidates (%s, %s); pass an explicit top", top, m.name)
+					}
+					top = m.name
+				}
+			}
+			if top == "" {
+				return nil, fmt.Errorf("verilog: no top module (instantiation cycle?)")
+			}
+		}
+	}
+	tm, ok := byName[top]
+	if !ok {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+	d := tm.toDesign()
+	for _, m := range mods {
+		if m == tm {
+			continue
+		}
+		d.AddModule(m.toDesign())
+	}
+	return d, nil
+}
+
+// ImportString is Import over a string.
+func ImportString(src, top string) (*netlist.Design, error) {
+	return Import(strings.NewReader(src), top)
+}
+
+// Constrain merges clock declarations and port timing references from a
+// constraints design (typically parsed from the netlist format with only
+// clock/input/output lines) into an imported design: clocks are copied and
+// each port picks up the RefClock/RefEdge/Offset of its namesake. A clock
+// whose name matches one of the design's input ports *replaces* that port —
+// the Verilog clock input pin becomes the clock generator's output net, so
+// existing connections to it (latch control pins, clock buffers) resolve
+// unchanged. Constraint ports that do not exist in the target are errors,
+// as is a direction mismatch.
+func Constrain(d *netlist.Design, cons *netlist.Design) error {
+	d.Clocks = append(d.Clocks, cons.Clocks...)
+	for _, c := range cons.Clocks {
+		if p := d.Port(c.Name); p != nil {
+			if p.Dir != netlist.Input {
+				return fmt.Errorf("verilog: clock %q collides with a non-input port", c.Name)
+			}
+			kept := d.Ports[:0]
+			for _, dp := range d.Ports {
+				if dp.Name != c.Name {
+					kept = append(kept, dp)
+				}
+			}
+			d.Ports = kept
+		}
+	}
+	for _, cp := range cons.Ports {
+		p := d.Port(cp.Name)
+		if p == nil {
+			return fmt.Errorf("verilog: constraints name port %q, which the design lacks", cp.Name)
+		}
+		if p.Dir != cp.Dir {
+			return fmt.Errorf("verilog: port %q direction mismatch (%s vs %s)", cp.Name, p.Dir, cp.Dir)
+		}
+		p.RefClock, p.RefEdge, p.Offset = cp.RefClock, cp.RefEdge, cp.Offset
+	}
+	return nil
+}
+
+// --- module model ---
+
+type vinst struct {
+	name  string
+	ref   string
+	conns map[string]string
+}
+
+type module struct {
+	name    string
+	ports   []string
+	inputs  map[string]bool
+	outputs map[string]bool
+	insts   []vinst
+}
+
+func (m *module) toDesign() *netlist.Design {
+	d := netlist.New(m.name)
+	for _, p := range m.ports {
+		dir := netlist.Input
+		if m.outputs[p] {
+			dir = netlist.Output
+		}
+		d.AddPort(netlist.Port{Name: p, Dir: dir})
+	}
+	for _, in := range m.insts {
+		d.AddInstance(netlist.Instance{Name: in.name, Ref: in.ref, Conns: in.conns})
+	}
+	return d
+}
+
+// --- lexer ---
+
+type token struct {
+	kind byte // 'i' identifier, 'p' punctuation
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("verilog: line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{'i', src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9':
+			// Numeric literals (incl. sized forms like 4'b0101) only occur
+			// in unsupported constructs; lex them as 'n' tokens so the
+			// parser can report the construct instead of the character.
+			j := i
+			for j < len(src) && (isIdentPart(rune(src[j])) || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{'n', src[i:j], line})
+			i = j
+		case strings.IndexByte("();,.=#:", c) >= 0:
+			// '=', '#' and ':' only appear in unsupported constructs;
+			// lexing them lets the parser name the construct in its error.
+			toks = append(toks, token{'p', string(c), line})
+			i++
+		case c == '[':
+			return nil, fmt.Errorf("verilog: line %d: vectors/buses are not supported", line)
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '\\'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) fail(format string, args ...interface{}) error {
+	line := 0
+	if !p.eof() {
+		line = p.peek().line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("verilog: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != 'i' {
+		p.pos--
+		return "", p.fail("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != 'p' || t.text != s {
+		p.pos--
+		return p.fail("expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) module() (*module, error) {
+	kw, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if kw != "module" {
+		return nil, p.fail("expected 'module', got %q", kw)
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &module{name: name, inputs: map[string]bool{}, outputs: map[string]bool{}}
+	if p.peek().text == "(" {
+		p.next()
+		for p.peek().text != ")" {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.ports = append(m.ports, id)
+			if p.peek().text == "," {
+				p.next()
+			}
+		}
+		p.next() // ')'
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != 'i' {
+			return nil, p.fail("expected statement, got %q", t.text)
+		}
+		switch t.text {
+		case "endmodule":
+			p.next()
+			// Ports must be declared input or output.
+			for _, port := range m.ports {
+				if !m.inputs[port] && !m.outputs[port] {
+					return nil, fmt.Errorf("verilog: module %s: port %q has no direction declaration", m.name, port)
+				}
+			}
+			return m, nil
+		case "input", "output", "wire":
+			kind := p.next().text
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				switch kind {
+				case "input":
+					m.inputs[id] = true
+				case "output":
+					m.outputs[id] = true
+				}
+				if p.peek().text != "," {
+					break
+				}
+				p.next()
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		case "assign", "always", "initial", "reg", "parameter":
+			return nil, p.fail("behavioural construct %q is not supported (structural subset only)", t.text)
+		default:
+			inst, err := p.instance()
+			if err != nil {
+				return nil, err
+			}
+			m.insts = append(m.insts, inst)
+		}
+	}
+}
+
+func (p *parser) instance() (vinst, error) {
+	var in vinst
+	ref, err := p.expectIdent()
+	if err != nil {
+		return in, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return in, fmt.Errorf("%w (after cell %q; positional connections are not supported)", err, ref)
+	}
+	in.ref, in.name = ref, name
+	in.conns = map[string]string{}
+	if err := p.expectPunct("("); err != nil {
+		return in, err
+	}
+	for p.peek().text != ")" {
+		if err := p.expectPunct("."); err != nil {
+			return in, fmt.Errorf("%w (positional connections are not supported)", err)
+		}
+		pin, err := p.expectIdent()
+		if err != nil {
+			return in, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return in, err
+		}
+		// Empty connection .X() leaves the pin unconnected.
+		if p.peek().text != ")" {
+			net, err := p.expectIdent()
+			if err != nil {
+				return in, err
+			}
+			if _, dup := in.conns[pin]; dup {
+				return in, p.fail("pin %q connected twice on instance %s", pin, name)
+			}
+			in.conns[pin] = net
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return in, err
+		}
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	if err := p.expectPunct(";"); err != nil {
+		return in, err
+	}
+	return in, nil
+}

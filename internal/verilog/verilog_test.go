@@ -1,0 +1,228 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+)
+
+const simpleV = `
+// a small gate-level netlist
+module top(a, b, ck, y);
+  input a, b, ck;
+  output y;
+  wire n1, n2, q1;
+  /* round logic */
+  INV_X1 g1(.A(a), .Y(n1));
+  NAND2_X1 g2(.A(n1), .B(b), .Y(n2));
+  DLATCH_X1 l1(.D(n2), .G(ck), .Q(q1));
+  BUF_X1 g3(.A(q1), .Y(y));
+endmodule
+`
+
+func TestImportSimple(t *testing.T) {
+	d, err := ImportString(simpleV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" {
+		t.Fatalf("name %q", d.Name)
+	}
+	if len(d.Ports) != 4 || len(d.Instances) != 4 {
+		t.Fatalf("shape: %d ports %d instances", len(d.Ports), len(d.Instances))
+	}
+	if p := d.Port("y"); p == nil || p.Dir != netlist.Output {
+		t.Fatalf("port y: %+v", p)
+	}
+	if p := d.Port("a"); p == nil || p.Dir != netlist.Input {
+		t.Fatalf("port a: %+v", p)
+	}
+	var l1 *netlist.Instance
+	for i := range d.Instances {
+		if d.Instances[i].Name == "l1" {
+			l1 = &d.Instances[i]
+		}
+	}
+	if l1 == nil || l1.Ref != "DLATCH_X1" || l1.Conns["D"] != "n2" || l1.Conns["G"] != "ck" {
+		t.Fatalf("l1: %+v", l1)
+	}
+}
+
+func TestImportHierarchy(t *testing.T) {
+	src := `
+module pair(a, y);
+  input a; output y;
+  wire t;
+  INV_X1 i1(.A(a), .Y(t));
+  INV_X1 i2(.A(t), .Y(y));
+endmodule
+
+module top(x, z);
+  input x; output z;
+  wire m;
+  pair u1(.a(x), .y(m));
+  pair u2(.a(m), .y(z));
+endmodule
+`
+	d, err := ImportString(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" {
+		t.Fatalf("top detection failed: %q", d.Name)
+	}
+	if len(d.Modules) != 1 || d.Modules["pair"] == nil {
+		t.Fatalf("modules: %v", d.Modules)
+	}
+	if len(d.Instances) != 2 || d.Instances[0].Ref != "pair" {
+		t.Fatalf("instances: %+v", d.Instances)
+	}
+	// Explicit top selection works too.
+	d2, err := ImportString(src, "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != "pair" || len(d2.Instances) != 2 {
+		t.Fatalf("explicit top: %+v", d2)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"empty", "", "no modules"},
+		{"vector", "module m(a); input [3:0] a; endmodule", "vectors"},
+		{"assign", "module m(y); output y; assign y = 1; endmodule", "behavioural"},
+		{"positional", "module m(a,y); input a; output y; INV_X1 g(a, y); endmodule", "positional"},
+		{"undirected port", "module m(a); wire a; endmodule", "no direction"},
+		{"dup module", "module m(); endmodule\nmodule m(); endmodule", "duplicate module"},
+		{"missing top", "module m(); endmodule", ""},
+		{"bad top", "module m(); endmodule", "not found"},
+		{"unterminated comment", "module m(); /* oops", "unterminated"},
+		{"dup pin", "module m(a,y); input a; output y; INV_X1 g(.A(a), .A(a), .Y(y)); endmodule", "connected twice"},
+		{"stray char", "module m(); @ endmodule", "unexpected character"},
+		{"two tops", "module a(); endmodule\nmodule b(); endmodule", "multiple top"},
+	}
+	for _, c := range cases {
+		top := ""
+		if c.name == "bad top" {
+			top = "nope"
+		}
+		_, err := ImportString(c.src, top)
+		if c.name == "missing top" {
+			if err != nil {
+				t.Errorf("%s: single module should not need a top: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestEmptyConnectionAndEscapes(t *testing.T) {
+	src := `
+module top(a, y);
+  input a; output y;
+  wire nc;
+  NAND2_X1 g(.A(a), .B(a), .Y(y));
+  INV_X1 g2(.A(a), .Y());
+endmodule
+`
+	d, err := ImportString(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g2 *netlist.Instance
+	for i := range d.Instances {
+		if d.Instances[i].Name == "g2" {
+			g2 = &d.Instances[i]
+		}
+	}
+	if _, connected := g2.Conns["Y"]; connected {
+		t.Fatal("empty connection should leave pin unconnected")
+	}
+}
+
+// TestConstrainAndAnalyze: the full import flow — Verilog in, constraints
+// merged, analysed end to end.
+func TestConstrainAndAnalyze(t *testing.T) {
+	d, err := ImportString(simpleV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clock is named after the Verilog clock input port "ck", so
+	// Constrain replaces that port with the clock generator's net and all
+	// control-pin connections resolve unchanged.
+	cons, err := netlist.ParseString(`
+design constraints
+clock ck period 10ns rise 0 fall 4ns
+input a clock ck edge fall offset 0
+input b clock ck edge fall offset 0
+output y clock ck edge fall offset -0.5ns
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Constrain(d, cons); err != nil {
+		t.Fatal(err)
+	}
+	if d.Port("ck") != nil {
+		t.Fatal("clock input port not replaced")
+	}
+	a, err := core.Load(celllib.Default(), d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("imported design slow: %v", rep.WorstSlack())
+	}
+	if a.NW.Clocks.Overall() != 10*clock.Ns {
+		t.Fatalf("clock merge failed: %v", a.NW.Clocks.Overall())
+	}
+}
+
+func TestConstrainErrors(t *testing.T) {
+	d, _ := ImportString(simpleV, "")
+	cons := netlist.New("c")
+	cons.AddPort(netlist.Port{Name: "ghost", Dir: netlist.Input, RefClock: "phi"})
+	if err := Constrain(d, cons); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("missing port accepted: %v", err)
+	}
+	d2, _ := ImportString(simpleV, "")
+	cons2 := netlist.New("c")
+	cons2.AddPort(netlist.Port{Name: "y", Dir: netlist.Input})
+	if err := Constrain(d2, cons2); err == nil || !strings.Contains(err.Error(), "direction") {
+		t.Fatalf("direction mismatch accepted: %v", err)
+	}
+}
+
+// FuzzImport checks the Verilog front end never panics.
+func FuzzImport(f *testing.F) {
+	f.Add(simpleV)
+	f.Add("module m(); endmodule")
+	f.Add("module m(a); input a; INV_X1 g(.A(a), .Y()); endmodule")
+	f.Add("/* */ // \nmodule m(); endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ImportString(src, "")
+		if err != nil {
+			return
+		}
+		if d.Name == "" {
+			t.Fatal("accepted design with empty name")
+		}
+	})
+}

@@ -1,0 +1,451 @@
+// Package workload generates the benchmark designs of the paper's Table 1
+// and Figure 1 as deterministic synthetic equivalents (the original OCT
+// design files are not available — see DESIGN.md §2 for the substitution
+// argument):
+//
+//	DES  — "a complete data encryption chip, made up from 3681 standard
+//	       cells": a 16-round, 32-bit-wide two-phase latch pipeline with
+//	       XOR/NAND round logic, padded to exactly 3681 cells.
+//	ALU  — "a portion of a CPU chip made up from 899 standard cells":
+//	       a 16-bit, 4-stage pipeline, exactly 899 cells.
+//	SM1F — "a 12 bit finite state machine described as a 'flattened'
+//	       network of standard cells".
+//	SM1H — "a 'hierarchical' description of the same machine in which the
+//	       combinational logic is contained in a single module".
+//	Figure1 — latches controlled by four clock phases around one shared
+//	       gate (the time-multiplexed configuration of Figure 1).
+//
+// All generators are deterministic: the same call always yields the same
+// netlist.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/netlist"
+)
+
+// PipeConfig parameterises the synthetic pipeline generator.
+type PipeConfig struct {
+	Name string
+	// Stages is the number of latch banks; combinational logic sits
+	// between consecutive banks (and before the first / after the last).
+	Stages int
+	// Width is the number of bits per bank.
+	Width int
+	// Depth is the number of gate layers between banks.
+	Depth int
+	// Latch is the library cell used for the banks (e.g. "DLATCH_X1").
+	Latch string
+	// TwoPhase alternates banks between phi1 and phi2; otherwise all
+	// banks share phi1.
+	Latch2 string // optional alternate latch cell for even banks
+	// ClockBufs inserts a buffer chain between each clock generator and
+	// the latch control pins (a non-zero control path, §4's Oat).
+	ClockBufs int
+	// Seed drives gate and wiring choices.
+	Seed int64
+	// TargetCells, when non-zero, pads the design with buffer cells to
+	// exactly this leaf-cell count.
+	TargetCells int
+	// Period is the clock period (default 100ns).
+	Period clock.Time
+	// FastSecondClock halves phi2's period: every phi2-controlled element
+	// is replicated per pulse (§4) and the slow→fast crossings exercise
+	// the multi-frequency pass machinery.
+	FastSecondClock bool
+	// GatedBank gates the phi1 control of bank 2 with an enable latched on
+	// phi2 (an enable path, §4): the enable must settle before each gated
+	// pulse begins.
+	GatedBank bool
+}
+
+// gateChoice is one candidate gate shape for the random logic layers.
+type gateChoice struct {
+	cell string
+	nIn  int
+}
+
+var gatePool = []gateChoice{
+	{"NAND2_X1", 2}, {"NAND2_X2", 2}, {"NOR2_X1", 2}, {"XOR2_X1", 2},
+	{"NAND3_X1", 3}, {"AOI21_X1", 3}, {"OAI21_X1", 3}, {"XNOR2_X1", 2},
+	{"INV_X1", 1}, {"BUF_X1", 1}, {"AND2_X1", 2}, {"OR2_X1", 2},
+}
+
+// Pipeline builds a synthetic multi-stage latch pipeline.
+func Pipeline(cfg PipeConfig) *netlist.Design {
+	if cfg.Period == 0 {
+		cfg.Period = 100 * clock.Ns
+	}
+	if cfg.Latch == "" {
+		cfg.Latch = "DLATCH_X1"
+	}
+	if cfg.Latch2 == "" {
+		cfg.Latch2 = cfg.Latch
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	lib := celllib.Default()
+	d := netlist.New(cfg.Name)
+	p := cfg.Period
+	d.AddClock(clock.Signal{Name: "phi1", Period: p, RiseAt: 0, FallAt: p * 2 / 5})
+	if cfg.FastSecondClock {
+		d.AddClock(clock.Signal{Name: "phi2", Period: p / 2, RiseAt: p / 4, FallAt: p/4 + p/5})
+	} else {
+		d.AddClock(clock.Signal{Name: "phi2", Period: p, RiseAt: p / 2, FallAt: p/2 + p*2/5})
+	}
+
+	cells := 0
+	inst := func(name, ref string, conns map[string]string) {
+		d.AddInstance(netlist.Instance{Name: name, Ref: ref, Conns: conns})
+		cells++
+	}
+
+	// Clock buffer chains.
+	clockNet := map[int]string{0: "phi1", 1: "phi2"}
+	for ci := 0; ci < 2; ci++ {
+		src := clockNet[ci]
+		for b := 0; b < cfg.ClockBufs; b++ {
+			dst := fmt.Sprintf("ck%d_%d", ci+1, b)
+			inst(fmt.Sprintf("cb%d_%d", ci+1, b), "BUF_X4", map[string]string{"A": src, "Y": dst})
+			src = dst
+		}
+		clockNet[ci] = src
+	}
+
+	// Primary inputs, asserted on the opposite phase of the first bank.
+	cur := make([]string, cfg.Width)
+	for w := 0; w < cfg.Width; w++ {
+		name := fmt.Sprintf("IN%d", w)
+		d.AddPort(netlist.Port{Name: name, Dir: netlist.Input, RefClock: "phi2", RefEdge: clock.Fall})
+		cur[w] = name
+	}
+
+	layer := func(stage, l int, src []string) []string {
+		out := make([]string, cfg.Width)
+		for w := 0; w < cfg.Width; w++ {
+			g := gatePool[r.Intn(len(gatePool))]
+			conns := map[string]string{}
+			ins := []string{"A", "B", "C"}
+			// Bit-sliced structure: input A stays on the bit column so
+			// every upstream net is consumed (no dangling latch outputs);
+			// remaining inputs mix randomly across the word.
+			conns[ins[0]] = src[w%len(src)]
+			for i := 1; i < g.nIn; i++ {
+				conns[ins[i]] = src[r.Intn(len(src))]
+			}
+			net := fmt.Sprintf("s%dl%dw%d", stage, l, w)
+			conns["Y"] = net
+			inst(fmt.Sprintf("g_s%dl%dw%d", stage, l, w), g.cell, conns)
+			out[w] = net
+		}
+		return out
+	}
+
+	// Optional gated bank: an enable latched on phi2 gates bank 2's phi1.
+	gatedCk := ""
+	if cfg.GatedBank && cfg.Stages > 2 {
+		inst("gate_le", "DLATCH_X1", map[string]string{"D": cur[0], "G": clockNet[1], "Q": "gate_en"})
+		inst("gate_and", "AND2_X1", map[string]string{"A": clockNet[0], "B": "gate_en", "Y": "gate_ck"})
+		gatedCk = "gate_ck"
+	}
+
+	for s := 0; s < cfg.Stages; s++ {
+		for l := 0; l < cfg.Depth; l++ {
+			cur = layer(s, l, cur)
+		}
+		// Latch bank.
+		bank := make([]string, cfg.Width)
+		latch := cfg.Latch
+		ck := clockNet[0]
+		if s%2 == 1 {
+			latch = cfg.Latch2
+			ck = clockNet[1]
+		}
+		if s == 2 && gatedCk != "" {
+			ck = gatedCk
+		}
+		ctrlPin := "G"
+		if cell := lib.Cell(latch); cell != nil && cell.Kind == celllib.EdgeTriggered {
+			ctrlPin = "CK"
+		}
+		for w := 0; w < cfg.Width; w++ {
+			q := fmt.Sprintf("b%dw%d", s, w)
+			inst(fmt.Sprintf("lat_s%dw%d", s, w), latch,
+				map[string]string{"D": cur[w], ctrlPin: ck, "Q": q})
+			bank[w] = q
+		}
+		cur = bank
+	}
+	// Final logic layer and primary outputs.
+	cur = layer(cfg.Stages, 0, cur)
+	outPhase := "phi1"
+	if cfg.Stages%2 == 1 {
+		outPhase = "phi2"
+	}
+	for w := 0; w < cfg.Width; w++ {
+		name := fmt.Sprintf("OUT%d", w)
+		d.AddPort(netlist.Port{Name: name, Dir: netlist.Output, RefClock: outPhase, RefEdge: clock.Fall, Offset: -1 * clock.Ns})
+		inst(fmt.Sprintf("go_w%d", w), "BUF_X2", map[string]string{"A": cur[w], "Y": name})
+	}
+
+	// Pad to the exact target cell count with a buffer chain.
+	if cfg.TargetCells > 0 {
+		if cells > cfg.TargetCells {
+			panic(fmt.Sprintf("workload %s: %d cells exceeds target %d", cfg.Name, cells, cfg.TargetCells))
+		}
+		src := cur[0]
+		for i := 0; cells < cfg.TargetCells; i++ {
+			dst := fmt.Sprintf("pad%d", i)
+			inst(fmt.Sprintf("padb%d", i), "BUF_X1", map[string]string{"A": src, "Y": dst})
+			src = dst
+		}
+	}
+	return d
+}
+
+// DES builds the Table 1 DES-chip analogue: exactly 3681 standard cells in
+// a 16-round two-phase transparent-latch pipeline.
+func DES() *netlist.Design {
+	return Pipeline(PipeConfig{
+		Name: "des", Stages: 16, Width: 32, Depth: 5,
+		Latch: "DLATCH_X1", Latch2: "DLATCH_X1",
+		ClockBufs: 2, Seed: 0xDE5, TargetCells: 3681,
+	})
+}
+
+// ALU builds the Table 1 ALU analogue: exactly 899 cells, 16 bits wide,
+// mixing transparent latches and flip-flops.
+func ALU() *netlist.Design {
+	return Pipeline(PipeConfig{
+		Name: "alu", Stages: 4, Width: 16, Depth: 7,
+		Latch: "DLATCH_X1", Latch2: "DFF_X1",
+		ClockBufs: 1, Seed: 0xA1, TargetCells: 899,
+	})
+}
+
+// smCells builds the shared combinational core of the SM1 state machine:
+// 12 state bits plus 4 inputs feed layered next-state logic. It returns the
+// instance list and the names of the 12 next-state nets and 4 output nets,
+// using only module-legal (combinational) cells.
+func smCells(prefix string, stateNets, inNets []string, seed int64) (insts []netlist.Instance, next, outs []string) {
+	r := rand.New(rand.NewSource(seed))
+	src := append(append([]string(nil), stateNets...), inNets...)
+	cur := src
+	for l := 0; l < 4; l++ {
+		width := 20 - 2*l
+		var layer []string
+		for w := 0; w < width; w++ {
+			g := gatePool[r.Intn(len(gatePool))]
+			conns := map[string]string{}
+			ins := []string{"A", "B", "C"}
+			conns[ins[0]] = cur[w%len(cur)]
+			for i := 1; i < g.nIn; i++ {
+				conns[ins[i]] = cur[r.Intn(len(cur))]
+			}
+			net := fmt.Sprintf("%sn%dw%d", prefix, l, w)
+			conns["Y"] = net
+			insts = append(insts, netlist.Instance{
+				Name: fmt.Sprintf("%sg%dw%d", prefix, l, w), Ref: g.cell, Conns: conns,
+			})
+			layer = append(layer, net)
+		}
+		cur = append(layer, cur[:4]...)
+	}
+	for b := 0; b < 12; b++ {
+		net := fmt.Sprintf("%snext%d", prefix, b)
+		insts = append(insts, netlist.Instance{
+			Name: fmt.Sprintf("%sgn%d", prefix, b), Ref: "XOR2_X1",
+			Conns: map[string]string{"A": cur[b%len(cur)], "B": stateNets[b], "Y": net},
+		})
+		next = append(next, net)
+	}
+	for o := 0; o < 4; o++ {
+		net := fmt.Sprintf("%sout%d", prefix, o)
+		insts = append(insts, netlist.Instance{
+			Name: fmt.Sprintf("%sgo%d", prefix, o), Ref: "NAND2_X1",
+			Conns: map[string]string{"A": cur[o], "B": cur[o+4], "Y": net},
+		})
+		outs = append(outs, net)
+	}
+	return insts, next, outs
+}
+
+// smSkeleton adds the clock, ports and state register shared by SM1F/SM1H.
+func smSkeleton(name string) (*netlist.Design, []string, []string) {
+	d := netlist.New(name)
+	d.AddClock(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 40 * clock.Ns})
+	var stateNets, inNets []string
+	for i := 0; i < 4; i++ {
+		in := fmt.Sprintf("IN%d", i)
+		d.AddPort(netlist.Port{Name: in, Dir: netlist.Input, RefClock: "phi", RefEdge: clock.Fall})
+		inNets = append(inNets, in)
+	}
+	for b := 0; b < 12; b++ {
+		stateNets = append(stateNets, fmt.Sprintf("state%d", b))
+	}
+	return d, stateNets, inNets
+}
+
+// SM1F builds the flattened 12-bit state machine of Table 1.
+func SM1F() *netlist.Design {
+	d, stateNets, inNets := smSkeleton("sm1f")
+	insts, next, outs := smCells("", stateNets, inNets, 0x51)
+	for _, i := range insts {
+		d.AddInstance(i)
+	}
+	for b := 0; b < 12; b++ {
+		d.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("ff%d", b), Ref: "DFF_X1",
+			Conns: map[string]string{"D": next[b], "CK": "phi", "Q": stateNets[b]},
+		})
+	}
+	for o, net := range outs {
+		out := fmt.Sprintf("OUT%d", o)
+		d.AddPort(netlist.Port{Name: out, Dir: netlist.Output, RefClock: "phi", RefEdge: clock.Fall, Offset: -1 * clock.Ns})
+		d.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("gob%d", o), Ref: "BUF_X1",
+			Conns: map[string]string{"A": net, "Y": out},
+		})
+	}
+	return d
+}
+
+// SM1H builds the hierarchical description of the same machine: the
+// combinational logic is contained in a single module (whose pin-to-pin
+// delays are rolled up into a super-cell by the analyzer), with only the
+// state register at the top level.
+func SM1H() *netlist.Design {
+	d, stateNets, inNets := smSkeleton("sm1h")
+	m := netlist.New("SMLOGIC")
+	var mState, mIn []string
+	for b := 0; b < 12; b++ {
+		p := fmt.Sprintf("S%d", b)
+		m.AddPort(netlist.Port{Name: p, Dir: netlist.Input})
+		mState = append(mState, p)
+	}
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf("I%d", i)
+		m.AddPort(netlist.Port{Name: p, Dir: netlist.Input})
+		mIn = append(mIn, p)
+	}
+	insts, next, outs := smCells("", mState, mIn, 0x51)
+	for _, inst := range insts {
+		m.AddInstance(inst)
+	}
+	conns := map[string]string{}
+	for b := 0; b < 12; b++ {
+		p := fmt.Sprintf("N%d", b)
+		m.AddPort(netlist.Port{Name: p, Dir: netlist.Output})
+		// Tie the module's output port net to the internal next-state net
+		// with a buffer (module ports are nets inside the module).
+		m.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("gb%d", b), Ref: "BUF_X1",
+			Conns: map[string]string{"A": next[b], "Y": p},
+		})
+		conns[fmt.Sprintf("S%d", b)] = stateNets[b]
+		conns[fmt.Sprintf("N%d", b)] = fmt.Sprintf("next%d", b)
+	}
+	for o := 0; o < 4; o++ {
+		p := fmt.Sprintf("O%d", o)
+		m.AddPort(netlist.Port{Name: p, Dir: netlist.Output})
+		m.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("gq%d", o), Ref: "BUF_X1",
+			Conns: map[string]string{"A": outs[o], "Y": p},
+		})
+		conns[fmt.Sprintf("I%d", o)] = inNets[o]
+		conns[fmt.Sprintf("O%d", o)] = fmt.Sprintf("outn%d", o)
+	}
+	d.AddModule(m)
+	d.AddInstance(netlist.Instance{Name: "u_logic", Ref: "SMLOGIC", Conns: conns})
+	for b := 0; b < 12; b++ {
+		d.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("ff%d", b), Ref: "DFF_X1",
+			Conns: map[string]string{"D": fmt.Sprintf("next%d", b), "CK": "phi", "Q": stateNets[b]},
+		})
+	}
+	for o := 0; o < 4; o++ {
+		out := fmt.Sprintf("OUT%d", o)
+		d.AddPort(netlist.Port{Name: out, Dir: netlist.Output, RefClock: "phi", RefEdge: clock.Fall, Offset: -1 * clock.Ns})
+		d.AddInstance(netlist.Instance{
+			Name: fmt.Sprintf("gob%d", o), Ref: "BUF_X1",
+			Conns: map[string]string{"A": fmt.Sprintf("outn%d", o), "Y": out},
+		})
+	}
+	return d
+}
+
+// Figure1 builds the four-phase time-multiplexed configuration of the
+// paper's Figure 1: one shared gate whose inputs are latched on phi1/phi3
+// and whose output is captured on phi2/phi4. Its central cluster requires
+// exactly two analysis passes.
+func Figure1() *netlist.Design {
+	d := netlist.New("figure1")
+	T := 200 * clock.Ns
+	for i := 0; i < 4; i++ {
+		start := clock.Time(i) * 50 * clock.Ns
+		d.AddClock(clock.Signal{
+			Name: fmt.Sprintf("phi%d", i+1), Period: T,
+			RiseAt: start, FallAt: start + 30*clock.Ns,
+		})
+	}
+	d.AddPort(netlist.Port{Name: "A", Dir: netlist.Input, RefClock: "phi4", RefEdge: clock.Fall})
+	d.AddPort(netlist.Port{Name: "B", Dir: netlist.Input, RefClock: "phi2", RefEdge: clock.Fall})
+	d.AddPort(netlist.Port{Name: "Y1", Dir: netlist.Output, RefClock: "phi3", RefEdge: clock.Rise})
+	d.AddPort(netlist.Port{Name: "Y2", Dir: netlist.Output, RefClock: "phi1", RefEdge: clock.Rise})
+	add := func(name, ref string, conns map[string]string) {
+		d.AddInstance(netlist.Instance{Name: name, Ref: ref, Conns: conns})
+	}
+	add("la", "DLATCH_X1", map[string]string{"D": "A", "G": "phi1", "Q": "qa"})
+	add("lb", "DLATCH_X1", map[string]string{"D": "B", "G": "phi3", "Q": "qb"})
+	add("g", "NAND2_X1", map[string]string{"A": "qa", "B": "qb", "Y": "m"})
+	add("lc", "DLATCH_X1", map[string]string{"D": "m", "G": "phi2", "Q": "qc"})
+	add("ld", "DLATCH_X1", map[string]string{"D": "m", "G": "phi4", "Q": "qd"})
+	add("gc", "INV_X1", map[string]string{"A": "qc", "Y": "Y1"})
+	add("gd", "INV_X1", map[string]string{"A": "qd", "Y": "Y2"})
+	return d
+}
+
+// Scaling builds a family of designs with growing cell counts for the A5
+// scaling ablation.
+func Scaling(cells int, seed int64) *netlist.Design {
+	width := 16
+	stages := 4
+	depth := (cells/width - stages) / (stages + 1)
+	if depth < 1 {
+		depth = 1
+	}
+	return Pipeline(PipeConfig{
+		Name: fmt.Sprintf("scale%d", cells), Stages: stages, Width: width,
+		Depth: depth, Latch: "DLATCH_X1", Latch2: "DFF_X1",
+		ClockBufs: 1, Seed: seed, TargetCells: cells,
+	})
+}
+
+// DESGated is the DES analogue with one bank's clock gated by a latched
+// enable — the §4 enable-path machinery at Table-1 scale. An extension row
+// (not in the paper's Table 1).
+func DESGated() *netlist.Design {
+	return Pipeline(PipeConfig{
+		Name: "des-gated", Stages: 16, Width: 32, Depth: 5,
+		Latch: "DLATCH_X1", Latch2: "DLATCH_X1",
+		ClockBufs: 2, Seed: 0xDE5, TargetCells: 3681, GatedBank: true,
+	})
+}
+
+// DESMultiFreq is the DES analogue with phi2 at twice the frequency: half
+// the banks are flip-flops clocked per fast pulse and replicate per §4.
+// (Alternating *transparent* banks across a 2× frequency boundary is
+// infeasible under the paper's next-closure semantics — the fast latch's
+// assertion-to-slow-closure pair leaves less time than a stage needs on
+// every other pulse — so the fast banks are edge-triggered, the realistic
+// idiom.) An extension row, not in the paper's Table 1.
+func DESMultiFreq() *netlist.Design {
+	return Pipeline(PipeConfig{
+		Name: "des-mf", Stages: 16, Width: 32, Depth: 5,
+		Latch: "DLATCH_X1", Latch2: "DFF_X1",
+		ClockBufs: 2, Seed: 0xDE5, TargetCells: 3681, FastSecondClock: true,
+	})
+}

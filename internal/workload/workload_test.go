@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/netlist"
+)
+
+var lib = celllib.Default()
+
+func validate(t *testing.T, d *netlist.Design) netlist.Stats {
+	t.Helper()
+	if err := d.Validate(lib); err != nil {
+		t.Fatalf("%s invalid: %v", d.Name, err)
+	}
+	return d.Stats(lib)
+}
+
+func TestDESCellCount(t *testing.T) {
+	d := DES()
+	s := validate(t, d)
+	if s.Cells != 3681 {
+		t.Fatalf("DES cells = %d, want 3681 (Table 1)", s.Cells)
+	}
+	if s.Latches < 16*32 {
+		t.Fatalf("DES latches = %d", s.Latches)
+	}
+	if s.Nets < 3000 {
+		t.Fatalf("DES nets = %d, implausibly few", s.Nets)
+	}
+}
+
+func TestALUCellCount(t *testing.T) {
+	s := validate(t, ALU())
+	if s.Cells != 899 {
+		t.Fatalf("ALU cells = %d, want 899 (Table 1)", s.Cells)
+	}
+}
+
+func TestSM1F(t *testing.T) {
+	d := SM1F()
+	s := validate(t, d)
+	if s.Latches != 12 {
+		t.Fatalf("SM1F state bits = %d, want 12", s.Latches)
+	}
+	if s.Modules != 0 {
+		t.Fatal("SM1F should be flat")
+	}
+	if s.Cells < 60 || s.Cells > 200 {
+		t.Fatalf("SM1F cells = %d, outside the plausible band", s.Cells)
+	}
+}
+
+func TestSM1H(t *testing.T) {
+	d := SM1H()
+	s := validate(t, d)
+	if s.Modules != 1 {
+		t.Fatalf("SM1H modules = %d, want 1", s.Modules)
+	}
+	if s.Latches != 12 {
+		t.Fatalf("SM1H state bits = %d", s.Latches)
+	}
+	// Same machine: flattened cell counts agree up to the port-tie
+	// buffers the hierarchy adds.
+	sf := SM1F().Stats(lib)
+	if diff := s.Cells - sf.Cells; diff < 0 || diff > 20 {
+		t.Fatalf("SM1H cells %d vs SM1F %d", s.Cells, sf.Cells)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := DES(), DES()
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatal("nondeterministic instance count")
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Name != b.Instances[i].Name || a.Instances[i].Ref != b.Instances[i].Ref {
+			t.Fatalf("instance %d differs", i)
+		}
+		for pin, net := range a.Instances[i].Conns {
+			if b.Instances[i].Conns[pin] != net {
+				t.Fatalf("instance %s pin %s differs", a.Instances[i].Name, pin)
+			}
+		}
+	}
+}
+
+func TestAllWorkloadsAnalyzable(t *testing.T) {
+	for _, d := range []*netlist.Design{ALU(), SM1F(), SM1H(), Figure1()} {
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		rep, err := a.IdentifySlowPaths()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if !rep.OK {
+			t.Fatalf("%s: generated benchmark is not timing-clean (worst %v)", d.Name, rep.WorstSlack())
+		}
+	}
+}
+
+func TestDESAnalyzable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES analysis in -short mode")
+	}
+	a, err := core.Load(lib, DES(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("DES not timing-clean (worst %v)", rep.WorstSlack())
+	}
+}
+
+func TestFigure1TwoPasses(t *testing.T) {
+	d := Figure1()
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := a.NW.NetIdx["m"]
+	found := false
+	for _, cl := range a.NW.Clusters {
+		if cl.LocalIndex(mid) >= 0 {
+			found = true
+			if cl.Plan.Passes() != 2 {
+				t.Fatalf("Figure 1 cluster passes = %d, want 2", cl.Plan.Passes())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("net m not in any cluster")
+	}
+	// Total settling-time evaluations stay minimal: every other cluster
+	// needs one pass.
+	for _, cl := range a.NW.Clusters {
+		if cl.LocalIndex(mid) < 0 && cl.Plan.Passes() > 1 {
+			t.Fatalf("cluster %d needs %d passes", cl.ID, cl.Plan.Passes())
+		}
+	}
+}
+
+func TestScalingFamily(t *testing.T) {
+	prev := 0
+	for _, target := range []int{200, 400, 800} {
+		d := Scaling(target, 7)
+		s := validate(t, d)
+		if s.Cells != target {
+			t.Fatalf("Scaling(%d) cells = %d", target, s.Cells)
+		}
+		if s.Cells <= prev {
+			t.Fatal("scaling family not growing")
+		}
+		prev = s.Cells
+	}
+}
+
+func TestPipelinePanicsWhenOverTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when target below natural size")
+		}
+	}()
+	Pipeline(PipeConfig{Name: "tiny", Stages: 4, Width: 16, Depth: 4, TargetCells: 10})
+}
+
+func TestGatedPipelineAnalyzable(t *testing.T) {
+	d := Pipeline(PipeConfig{
+		Name: "gated", Stages: 4, Width: 8, Depth: 3,
+		Latch: "DLATCH_X1", GatedBank: true, Seed: 3,
+	})
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gated bank produces enable endpoints.
+	enables := 0
+	for _, s := range a.NW.Sites {
+		if strings.Contains(s.Name, ".en") {
+			enables++
+		}
+	}
+	if enables == 0 {
+		t.Fatal("no enable endpoints in gated pipeline")
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("gated pipeline slow: %v", rep.WorstSlack())
+	}
+}
+
+func TestFastClockPipelineAnalyzable(t *testing.T) {
+	d := Pipeline(PipeConfig{
+		Name: "mf", Stages: 4, Width: 8, Depth: 3,
+		Latch: "DLATCH_X1", Latch2: "DFF_X1", FastSecondClock: true, Seed: 5,
+	})
+	a, err := core.Load(lib, d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phi2-controlled elements replicate.
+	replicated := 0
+	for _, s := range a.NW.Sites {
+		if len(s.Elems) == 2 {
+			replicated++
+		}
+	}
+	if replicated == 0 {
+		t.Fatal("no replicated elements under the fast clock")
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("multi-frequency pipeline slow: %v", rep.WorstSlack())
+	}
+}
+
+func TestDESVariantsAnalyzable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size variants in -short mode")
+	}
+	for _, d := range []*netlist.Design{DESGated(), DESMultiFreq()} {
+		s := validate(t, d)
+		if s.Cells != 3681 {
+			t.Fatalf("%s cells = %d", d.Name, s.Cells)
+		}
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		rep, err := a.IdentifySlowPaths()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if !rep.OK {
+			t.Fatalf("%s not timing-clean (worst %v)", d.Name, rep.WorstSlack())
+		}
+	}
+	// The multi-frequency variant really replicates: 512 sync sites + 64
+	// ports would give 576 elements unreplicated; the 256 fast FFs double.
+	a, _ := core.Load(lib, DESMultiFreq(), core.DefaultOptions())
+	if len(a.NW.Elems) <= 700 {
+		t.Fatalf("element count %d suggests no replication", len(a.NW.Elems))
+	}
+}

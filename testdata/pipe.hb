@@ -1,0 +1,13 @@
+# two-phase transparent-latch pipeline demo
+design pipe
+clock phi1 period 10ns rise 0 fall 4ns
+clock phi2 period 10ns rise 5ns fall 9ns
+input IN clock phi2 edge fall offset 0
+output OUT clock phi2 edge fall offset -0.5ns
+inst g1 BUF_X1 A=IN Y=n1
+inst l1 DLATCH_X1 D=n1 G=phi1 Q=q1
+inst g2 INV_X1 A=q1 Y=n2
+inst g3 INV_X1 A=n2 Y=n3
+inst l2 DFF_X1 D=n3 CK=phi2 Q=q2
+inst g4 BUF_X1 A=q2 Y=OUT
+end
