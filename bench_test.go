@@ -24,6 +24,7 @@ import (
 	"hummingbird/internal/sim"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/syncelem"
+	"hummingbird/internal/telemetry"
 	"hummingbird/internal/workload"
 )
 
@@ -388,6 +389,48 @@ func BenchmarkSimulator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Run(10, func(cycle int, port string) logic.Value {
 			return logic.FromBool(r.Intn(2) == 0)
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the observability layer
+// on the analysis hot path, using the BenchmarkAblation_Incremental
+// fixture (DES with one slowed gate) so the fixed-point iterations
+// actually run. "off" is the shipping default — the counters' single
+// atomic-bool check must stay in the noise (<2%) and allocate nothing —
+// and "on" is the full metrics-collection mode. Convergence tracing is a
+// separate switch (Options.Trace) and is not exercised here: its cost is
+// one slog line per sweep, paid only when requested.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.enabled {
+				telemetry.Enable()
+				defer telemetry.Disable()
+			} else {
+				telemetry.Disable()
+			}
+			opts := core.DefaultOptions()
+			opts.Adjustments = map[string]clock.Time{"g_s3l2w5": 55 * clock.Ns}
+			a, err := core.Load(benchLib, workload.DES(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.ResetOffsets()
+				rep, err := a.IdentifySlowPaths()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.OK || rep.ForwardSweeps < 2 {
+					b.Fatal("fixture should iterate and close")
+				}
+			}
 		})
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"hummingbird/internal/resynth"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/syncelem"
+	"hummingbird/internal/telemetry"
 	"hummingbird/internal/workload"
 )
 
@@ -76,8 +77,13 @@ func must(err error) {
 }
 
 // analyzeTimed loads and analyses one design, returning the Table-1 row.
+// Telemetry is enabled around the run so the row carries the work counters
+// (cluster recomputes, delay evaluations) alongside the wall times.
 func analyzeTimed(lib *celllib.Library, d *netlist.Design) report.Row {
 	st := d.Stats(lib)
+	telemetry.Enable()
+	telemetry.Reset()
+	defer telemetry.Disable()
 	t0 := time.Now()
 	a, err := core.Load(lib, d, core.DefaultOptions())
 	must(err)
@@ -86,11 +92,15 @@ func analyzeTimed(lib *celllib.Library, d *netlist.Design) report.Row {
 	rep, err := a.IdentifySlowPaths()
 	must(err)
 	ana := time.Since(t1)
+	snap := telemetry.Snapshot()
 	return report.Row{
 		Name: d.Name, Cells: st.Cells, Nets: st.Nets, Latches: st.Latches,
 		Clusters: len(a.NW.Clusters), Passes: a.NW.TotalPasses(),
 		PreProcess: pre, Analysis: ana,
-		Sweeps: rep.ForwardSweeps + rep.BackwardSweeps, OK: rep.OK,
+		Sweeps:     rep.ForwardSweeps + rep.BackwardSweeps,
+		Recomputes: snap.Counters["sta.clusters_analyzed"],
+		DelayEvals: snap.Counters["delaycalc.evaluations"],
+		OK:         rep.OK,
 	}
 }
 

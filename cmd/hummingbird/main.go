@@ -17,6 +17,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,11 +30,12 @@ import (
 	"hummingbird/internal/octdb"
 	"hummingbird/internal/report"
 	"hummingbird/internal/sim"
+	"hummingbird/internal/telemetry"
 	"hummingbird/internal/verilog"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "hummingbird:", err)
 		os.Exit(1)
 	}
@@ -67,8 +70,13 @@ func (s *session) rebuild() error {
 	return nil
 }
 
-func run(args []string, stdin io.Reader, w io.Writer) error {
+func run(args []string, stdin io.Reader, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("hummingbird", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	fs.Usage = func() {
+		fmt.Fprintln(errW, "usage: hummingbird [flags] design.hb")
+		fs.PrintDefaults()
+	}
 	var (
 		constraints = fs.Bool("constraints", false, "run Algorithm 2 and dump net budgets")
 		plan        = fs.Bool("plan", false, "print the per-cluster pass plan")
@@ -86,12 +94,36 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		simCycles   = fs.Int("sim", 0, "dynamically validate: simulate N overall clock periods with random stimulus and report capture violations")
 		topName     = fs.String("top", "", "top module name for -verilog (default: auto-detect)")
 		consFile    = fs.String("timing", "", "clock/port timing constraints file for -verilog (netlist format)")
+		traceConv   = fs.Bool("trace-convergence", false, "emit one structured trace line per fixed-point sweep")
+		metricsOut  = fs.String("metrics-out", "", "write a JSON telemetry snapshot (counters, phase timers) to this file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: hummingbird [flags] design.hb")
+		fs.Usage()
+		return fmt.Errorf("expected exactly one input design, got %d", fs.NArg())
+	}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *traceConv || *metricsOut != "" {
+		telemetry.Enable()
+		telemetry.Reset()
+		defer telemetry.Disable()
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -139,6 +171,9 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		opts:   core.DefaultOptions(),
 	}
 	s.opts.Adjustments = map[string]clock.Time{}
+	if *traceConv {
+		s.opts.Trace = telemetry.NewTracer(w)
+	}
 	if err := s.rebuild(); err != nil {
 		return err
 	}
@@ -210,7 +245,38 @@ func run(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintf(w, "wrote %d annotations to %s\n", db.Len(), *flagsOut)
 	}
 	if *interactive {
-		return repl(s, stdin, w)
+		if err := repl(s, stdin, w); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote heap profile to %s\n", *memProfile)
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSnapshot(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote telemetry snapshot to %s\n", *metricsOut)
 	}
 	return nil
 }

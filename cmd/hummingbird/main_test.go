@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +50,7 @@ func writeDesign(t *testing.T, text string) string {
 
 func TestRunBasic(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-plan", "-slacks", "3", "-supp", writeDesign(t, pipeHB)}, strings.NewReader(""), &out)
+	err := run([]string{"-plan", "-slacks", "3", "-supp", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunSlowDesignShowsPaths(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{writeDesign(t, slowHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{writeDesign(t, slowHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -76,7 +78,7 @@ func TestRunSlowDesignShowsPaths(t *testing.T) {
 
 func TestRunConstraints(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-constraints", "-nets", "n2,bogus", writeDesign(t, pipeHB)}, strings.NewReader(""), &out)
+	err := run([]string{"-constraints", "-nets", "n2,bogus", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestRunFlagsFile(t *testing.T) {
 	dir := t.TempDir()
 	flags := filepath.Join(dir, "flags.oct")
 	var out strings.Builder
-	if err := run([]string{"-flags", flags, writeDesign(t, slowHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-flags", flags, writeDesign(t, slowHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(flags)
@@ -104,14 +106,14 @@ func TestRunFlagsFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, strings.NewReader(""), &out); err == nil {
+	if err := run(nil, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run([]string{"/nonexistent/file.hb"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"/nonexistent/file.hb"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("unreadable file accepted")
 	}
 	bad := writeDesign(t, "design x\n") // missing end
-	if err := run([]string{bad}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{bad}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("malformed netlist accepted")
 	}
 }
@@ -137,7 +139,7 @@ func TestReplCommands(t *testing.T) {
 		"",
 		"quit",
 	}, "\n")
-	err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out)
+	err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestReplAdjustChangesVerdict(t *testing.T) {
 	var out strings.Builder
 	// pipe at a 10ns clock has ~4ns of margin; +9ns on g2 breaks it.
 	script := "adjust g2 9ns\nquit\n"
-	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out); err != nil {
+	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "too-slow paths") {
@@ -170,7 +172,7 @@ func TestReplFlagsCommand(t *testing.T) {
 	flags := filepath.Join(dir, "f.oct")
 	var out strings.Builder
 	script := "flags " + flags + "\nquit\n"
-	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out); err != nil {
+	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader(script), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(flags); err != nil {
@@ -183,7 +185,7 @@ func TestReplFlagsCommand(t *testing.T) {
 
 func TestReplEOFExitsCleanly(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader("plan\n"), &out); err != nil {
+	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader("plan\n"), &out, io.Discard); err != nil {
 		t.Fatalf("EOF exit: %v", err)
 	}
 }
@@ -222,14 +224,14 @@ inst g2 MYBUF A=q2 Y=OUT
 end
 `
 	var out strings.Builder
-	if err := run([]string{"-lib", libPath, writeDesign(t, design)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-lib", libPath, writeDesign(t, design)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "all paths fast enough") {
 		t.Fatalf("custom library run:\n%s", out.String())
 	}
 	// A bad library file errors cleanly.
-	if err := run([]string{"-lib", "/nonexistent.lib", writeDesign(t, design)}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-lib", "/nonexistent.lib", writeDesign(t, design)}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("missing library accepted")
 	}
 }
@@ -262,7 +264,7 @@ end
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	err := run([]string{"-verilog", "-timing", consPath, vPath}, strings.NewReader(""), &out)
+	err := run([]string{"-verilog", "-timing", consPath, vPath}, strings.NewReader(""), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,11 +272,11 @@ end
 		t.Fatalf("verilog flow output:\n%s", out.String())
 	}
 	// Without constraints the ports lack clock references: clean error.
-	if err := run([]string{"-verilog", vPath}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-verilog", vPath}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("unconstrained verilog accepted")
 	}
 	// Bad top name.
-	if err := run([]string{"-verilog", "-top", "nope", "-timing", consPath, vPath}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-verilog", "-top", "nope", "-timing", consPath, vPath}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Fatal("bad top accepted")
 	}
 }
@@ -296,7 +298,7 @@ func TestArgN(t *testing.T) {
 
 func TestRunWorstPaths(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-worst", "3", writeDesign(t, pipeHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-worst", "3", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "path 1:") {
@@ -304,7 +306,7 @@ func TestRunWorstPaths(t *testing.T) {
 	}
 	// And via the repl.
 	out.Reset()
-	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader("worst 2\nquit\n"), &out); err != nil {
+	if err := run([]string{"-i", writeDesign(t, pipeHB)}, strings.NewReader("worst 2\nquit\n"), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "path 1:") {
@@ -316,7 +318,7 @@ func TestRunJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "out.json")
 	var out strings.Builder
-	if err := run([]string{"-json", jsonPath, writeDesign(t, pipeHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-json", jsonPath, writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonPath)
@@ -330,7 +332,7 @@ func TestRunJSONOutput(t *testing.T) {
 
 func TestRunSimFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-sim", "12", writeDesign(t, pipeHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-sim", "12", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "simulated 12 cycles") {
@@ -354,7 +356,7 @@ inst f2 DFF_X1 D=n3 CK=phi Q=q2
 inst g5 BUF_X1 A=q2 Y=OUT
 end
 `
-	if err := run([]string{"-sim", "40", writeDesign(t, slow)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-sim", "40", writeDesign(t, slow)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), " 0 violations") {
@@ -380,7 +382,7 @@ inst g2 BUF_X1 A=q2 Y=OUT
 end
 `
 	var out strings.Builder
-	if err := run([]string{"-sim", "16", writeDesign(t, skew)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-sim", "16", writeDesign(t, skew)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "RACE f2") {
@@ -388,10 +390,111 @@ end
 	}
 	// The clean pipe reports zero disagreements.
 	out.Reset()
-	if err := run([]string{"-sim", "16", writeDesign(t, pipeHB)}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-sim", "16", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "race check: 0 disagreements") {
 		t.Fatalf("clean design raced:\n%s", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-no-such-flag", writeDesign(t, pipeHB)}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "usage: hummingbird") || !strings.Contains(errOut.String(), "-metrics-out") {
+		t.Fatalf("no usage on stderr for unknown flag:\n%s", errOut.String())
+	}
+
+	errOut.Reset()
+	if err := run(nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if !strings.Contains(errOut.String(), "usage: hummingbird") {
+		t.Fatalf("no usage on stderr for missing input:\n%s", errOut.String())
+	}
+
+	errOut.Reset()
+	if err := run([]string{writeDesign(t, pipeHB), "extra.hb"}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("extra argument accepted")
+	}
+	if !strings.Contains(errOut.String(), "usage: hummingbird") {
+		t.Fatalf("no usage on stderr for extra argument:\n%s", errOut.String())
+	}
+}
+
+func TestRunTraceConvergence(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace-convergence", writeDesign(t, slowHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "msg=sweep") || !strings.Contains(got, "iteration=forward") {
+		t.Fatalf("no structured sweep lines in output:\n%s", got)
+	}
+	if !strings.Contains(got, "worst_slack_ps=") || !strings.Contains(got, "moved=") {
+		t.Fatalf("sweep lines missing fields:\n%s", got)
+	}
+}
+
+func TestRunMetricsOut(t *testing.T) {
+	mPath := filepath.Join(t.TempDir(), "metrics.json")
+	var out strings.Builder
+	if err := run([]string{"-metrics-out", mPath, writeDesign(t, slowHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote telemetry snapshot to "+mPath) {
+		t.Fatalf("no snapshot confirmation:\n%s", out.String())
+	}
+	data, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Enabled  bool             `json:"enabled"`
+		Counters map[string]int64 `json:"counters"`
+		Timers   map[string]struct {
+			Count   int64 `json:"count"`
+			TotalNs int64 `json:"totalNs"`
+		} `json:"timers"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, data)
+	}
+	if !snap.Enabled {
+		t.Fatal("snapshot says telemetry disabled")
+	}
+	for _, c := range []string{"core.sweeps", "sta.clusters_analyzed", "delaycalc.evaluations"} {
+		if snap.Counters[c] <= 0 {
+			t.Fatalf("counter %s not collected: %v", c, snap.Counters)
+		}
+	}
+	for _, tm := range []string{"phase.load", "phase.analysis"} {
+		st, ok := snap.Timers[tm]
+		if !ok || st.Count <= 0 {
+			t.Fatalf("timer %s not collected: %v", tm, snap.Timers)
+		}
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	if err := run([]string{"-cpuprofile", cpu, "-memprofile", mem, writeDesign(t, pipeHB)}, strings.NewReader(""), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote heap profile to "+mem) {
+		t.Fatalf("no heap-profile confirmation:\n%s", out.String())
 	}
 }

@@ -14,8 +14,8 @@
 package core
 
 import (
-	"fmt"
 	"sort"
+	"time"
 
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
@@ -24,6 +24,7 @@ import (
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/syncelem"
+	"hummingbird/internal/telemetry"
 )
 
 // Options tunes the analyzer.
@@ -51,6 +52,12 @@ type Options struct {
 	// elements whose offsets moved; results are identical (the A6
 	// ablation measures the speed difference).
 	FullSweeps bool
+	// Trace, when non-nil, receives one structured telemetry.SweepEvent
+	// per fixed-point sweep (convergence tracing) and causes the full
+	// trajectory to be retained on the Report / Constraints. Leave nil
+	// on production hot paths: the untraced per-sweep cost is a ring
+	// buffer write with no allocation and no clock read.
+	Trace *telemetry.Tracer
 }
 
 // DefaultOptions returns the options used by the benchmarks.
@@ -78,6 +85,11 @@ type Analyzer struct {
 	// (its data-input endpoint and its output endpoint), for incremental
 	// re-analysis.
 	elemClusters [][]int
+
+	// conv is the convergence trail of the current fixed-point run (see
+	// trace.go); reset at the top of IdentifySlowPaths and
+	// GenerateConstraints.
+	conv convTrail
 }
 
 // buildElemClusters indexes which clusters each element's terminals live in.
@@ -103,31 +115,37 @@ func (a *Analyzer) buildElemClusters() {
 
 // sweep applies op to every element against the current result, then
 // refreshes res — incrementally over the touched clusters unless
-// FullSweeps is set. It reports whether anything moved.
-func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, bool) {
+// FullSweeps is set. It returns how many element offsets moved and how
+// many clusters were recomputed.
+func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, int, int) {
+	mSweeps.Inc()
 	dirty := map[int]bool{}
-	moved := false
+	moved := 0
 	for ei, e := range a.NW.Elems {
 		if op(ei, e) > 0 {
-			moved = true
+			moved++
 			for _, cl := range a.elemClusters[ei] {
 				dirty[cl] = true
 			}
 		}
 	}
-	if !moved {
-		return res, false
+	if moved == 0 {
+		return res, 0, 0
 	}
+	mOffsetsMoved.Add(int64(moved))
 	if a.Opts.FullSweeps {
-		return sta.Analyze(a.NW), true
+		mFullSweeps.Inc()
+		return sta.Analyze(a.NW), moved, len(a.NW.Clusters)
 	}
 	ids := make([]int, 0, len(dirty))
 	for id := range dirty {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	mIncrClusters.Add(int64(len(ids)))
+	mIncrSkipped.Add(int64(len(a.NW.Clusters) - len(ids)))
 	sta.Recompute(a.NW, res, ids)
-	return res, true
+	return res, moved, len(ids)
 }
 
 // Load validates a design, resolves its hierarchy (rolling combinational
@@ -135,6 +153,8 @@ func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) c
 // and elaborates the timing network. It is the single entry point the
 // executables and examples use.
 func Load(lib *celllib.Library, design *netlist.Design, opts Options) (*Analyzer, error) {
+	t0 := time.Now()
+	defer func() { tLoad.Observe(time.Since(t0)) }()
 	if opts.PartialDivisor <= 1 {
 		opts.PartialDivisor = 2
 	}
@@ -201,6 +221,10 @@ type Report struct {
 	SlowElems []int
 	// SlowPaths holds one worst path per violated capture terminal.
 	SlowPaths []SlowPath
+	// Trajectory is the full convergence trace — one event per
+	// fixed-point sweep, in execution order. Populated only when
+	// Options.Trace is set.
+	Trajectory []telemetry.SweepEvent
 }
 
 // WorstSlack returns the minimum terminal slack of the final analysis.
@@ -229,23 +253,28 @@ func (a *Analyzer) ResetOffsets() {
 
 // IdentifySlowPaths runs Algorithm 1 and returns the report.
 func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
+	t0 := time.Now()
+	defer func() { tAnalysis.Observe(time.Since(t0)) }()
+	a.conv.reset(a.Opts.Trace != nil)
 	rep := &Report{}
 	res := sta.Analyze(a.NW)
 
 	// Iteration 1: complete forward slack transfer to a fixed point.
 	for sweep := 0; ; sweep++ {
 		if sweep > a.Opts.MaxSweeps {
-			return nil, fmt.Errorf("core: iteration 1 exceeded %d sweeps (non-convergence)", a.Opts.MaxSweeps)
+			return nil, a.nonConverged("forward")
 		}
 		rep.ForwardSweeps++
 		if allPositive(res) {
 			return a.finish(rep, res)
 		}
-		var moved bool
-		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteForward(res.InSlack[ei])
 		})
-		if !moved {
+		a.record("forward", sweep, moved, recomputed, res, start)
+		if moved == 0 {
 			break
 		}
 	}
@@ -253,17 +282,19 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	// Iteration 2: complete backward slack transfer to a fixed point.
 	for sweep := 0; ; sweep++ {
 		if sweep > a.Opts.MaxSweeps {
-			return nil, fmt.Errorf("core: iteration 2 exceeded %d sweeps (non-convergence)", a.Opts.MaxSweeps)
+			return nil, a.nonConverged("backward")
 		}
 		rep.BackwardSweeps++
 		if allPositive(res) {
 			return a.finish(rep, res)
 		}
-		var moved bool
-		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteBackward(res.OutSlack[ei])
 		})
-		if !moved {
+		a.record("backward", sweep, moved, recomputed, res, start)
+		if moved == 0 {
 			break
 		}
 	}
@@ -273,14 +304,20 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	// These return some time to every fast-enough path so it ends with
 	// strictly positive slack (§6).
 	for k := 0; k < rep.BackwardSweeps; k++ {
-		res, _ = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialForward(res.InSlack[ei], a.Opts.PartialDivisor)
 		})
+		a.record("partial-forward", k, moved, recomputed, res, start)
 	}
 	for k := 0; k < rep.ForwardSweeps; k++ {
-		res, _ = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialBackward(res.OutSlack[ei], a.Opts.PartialDivisor)
 		})
+		a.record("partial-backward", k, moved, recomputed, res, start)
 	}
 
 	// Final step: all node slacks are current in res (sweep keeps them up
@@ -291,6 +328,7 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 func (a *Analyzer) finish(rep *Report, res *sta.Result) (*Report, error) {
 	rep.Result = res
 	rep.OK = allPositive(res)
+	rep.Trajectory = a.conv.full
 	if !rep.OK {
 		for ei := range a.NW.Elems {
 			if res.InSlack[ei] <= 0 || res.OutSlack[ei] <= 0 {

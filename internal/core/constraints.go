@@ -1,11 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"time"
 
 	"hummingbird/internal/clock"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/syncelem"
+	"hummingbird/internal/telemetry"
 )
 
 // Constraints is Algorithm 2's output: signal ready times (traced forward,
@@ -28,12 +29,18 @@ type Constraints struct {
 	Required []sta.PassDetail
 	// BackwardSnatches and ForwardSnatches count the fixed-point sweeps.
 	BackwardSnatches, ForwardSnatches int
+	// Trajectory is the convergence trace of the snatch iterations, one
+	// event per sweep. Populated only when Options.Trace is set.
+	Trajectory []telemetry.SweepEvent
 }
 
 // GenerateConstraints runs Algorithm 2. The analyzer's offsets should
 // already be at Algorithm 1's fixed point (Initialise: "Use Algorithm 1 to
 // generate initial offsets"); call IdentifySlowPaths first.
 func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
+	t0 := time.Now()
+	defer func() { tConstraints.Observe(time.Since(t0)) }()
+	a.conv.reset(a.Opts.Trace != nil)
 	nw := a.NW
 	c := &Constraints{}
 
@@ -44,14 +51,16 @@ func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 	res := sta.Analyze(nw)
 	for sweep := 0; ; sweep++ {
 		if sweep > a.Opts.MaxSweeps {
-			return nil, fmt.Errorf("core: constraint iteration 1 exceeded %d sweeps", a.Opts.MaxSweeps)
+			return nil, a.nonConverged("snatch-backward")
 		}
 		c.BackwardSnatches++
-		var moved bool
-		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchBackward(res.InSlack[ei])
 		})
-		if !moved {
+		a.record("snatch-backward", sweep, moved, recomputed, res, start)
+		if moved == 0 {
 			c.Ready = append([]sta.PassDetail(nil), res.Passes...)
 			break
 		}
@@ -61,18 +70,21 @@ func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 	// backwards.
 	for sweep := 0; ; sweep++ {
 		if sweep > a.Opts.MaxSweeps {
-			return nil, fmt.Errorf("core: constraint iteration 2 exceeded %d sweeps", a.Opts.MaxSweeps)
+			return nil, a.nonConverged("snatch-forward")
 		}
 		c.ForwardSnatches++
-		var moved bool
-		res, moved = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		start := a.sweepStart()
+		var moved, recomputed int
+		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchForward(res.OutSlack[ei])
 		})
-		if !moved {
+		a.record("snatch-forward", sweep, moved, recomputed, res, start)
+		if moved == 0 {
 			c.Required = append([]sta.PassDetail(nil), res.Passes...)
 			break
 		}
 	}
+	c.Trajectory = a.conv.full
 	return c, nil
 }
 

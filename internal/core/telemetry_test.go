@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hummingbird/internal/telemetry"
+)
+
+// borrowPipe needs real slack transfers: at the initial offsets the
+// downstream half violates and forward sweeps must move l1 (same
+// fixture as TestAlgorithm1Borrowing).
+const borrowPipe = `
+design borrow
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi2 edge fall offset 0
+output OUT clock phi2 edge fall offset 0
+inst g1 D1NS A=IN Y=n1
+inst l1 LAT D=n1 G=phi1 Q=q1
+inst g2 D55NS A=q1 Y=n2
+inst f2 FFD D=n2 CK=phi2 Q=q2
+inst g3 D1NS A=q2 Y=OUT
+end
+`
+
+// nearCriticalLoop is the §3 combinational cycle through two
+// transparent latches around a 100ns period with asymmetric halves
+// (69ns and ~28.1ns, so only ~2.9ns of loop slack). Starting from the
+// latest-closure offsets, complete forward transfer circulates small
+// slack donations around the loop, needing on the order of
+// W/loop-slack sweeps to settle (§6) — the configuration the
+// convergence trace exists to diagnose.
+const nearCriticalLoop = `
+design nearcrit
+clock phi1 period 100ns rise 0 fall 40ns
+clock phi2 period 100ns rise 50ns fall 90ns
+input IN clock phi1 edge rise offset 0
+output OUT clock phi1 edge rise offset 0
+inst gx XORD A=IN B=q2 Y=d1
+inst l1 LAT D=d1 G=phi1 Q=q1
+inst g2a D40NS A=q1 Y=d2a
+inst g2b D20NS A=d2a Y=d2b
+inst g2c D5NS A=d2b Y=d2c
+inst g2d D1NS A=d2c Y=d2d
+inst g2e D1NS A=d2d Y=d2e
+inst g2f D1NS A=d2e Y=d2g
+inst g2g D1NS A=d2g Y=d2
+inst l2 LAT D=d2 G=phi2 Q=q2x
+inst g4a D20NS A=q2x Y=q2a
+inst g4b D5NS A=q2a Y=q2b
+inst g4c D1NS A=q2b Y=q2c
+inst g4d D1NS A=q2c Y=q2d
+inst g4e D1NS A=q2d Y=q2
+inst g3 BUFD A=q1 Y=OUT
+end
+`
+
+func TestNonConvergenceErrorCarriesTrajectory(t *testing.T) {
+	a := analyzer(t, nearCriticalLoop)
+	a.Opts.MaxSweeps = 3
+	_, err := a.IdentifySlowPaths()
+	if err == nil {
+		t.Fatal("near-critical loop converged within 4 sweeps; fixture no longer near-critical")
+	}
+	var nce *NonConvergenceError
+	if !errors.As(err, &nce) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if nce.Iteration != "forward" || nce.MaxSweeps != 3 {
+		t.Fatalf("error fields: %+v", nce)
+	}
+	if len(nce.Trail) == 0 {
+		t.Fatal("no trajectory tail on error")
+	}
+	for _, ev := range nce.Trail {
+		if ev.Moved == 0 {
+			t.Fatalf("near-critical loop sweep moved nothing: %+v", ev)
+		}
+	}
+	msg := err.Error()
+	for _, want := range []string{"non-convergence", "trailing sweeps", "moved", "worst", "MaxSweeps"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error message lacks %q: %s", want, msg)
+		}
+	}
+}
+
+func TestNearCriticalLoopConvergesWithEnoughSweeps(t *testing.T) {
+	// The same fixture settles under the default cap, as §6 promises for
+	// any feasible loop.
+	a := analyzer(t, nearCriticalLoop)
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("feasible near-critical loop reported slow: worst=%v", rep.WorstSlack())
+	}
+	if rep.ForwardSweeps < 4 {
+		t.Fatalf("fixture converged in %d sweeps; not near-critical enough to exercise the trace", rep.ForwardSweeps)
+	}
+}
+
+func TestTraceRetainsTrajectory(t *testing.T) {
+	var buf strings.Builder
+	a := analyzer(t, borrowPipe)
+	a.Opts.Trace = telemetry.NewTracer(&buf)
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trajectory) == 0 {
+		t.Fatal("no trajectory retained with tracing on")
+	}
+	first := rep.Trajectory[0]
+	if first.Iteration != "forward" || first.Sweep != 0 || first.Moved == 0 {
+		t.Fatalf("first event: %+v", first)
+	}
+	// Every sweep emitted one structured line.
+	if n := strings.Count(buf.String(), "msg=sweep"); n != len(rep.Trajectory) {
+		t.Fatalf("%d trace lines for %d events:\n%s", n, len(rep.Trajectory), buf.String())
+	}
+	if !strings.Contains(buf.String(), "iteration=forward") {
+		t.Fatalf("trace output:\n%s", buf.String())
+	}
+
+	// Constraint generation traces its snatch iterations too.
+	buf.Reset()
+	c, err := a.GenerateConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Trajectory) == 0 || c.Trajectory[0].Iteration != "snatch-backward" {
+		t.Fatalf("constraints trajectory: %+v", c.Trajectory)
+	}
+	if !strings.Contains(buf.String(), "iteration=snatch-backward") {
+		t.Fatalf("constraints trace output:\n%s", buf.String())
+	}
+}
+
+func TestTrajectoryAbsentWithoutTracer(t *testing.T) {
+	a := analyzer(t, borrowPipe)
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trajectory != nil {
+		t.Fatalf("trajectory retained without a tracer: %d events", len(rep.Trajectory))
+	}
+}
+
+func TestSweepMetricsCounted(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	before := telemetry.Snapshot().Counters
+	a := analyzer(t, borrowPipe)
+	if _, err := a.IdentifySlowPaths(); err != nil {
+		t.Fatal(err)
+	}
+	after := telemetry.Snapshot().Counters
+	for _, name := range []string{"core.sweeps", "core.offsets_moved", "core.incremental_clusters", "sta.clusters_analyzed", "sta.passes"} {
+		if after[name] <= before[name] {
+			t.Fatalf("counter %s did not advance (%d -> %d)", name, before[name], after[name])
+		}
+	}
+	// Full-sweep mode counts on the other side of the split.
+	a2 := analyzer(t, borrowPipe)
+	a2.Opts.FullSweeps = true
+	mid := telemetry.Snapshot().Counters
+	if _, err := a2.IdentifySlowPaths(); err != nil {
+		t.Fatal(err)
+	}
+	final := telemetry.Snapshot().Counters
+	if final["core.full_recomputes"] <= mid["core.full_recomputes"] {
+		t.Fatal("full-sweep counter did not advance")
+	}
+}

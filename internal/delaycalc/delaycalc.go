@@ -20,7 +20,12 @@ import (
 	"hummingbird/internal/clock"
 	"hummingbird/internal/graph"
 	"hummingbird/internal/netlist"
+	"hummingbird/internal/telemetry"
 )
+
+// mEvals counts delay-expression evaluations (one per arc per call),
+// the unit the paper's estimation cost scales with.
+var mEvals = telemetry.NewCounter("delaycalc.evaluations")
 
 // Delays is one timing arc's evaluated propagation delays at its actual
 // load: the worst (max) and best (min) delay for each output transition
@@ -131,6 +136,7 @@ func (c *Calc) Adjustment(instName string) clock.Time { return c.adjust[instName
 
 // ArcDelays evaluates one arc of one instance at its connected load.
 func (c *Calc) ArcDelays(inst *netlist.Instance, arc *celllib.Arc) Delays {
+	mEvals.Inc()
 	load := c.opts.DefaultPortLoad
 	if net, ok := inst.Conns[arc.To]; ok {
 		load = c.loads[net]

@@ -6,6 +6,7 @@ import (
 
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
+	"hummingbird/internal/telemetry"
 )
 
 // JSONResult is the machine-readable analysis export: verdict, per-net
@@ -25,6 +26,9 @@ type JSONResult struct {
 	Endpoints []JSONEndpoint   `json:"endpoints"`
 	SlowPaths []JSONPath       `json:"slowPaths,omitempty"`
 	PlanByID  []JSONPlan       `json:"plan"`
+	// Convergence is the fixed-point trajectory, one event per sweep.
+	// Present only when the analysis ran with a convergence tracer.
+	Convergence []telemetry.SweepEvent `json:"convergence,omitempty"`
 }
 
 // JSONSweeps records the Algorithm 1 iteration counts.
@@ -67,9 +71,10 @@ func BuildJSON(a *core.Analyzer, rep *core.Report) *JSONResult {
 		Design: a.Design.Name, OK: rep.OK, WorstPs: int64(rep.WorstSlack()),
 		Cells: st.Cells, Nets: st.Nets,
 		Elements: len(a.NW.Elems), Clusters: len(a.NW.Clusters),
-		Passes:    a.NW.TotalPasses(),
-		Sweeps:    JSONSweeps{Forward: rep.ForwardSweeps, Backward: rep.BackwardSweeps},
-		NetSlacks: map[string]int64{},
+		Passes:      a.NW.TotalPasses(),
+		Sweeps:      JSONSweeps{Forward: rep.ForwardSweeps, Backward: rep.BackwardSweeps},
+		NetSlacks:   map[string]int64{},
+		Convergence: rep.Trajectory,
 	}
 	for n, s := range rep.Result.NetSlack {
 		if s != clock.Inf {

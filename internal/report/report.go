@@ -32,6 +32,11 @@ type Row struct {
 	Analysis time.Duration
 	// Sweeps records forward+backward complete-transfer cycles.
 	Sweeps int
+	// Recomputes counts cluster analyses during the run (from the
+	// telemetry snapshot; zero when telemetry was disabled).
+	Recomputes int64
+	// DelayEvals counts delay-expression evaluations (likewise).
+	DelayEvals int64
 	// OK is the timing verdict.
 	OK bool
 }
@@ -39,13 +44,13 @@ type Row struct {
 // Table1 renders rows in the shape of the paper's Table 1 (with this
 // machine's times substituted for VAX 8800 CPU seconds).
 func Table1(w io.Writer, rows []Row) {
-	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %5s\n",
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %9s %9s %5s\n",
 		"name", "cells", "nets", "latches", "clusters", "passes",
-		"preprocess", "analysis", "sweeps", "ok")
+		"preprocess", "analysis", "sweeps", "recomps", "devals", "ok")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %5v\n",
+		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %9d %9d %5v\n",
 			r.Name, r.Cells, r.Nets, r.Latches, r.Clusters, r.Passes,
-			fmtDur(r.PreProcess), fmtDur(r.Analysis), r.Sweeps, r.OK)
+			fmtDur(r.PreProcess), fmtDur(r.Analysis), r.Sweeps, r.Recomputes, r.DelayEvals, r.OK)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"reflect"
 	"testing"
 
 	"hummingbird/internal/celllib"
@@ -13,6 +14,13 @@ import (
 func buildWorkload(t *testing.T, d *netlist.Design) *cluster.Network {
 	t.Helper()
 	lib := celllib.Default()
+	if len(d.Modules) > 0 {
+		var err error
+		lib, err = delaycalc.RollUpModules(lib, d, delaycalc.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := d.Validate(lib); err != nil {
 		t.Fatal(err)
 	}
@@ -62,6 +70,29 @@ func TestAnalyzeParallelEquivalence(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestAnalyzeParallelAllWorkloads: every benchmark workload, at every
+// worker count, must produce a Result deeply identical to the sequential
+// analysis — slacks, net slacks, and the full pass-detail ordering. Run
+// under -race this also exercises the worker pool for data races.
+func TestAnalyzeParallelAllWorkloads(t *testing.T) {
+	designs := []*netlist.Design{
+		workload.DES(), workload.ALU(), workload.SM1F(), workload.SM1H(), workload.Figure1(),
+	}
+	for _, d := range designs {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			nw := buildWorkload(t, d)
+			seq := Analyze(nw)
+			for _, workers := range []int{1, 2, 8} {
+				par := AnalyzeParallel(nw, workers)
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("workers=%d: parallel result differs from sequential", workers)
+				}
+			}
+		})
 	}
 }
 

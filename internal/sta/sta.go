@@ -16,11 +16,28 @@ package sta
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hummingbird/internal/breakopen"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/cluster"
+	"hummingbird/internal/telemetry"
+)
+
+// Hot-path instruments. Counters are atomic and lock-free; when
+// telemetry is disabled each costs one atomic load (see
+// internal/telemetry). Per-worker utilisation of AnalyzeParallel is
+// derived as parallel_worker_busy_ns / (parallel_wall_ns × workers).
+var (
+	mAnalyses         = telemetry.NewCounter("sta.analyses")
+	mRecomputes       = telemetry.NewCounter("sta.recomputes")
+	mClustersAnalyzed = telemetry.NewCounter("sta.clusters_analyzed")
+	mPasses           = telemetry.NewCounter("sta.passes")
+	mParallelRuns     = telemetry.NewCounter("sta.parallel_runs")
+	mParallelWorkers  = telemetry.NewCounter("sta.parallel_workers")
+	mWorkerBusyNs     = telemetry.NewCounter("sta.parallel_worker_busy_ns")
+	mParallelWallNs   = telemetry.NewCounter("sta.parallel_wall_ns")
 )
 
 const (
@@ -85,6 +102,7 @@ func (r *Result) WorstSlack() clock.Time {
 // Analyze runs every pass of every cluster against the network's current
 // element offsets.
 func Analyze(nw *cluster.Network) *Result {
+	mAnalyses.Inc()
 	res := newResult(nw)
 	for _, cl := range nw.Clusters {
 		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
@@ -101,6 +119,15 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 	if workers <= 1 || len(nw.Clusters) <= 1 {
 		return Analyze(nw)
 	}
+	mParallelRuns.Inc()
+	mParallelWorkers.Add(int64(workers))
+	// Utilisation accounting reads the clock per cluster, so it is gated
+	// on the telemetry switch rather than paid unconditionally.
+	instrument := telemetry.Enabled()
+	var wallStart time.Time
+	if instrument {
+		wallStart = time.Now()
+	}
 	res := newResult(nw)
 	details := make([][]PassDetail, len(nw.Clusters))
 	var wg sync.WaitGroup
@@ -109,16 +136,29 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
 			for {
 				i := int(atomic.AddInt32(&next, 1)) - 1
 				if i >= len(nw.Clusters) {
-					return
+					break
 				}
-				details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+				if instrument {
+					t0 := time.Now()
+					details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+					busy += time.Since(t0)
+				} else {
+					details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+				}
+			}
+			if instrument {
+				mWorkerBusyNs.Add(busy.Nanoseconds())
 			}
 		}()
 	}
 	wg.Wait()
+	if instrument {
+		mParallelWallNs.Add(time.Since(wallStart).Nanoseconds())
+	}
 	for _, d := range details {
 		res.Passes = append(res.Passes, d...)
 	}
@@ -132,6 +172,7 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 // mode of Algorithm 1's sweeps: after a slack transfer only the clusters
 // adjacent to the moved element change.
 func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
+	mRecomputes.Inc()
 	dirty := make(map[int]bool, len(clusterIDs))
 	for _, id := range clusterIDs {
 		dirty[id] = true
@@ -175,6 +216,8 @@ func newResult(nw *cluster.Network) *Result {
 }
 
 func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []PassDetail {
+	mClustersAnalyzed.Inc()
+	mPasses.Add(int64(len(cl.Plan.Breaks)))
 	var details []PassDetail
 	T := nw.Clocks.Overall()
 	n := len(cl.Nets)

@@ -1,0 +1,165 @@
+// Package telemetry is the analyzer's observability substrate: named
+// atomic counters and timers on the analysis hot paths, a JSON metrics
+// snapshot, and structured convergence tracing (trace.go) for the
+// fixed-point iterations of Algorithms 1 and 2.
+//
+// The package is zero-dependency (stdlib only, modeled on the Go
+// runtime/metrics style) and near-zero-overhead when disabled: every
+// counter and timer operation first checks one process-global atomic
+// flag and returns without allocating, so instrumented hot paths cost a
+// single atomic load per event unless telemetry has been switched on
+// with Enable. Instrumented packages declare their instruments as
+// package-level variables via NewCounter/NewTimer, which registers them
+// for Snapshot and Reset; registration is the only locking path.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-global switch every instrument checks on its
+// fast path. Off by default: production analyses pay one atomic load
+// per instrumented event.
+var enabled atomic.Bool
+
+// Enable turns metric collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection off. Accumulated values are kept
+// (call Reset to zero them).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric collection is on. Hot paths whose
+// instrumentation needs more than a counter update (e.g. reading the
+// clock) should gate that work on Enabled themselves.
+func Enabled() bool { return enabled.Load() }
+
+// registry holds every instrument created by NewCounter/NewTimer. The
+// mutex guards registration and snapshotting only — never the update
+// fast path.
+var registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	timers   []*Timer
+}
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable but unregistered; use NewCounter so Snapshot and Reset see it.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter creates and registers a named counter. Call once per name,
+// at package init.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	registry.mu.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n when telemetry is enabled. It never
+// allocates.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the accumulated count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Timer accumulates observed durations (count + total nanoseconds).
+type Timer struct {
+	name  string
+	count atomic.Int64
+	total atomic.Int64
+}
+
+// NewTimer creates and registers a named timer. Call once per name, at
+// package init.
+func NewTimer(name string) *Timer {
+	t := &Timer{name: name}
+	registry.mu.Lock()
+	registry.timers = append(registry.timers, t)
+	registry.mu.Unlock()
+	return t
+}
+
+// Name returns the timer's registered name.
+func (t *Timer) Name() string { return t.name }
+
+// Observe records one duration when telemetry is enabled. It never
+// allocates.
+func (t *Timer) Observe(d time.Duration) {
+	if enabled.Load() {
+		t.count.Add(1)
+		t.total.Add(d.Nanoseconds())
+	}
+}
+
+// TimerStats is one timer's accumulated state in a snapshot.
+type TimerStats struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"totalNs"`
+}
+
+// Metrics is a point-in-time copy of every registered instrument — the
+// JSON metrics schema (see docs/OBSERVABILITY.md). Map keys serialise
+// in sorted order.
+type Metrics struct {
+	Enabled  bool                  `json:"enabled"`
+	Counters map[string]int64      `json:"counters"`
+	Timers   map[string]TimerStats `json:"timers"`
+}
+
+// Snapshot copies the current value of every registered instrument.
+func Snapshot() Metrics {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	m := Metrics{
+		Enabled:  enabled.Load(),
+		Counters: make(map[string]int64, len(registry.counters)),
+		Timers:   make(map[string]TimerStats, len(registry.timers)),
+	}
+	for _, c := range registry.counters {
+		m.Counters[c.name] = c.v.Load()
+	}
+	for _, t := range registry.timers {
+		m.Timers[t.name] = TimerStats{Count: t.count.Load(), TotalNs: t.total.Load()}
+	}
+	return m
+}
+
+// WriteSnapshot serialises Snapshot as indented JSON.
+func WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Snapshot())
+}
+
+// Reset zeroes every registered instrument (telemetry state is
+// process-global; benchmarks and the CLI reset between runs).
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, t := range registry.timers {
+		t.count.Store(0)
+		t.total.Store(0)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimerRespectEnable(t *testing.T) {
+	c := NewCounter("test.counter")
+	tm := NewTimer("test.timer")
+	Disable()
+	c.Inc()
+	tm.Observe(time.Millisecond)
+	if c.Load() != 0 {
+		t.Fatalf("disabled counter advanced: %d", c.Load())
+	}
+	Enable()
+	defer Disable()
+	c.Add(3)
+	tm.Observe(2 * time.Millisecond)
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Load())
+	}
+	m := Snapshot()
+	if m.Counters["test.counter"] != 3 {
+		t.Fatalf("snapshot counter = %d", m.Counters["test.counter"])
+	}
+	ts := m.Timers["test.timer"]
+	if ts.Count != 1 || ts.TotalNs != (2*time.Millisecond).Nanoseconds() {
+		t.Fatalf("snapshot timer = %+v", ts)
+	}
+	if !m.Enabled {
+		t.Fatal("snapshot not marked enabled")
+	}
+	Reset()
+	if c.Load() != 0 || Snapshot().Timers["test.timer"].Count != 0 {
+		t.Fatal("reset did not zero instruments")
+	}
+}
+
+// TestHotPathNeverAllocates: the per-sweep instrumentation budget is
+// zero allocations whether telemetry is on or off (the CLI promises a
+// no-alloc disabled path; enabled counters are plain atomics).
+func TestHotPathNeverAllocates(t *testing.T) {
+	c := NewCounter("test.counter.alloc")
+	tm := NewTimer("test.timer.alloc")
+	for _, on := range []bool{false, true} {
+		if on {
+			Enable()
+		} else {
+			Disable()
+		}
+		n := testing.AllocsPerRun(1000, func() {
+			c.Add(1)
+			tm.Observe(time.Microsecond)
+		})
+		Disable()
+		if n != 0 {
+			t.Fatalf("enabled=%v: %v allocs per op, want 0", on, n)
+		}
+	}
+}
+
+func TestWriteSnapshotJSON(t *testing.T) {
+	c := NewCounter("test.counter.json")
+	Enable()
+	defer func() { Disable(); Reset() }()
+	c.Add(7)
+	var sb strings.Builder
+	if err := WriteSnapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"enabled": true`, `"counters"`, `"test.counter.json": 7`, `"timers"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot JSON lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerEmitsStructuredLines(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+	tr.Sweep(SweepEvent{Iteration: "forward", Sweep: 2, Moved: 5, Recomputed: 3, WorstSlackPs: -120})
+	line := sb.String()
+	for _, want := range []string{"msg=sweep", "iteration=forward", "sweep=2", "moved=5", "recomputed=3", "worst_slack_ps=-120"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("trace line lacks %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "time=") {
+		t.Fatalf("trace line not deterministic: %s", line)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Sweep(SweepEvent{Iteration: "forward"}) // must not panic
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Sweep(SweepEvent{Iteration: "forward"})
+	}); n != 0 {
+		t.Fatalf("nil tracer allocates: %v", n)
+	}
+}
