@@ -18,6 +18,7 @@ import (
 	"hummingbird/internal/cluster"
 	"hummingbird/internal/core"
 	"hummingbird/internal/delaycalc"
+	"hummingbird/internal/incremental"
 	"hummingbird/internal/logic"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/resynth"
@@ -72,6 +73,73 @@ func BenchmarkTable1_DES(b *testing.B)  { benchTable1(b, workload.DES) }
 func BenchmarkTable1_ALU(b *testing.B)  { benchTable1(b, workload.ALU) }
 func BenchmarkTable1_SM1F(b *testing.B) { benchTable1(b, workload.SM1F) }
 func BenchmarkTable1_SM1H(b *testing.B) { benchTable1(b, workload.SM1H) }
+
+// pickEditInst finds an instance whose delay adjustment stays on the
+// engine's incremental path (a combinational gate off the clock cones).
+func pickEditInst(b *testing.B, eng *incremental.Engine) string {
+	b.Helper()
+	d := eng.Design()
+	for i := range d.Instances {
+		name := d.Instances[i].Name
+		out, err := eng.Apply(incremental.Edit{Op: incremental.Adjust, Inst: name, Delta: 100})
+		if err != nil {
+			continue
+		}
+		if _, err := eng.Apply(incremental.Edit{Op: incremental.Adjust, Inst: name, Delta: -100}); err != nil {
+			b.Fatal(err)
+		}
+		if out.Incremental {
+			return name
+		}
+	}
+	b.Fatal("no incrementally editable instance")
+	return ""
+}
+
+// benchIncrementalEdit measures re-analysis after a single-gate delay edit:
+// the "incremental" case patches the live engine (alternating ±100ps so the
+// state never drifts); the "full" case re-elaborates and re-analyzes from
+// scratch, which is what Algorithm 3 pays without the engine. The ratio is
+// the speedup column of cmd/benchtables' Table 1.
+func benchIncrementalEdit(b *testing.B, mk func() *netlist.Design) {
+	b.Run("incremental", func(b *testing.B) {
+		eng, err := incremental.Open(benchLib, mk(), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := pickEditInst(b, eng)
+		delta := clock.Time(100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := eng.Apply(incremental.Edit{Op: incremental.Adjust, Inst: inst, Delta: delta})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Incremental {
+				b.Fatal("edit fell back to full analysis")
+			}
+			delta = -delta
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		d := mk()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := core.Load(benchLib, d, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.IdentifySlowPaths(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkIncrementalEdit_DES(b *testing.B)  { benchIncrementalEdit(b, workload.DES) }
+func BenchmarkIncrementalEdit_ALU(b *testing.B)  { benchIncrementalEdit(b, workload.ALU) }
+func BenchmarkIncrementalEdit_SM1F(b *testing.B) { benchIncrementalEdit(b, workload.SM1F) }
+func BenchmarkIncrementalEdit_SM1H(b *testing.B) { benchIncrementalEdit(b, workload.SM1H) }
 
 // BenchmarkFigure1_Passes measures the §7 pre-processing on the Figure 1
 // configuration and asserts the minimum pass count (2) it exists to prove.

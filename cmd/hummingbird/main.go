@@ -25,6 +25,7 @@ import (
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
+	"hummingbird/internal/incremental"
 	"hummingbird/internal/logic"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/octdb"
@@ -41,32 +42,58 @@ func main() {
 	}
 }
 
-// session holds the mutable analysis state of one CLI run: the design, the
-// accumulated what-if adjustments and the current analyzer/report.
+// session holds the mutable analysis state of one CLI run: the incremental
+// engine plus cached views of its analyzer and report. Delay adjustments
+// flow through the engine's edit API (patching only the dirty clusters);
+// structural changes like clock reshaping reopen the engine.
 type session struct {
 	lib    *celllib.Library
 	design *netlist.Design
 	opts   core.Options
 
+	eng      *incremental.Engine
 	analyzer *core.Analyzer
 	rep      *core.Report
 	pre, ana time.Duration
 }
 
+// rebuild (re)opens the incremental engine: a full elaboration + analysis.
 func (s *session) rebuild() error {
 	t0 := time.Now()
-	a, err := core.Load(s.lib, s.design, s.opts)
+	eng, err := incremental.Open(s.lib, s.design, s.opts)
 	if err != nil {
 		return err
 	}
 	s.pre = time.Since(t0)
-	t1 := time.Now()
-	rep, err := a.IdentifySlowPaths()
+	s.ana = 0
+	s.eng = eng
+	s.sync()
+	return nil
+}
+
+// sync refreshes the cached views after the engine re-analyzed (the engine
+// replaces its analyzer — and possibly its design — on topology edits).
+func (s *session) sync() {
+	s.design = s.eng.Design()
+	s.opts = s.eng.Options()
+	s.analyzer = s.eng.Analyzer()
+	s.rep = s.eng.Report()
+}
+
+// apply routes one edit through the engine and refreshes the views.
+func (s *session) apply(w io.Writer, edits ...incremental.Edit) error {
+	t0 := time.Now()
+	out, err := s.eng.Apply(edits...)
 	if err != nil {
 		return err
 	}
-	s.ana = time.Since(t1)
-	s.analyzer, s.rep = a, rep
+	s.ana = time.Since(t0)
+	s.sync()
+	if out.Incremental {
+		fmt.Fprintf(w, "re-analysis: incremental, %d dirty clusters, %v\n", out.DirtyClusters, s.ana)
+	} else {
+		fmt.Fprintf(w, "re-analysis: full rebuild (%s), %v\n", out.FallbackReason, s.ana)
+	}
 	return nil
 }
 
@@ -179,7 +206,7 @@ func run(args []string, stdin io.Reader, w, errW io.Writer) error {
 	}
 
 	report.Summary(w, s.analyzer, s.rep)
-	fmt.Fprintf(w, "pre-processing %v, analysis %v\n", s.pre, s.ana)
+	fmt.Fprintf(w, "elaboration + analysis %v\n", s.pre)
 	if !s.rep.OK && *paths > 0 {
 		report.SlowPaths(w, s.analyzer, s.rep, *paths)
 	}
@@ -193,7 +220,7 @@ func run(args []string, stdin io.Reader, w, errW io.Writer) error {
 		report.CriticalPaths(w, s.analyzer, s.rep.Result, *worst)
 	}
 	if *constraints {
-		c, err := s.analyzer.GenerateConstraints()
+		c, err := s.eng.Constraints()
 		if err != nil {
 			return err
 		}
@@ -351,6 +378,8 @@ const replHelp = `commands:
   clock NAME period|rise|fall TIME
                                reshape a clock waveform and re-analyse
   adjust INST DELTA            add DELTA (e.g. 200ps, -1ns) to a component's delays
+                               (incremental: only the affected clusters re-analyse)
+  resize INST CELL             repoint a component at another library cell
   slacks [N]                   print the N tightest net slacks (default 10)
   paths [N]                    print the N worst slow paths (default 10)
   worst [N]                    print the N most critical endpoint paths
@@ -409,8 +438,17 @@ func repl(s *session, in io.Reader, w io.Writer) error {
 				fmt.Fprintln(w, "error:", err)
 				continue
 			}
-			s.opts.Adjustments[f[1]] += delta
-			if err := s.rebuild(); err != nil {
+			if err := s.apply(w, incremental.Edit{Op: incremental.Adjust, Inst: f[1], Delta: delta}); err != nil {
+				fmt.Fprintln(w, "error:", err)
+				continue
+			}
+			report.Summary(w, s.analyzer, s.rep)
+		case "resize":
+			if len(f) != 3 {
+				fmt.Fprintln(w, "usage: resize INST CELL")
+				continue
+			}
+			if err := s.apply(w, incremental.Edit{Op: incremental.Resize, Inst: f[1], To: f[2]}); err != nil {
 				fmt.Fprintln(w, "error:", err)
 				continue
 			}
@@ -424,17 +462,15 @@ func repl(s *session, in io.Reader, w io.Writer) error {
 		case "plan":
 			report.Plan(w, s.analyzer)
 		case "constraints":
-			c, err := s.analyzer.GenerateConstraints()
+			// The engine reuses the final Algorithm 1 analysis and
+			// restores the fixed-point offsets afterwards, so no rebuild
+			// is needed between constraint dumps and other commands.
+			c, err := s.eng.Constraints()
 			if err != nil {
 				fmt.Fprintln(w, "error:", err)
 				continue
 			}
 			report.Constraints(w, s.analyzer, c, f[1:])
-			// Constraint generation moves the offsets; restore the
-			// Algorithm 1 state for subsequent commands.
-			if err := s.rebuild(); err != nil {
-				fmt.Fprintln(w, "error:", err)
-			}
 		case "supp":
 			printSupplementary(w, s)
 		case "skew":

@@ -1,0 +1,658 @@
+// Command hummingbirdd is the long-lived analysis session server: clients
+// open a design, stream edits against it and receive delta timing reports,
+// the way a resynthesis tool drives the analyzer in the paper's Algorithm 3
+// loop — but over HTTP/JSON so the elaborated network and cached analysis
+// state survive between calls.
+//
+// Protocol (see docs/INCREMENTAL.md for a worked curl session):
+//
+//	POST   /v1/sessions                 {"design": "<netlist text>"} → session + first report
+//	GET    /v1/sessions                 list open sessions
+//	GET    /v1/sessions/{id}            session summary
+//	POST   /v1/sessions/{id}/edits      {"edits":[...]} → delta report
+//	GET    /v1/sessions/{id}/report     full analysis JSON
+//	GET    /v1/sessions/{id}/constraints?net=N  Algorithm 2 budgets
+//	DELETE /v1/sessions/{id}            close (parks the state in the LRU cache)
+//	GET    /healthz                     liveness
+//	GET    /metrics                     telemetry snapshot JSON
+//
+// Sessions are concurrent; edits within one session are serialized. Closed
+// sessions' engines are parked in an LRU cache keyed by the design's state
+// hash, so re-opening the same design (adjustments included) skips the full
+// elaboration.
+package main
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/core"
+	"hummingbird/internal/incremental"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/report"
+	"hummingbird/internal/telemetry"
+)
+
+var (
+	mSessionsOpened = telemetry.NewCounter("hummingbirdd.sessions_opened")
+	mSessionsClosed = telemetry.NewCounter("hummingbirdd.sessions_closed")
+	mEditCalls      = telemetry.NewCounter("hummingbirdd.edit_calls")
+	mCacheHits      = telemetry.NewCounter("hummingbirdd.cache_hits")
+	mCacheMisses    = telemetry.NewCounter("hummingbirdd.cache_misses")
+	mCacheEvictions = telemetry.NewCounter("hummingbirdd.cache_evictions")
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hummingbirdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("hummingbirdd", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7077", "listen address")
+		libFile     = fs.String("lib", "", "cell library file (default: built-in library)")
+		maxSessions = fs.Int("max-sessions", 64, "maximum concurrently open sessions")
+		cacheSize   = fs.Int("cache", 16, "LRU capacity for parked analysis states")
+		metricsOut  = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lib := celllib.Default()
+	if *libFile != "" {
+		lf, err := os.Open(*libFile)
+		if err != nil {
+			return err
+		}
+		var perr error
+		lib, perr = celllib.ParseLibrary(lf)
+		lf.Close()
+		if perr != nil {
+			return perr
+		}
+	}
+	telemetry.Enable()
+	defer telemetry.Disable()
+
+	srv := newServer(lib, *maxSessions, *cacheSize)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(w, "hummingbirdd listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "hummingbirdd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSnapshot(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote telemetry snapshot to %s\n", *metricsOut)
+	}
+	return nil
+}
+
+// sess is one open analysis session. Its mutex serializes edits and
+// report reads within the session; different sessions run concurrently.
+type sess struct {
+	id string
+
+	mu      sync.Mutex
+	eng     *incremental.Engine
+	edits   int
+	created time.Time
+	// prevSlack maps net name → slack after the previous analysis, for
+	// delta reports (by name so full rebuilds that renumber nets still
+	// diff correctly).
+	prevSlack map[string]clock.Time
+}
+
+// server owns the session table and the parked-state cache.
+type server struct {
+	lib  *celllib.Library
+	opts core.Options
+
+	mu          sync.Mutex
+	sessions    map[string]*sess
+	nextID      int
+	maxSessions int
+	cache       *lruCache
+}
+
+func newServer(lib *celllib.Library, maxSessions, cacheSize int) *server {
+	return &server{
+		lib:         lib,
+		opts:        core.DefaultOptions(),
+		sessions:    make(map[string]*sess),
+		maxSessions: maxSessions,
+		cache:       newLRU(cacheSize),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSummary)
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleEdits)
+	mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/sessions/{id}/constraints", s.handleConstraints)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteSnapshot(w)
+	})
+	return mux
+}
+
+type openRequest struct {
+	// Design is the netlist text (the .hb format).
+	Design string `json:"design"`
+	// Adjustments maps instance names to additive delay adjustments
+	// ("200ps", "-1ns").
+	Adjustments map[string]string `json:"adjustments,omitempty"`
+}
+
+func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req openRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	design, err := netlist.ParseString(req.Design)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "parse design: %v", err)
+		return
+	}
+	opts := s.opts
+	opts.Adjustments = map[string]clock.Time{}
+	for inst, v := range req.Adjustments {
+		t, err := netlist.ParseTime(v)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "adjustment %s: %v", inst, err)
+			return
+		}
+		opts.Adjustments[inst] = t
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.maxSessions {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "session limit (%d) reached", s.maxSessions)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	// Probe the parked-state cache before paying for an elaboration.
+	key := incremental.StateKey(design, opts.Adjustments)
+	eng := s.cache.take(key)
+	s.mu.Unlock()
+
+	cached := eng != nil
+	if cached {
+		mCacheHits.Inc()
+	} else {
+		mCacheMisses.Inc()
+		var err error
+		eng, err = incremental.Open(s.lib, design, opts)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "open design: %v", err)
+			return
+		}
+	}
+	ss := &sess{id: id, eng: eng, created: time.Now()}
+	ss.rememberSlacks()
+	s.mu.Lock()
+	s.sessions[id] = ss
+	s.mu.Unlock()
+	mSessionsOpened.Inc()
+
+	resp := map[string]any{
+		"session": id,
+		"cached":  cached,
+	}
+	ss.mu.Lock()
+	addSummary(resp, ss)
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		if ss := s.session(id); ss != nil {
+			ss.mu.Lock()
+			m := map[string]any{"session": ss.id}
+			addSummary(m, ss)
+			ss.mu.Unlock()
+			out = append(out, m)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *server) session(id string) *sess {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ss.mu.Lock()
+	resp := map[string]any{"session": ss.id}
+	addSummary(resp, ss)
+	ss.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// addSummary fills the common session fields; callers hold ss.mu.
+func addSummary(m map[string]any, ss *sess) {
+	eng := ss.eng
+	d := eng.Design()
+	m["design"] = d.Name
+	m["edits"] = ss.edits
+	m["state_hash"] = eng.StateHash()
+	if rep := eng.Report(); rep != nil {
+		m["ok"] = rep.OK
+		m["worst_slack"] = timeJSON(rep.WorstSlack())
+		m["slow_elements"] = len(rep.SlowElems)
+	}
+	a := eng.Analyzer()
+	m["cells"] = len(d.Instances)
+	m["nets"] = len(a.NW.Nets)
+	m["clusters"] = len(a.NW.Clusters)
+}
+
+type editJSON struct {
+	Op    string            `json:"op"`
+	Inst  string            `json:"inst,omitempty"`
+	To    string            `json:"to,omitempty"`
+	Delta string            `json:"delta,omitempty"`
+	Pin   string            `json:"pin,omitempty"`
+	Net   string            `json:"net,omitempty"`
+	Ref   string            `json:"ref,omitempty"`
+	Conns map[string]string `json:"conns,omitempty"`
+}
+
+func (e *editJSON) toEdit() (incremental.Edit, error) {
+	var ed incremental.Edit
+	switch e.Op {
+	case "adjust":
+		ed.Op = incremental.Adjust
+		t, err := netlist.ParseTime(e.Delta)
+		if err != nil {
+			return ed, fmt.Errorf("adjust %s: delta: %w", e.Inst, err)
+		}
+		ed.Delta = t
+	case "resize":
+		ed.Op = incremental.Resize
+	case "replace":
+		ed.Op = incremental.Replace
+	case "add":
+		ed.Op = incremental.AddInst
+		ed.New = &netlist.Instance{Name: e.Inst, Ref: e.Ref, Conns: e.Conns}
+	case "remove":
+		ed.Op = incremental.RemoveInst
+	case "rewire":
+		ed.Op = incremental.Rewire
+	default:
+		return ed, fmt.Errorf("unknown op %q", e.Op)
+	}
+	ed.Inst = e.Inst
+	ed.To = e.To
+	ed.Pin = e.Pin
+	ed.Net = e.Net
+	return ed, nil
+}
+
+func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req struct {
+		Edits []editJSON `json:"edits"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Edits) == 0 {
+		httpError(w, http.StatusBadRequest, "no edits")
+		return
+	}
+	edits := make([]incremental.Edit, len(req.Edits))
+	for i := range req.Edits {
+		ed, err := req.Edits[i].toEdit()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "edit %d: %v", i, err)
+			return
+		}
+		edits[i] = ed
+	}
+	mEditCalls.Inc()
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	prevWorst := clock.Inf
+	if rep := ss.eng.Report(); rep != nil {
+		prevWorst = rep.WorstSlack()
+	}
+	t0 := time.Now()
+	out, err := ss.eng.Apply(edits...)
+	elapsed := time.Since(t0)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "apply: %v", err)
+		return
+	}
+	ss.edits += len(edits)
+
+	rep := out.Report
+	resp := map[string]any{
+		"session":     ss.id,
+		"incremental": out.Incremental,
+		"elapsed_us":  elapsed.Microseconds(),
+		"ok":          rep.OK,
+		"worst_slack": timeJSON(rep.WorstSlack()),
+	}
+	if out.Incremental {
+		resp["dirty_clusters"] = out.DirtyClusters
+	} else {
+		resp["fallback_reason"] = out.FallbackReason
+	}
+	if prevWorst != clock.Inf && rep.WorstSlack() != clock.Inf {
+		resp["worst_slack_delta_ps"] = int64(rep.WorstSlack() - prevWorst)
+	}
+	resp["changed_nets"] = ss.slackDeltas()
+	ss.rememberSlacks()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rememberSlacks snapshots per-net slacks for the next delta report;
+// callers hold ss.mu.
+func (ss *sess) rememberSlacks() {
+	rep := ss.eng.Report()
+	if rep == nil {
+		ss.prevSlack = nil
+		return
+	}
+	nw := ss.eng.Analyzer().NW
+	m := make(map[string]clock.Time, len(nw.Nets))
+	for i, name := range nw.Nets {
+		m[name] = rep.Result.NetSlack[i]
+	}
+	ss.prevSlack = m
+}
+
+// slackDeltas lists the nets whose slack moved since the previous
+// analysis, tightest new slack first, capped at 20 entries.
+func (ss *sess) slackDeltas() []map[string]any {
+	rep := ss.eng.Report()
+	if rep == nil {
+		return nil
+	}
+	nw := ss.eng.Analyzer().NW
+	type delta struct {
+		net      string
+		now, was clock.Time
+		hasWas   bool
+	}
+	var ds []delta
+	for i, name := range nw.Nets {
+		now := rep.Result.NetSlack[i]
+		was, ok := ss.prevSlack[name]
+		if ok && was == now {
+			continue
+		}
+		if !ok && now == clock.Inf {
+			continue
+		}
+		ds = append(ds, delta{net: name, now: now, was: was, hasWas: ok})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].now != ds[j].now {
+			return ds[i].now < ds[j].now
+		}
+		return ds[i].net < ds[j].net
+	})
+	total := len(ds)
+	if total > 20 {
+		ds = ds[:20]
+	}
+	out := make([]map[string]any, 0, len(ds)+1)
+	for _, d := range ds {
+		m := map[string]any{"net": d.net, "slack": timeJSON(d.now)}
+		if d.hasWas {
+			m["was"] = timeJSON(d.was)
+		}
+		out = append(out, m)
+	}
+	if total > len(ds) {
+		out = append(out, map[string]any{"truncated": total - len(ds)})
+	}
+	return out
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	rep := ss.eng.Report()
+	if rep == nil {
+		httpError(w, http.StatusConflict, "no valid analysis (last edit failed to converge)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := report.WriteJSON(w, ss.eng.Analyzer(), rep); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode report: %v", err)
+	}
+}
+
+func (s *server) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	cons, err := ss.eng.Constraints()
+	if err != nil {
+		httpError(w, http.StatusConflict, "constraints: %v", err)
+		return
+	}
+	a := ss.eng.Analyzer()
+	var names []string
+	if q := r.URL.Query()["net"]; len(q) > 0 {
+		names = q
+	} else {
+		names = append(names, a.NW.Nets...)
+	}
+	type netTimes struct {
+		Net      string `json:"net"`
+		Cluster  int    `json:"cluster"`
+		Pass     int    `json:"pass"`
+		Ready    any    `json:"ready"`
+		Required any    `json:"required"`
+	}
+	var out []netTimes
+	for _, name := range names {
+		id, ok := a.NW.NetIdx[name]
+		if !ok {
+			httpError(w, http.StatusUnprocessableEntity, "unknown net %q", name)
+			return
+		}
+		for _, nt := range cons.NetTimes(id) {
+			if nt.Ready() == -clock.Inf && nt.Required() == clock.Inf {
+				continue
+			}
+			out = append(out, netTimes{
+				Net: name, Cluster: nt.Cluster, Pass: nt.Pass,
+				Ready: timeJSON(nt.Ready()), Required: timeJSON(nt.Required()),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":           ss.id,
+		"backward_snatches": cons.BackwardSnatches,
+		"forward_snatches":  cons.ForwardSnatches,
+		"nets":              out,
+	})
+}
+
+func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	mSessionsClosed.Inc()
+	ss.mu.Lock()
+	eng := ss.eng
+	ss.eng = nil
+	ss.mu.Unlock()
+	parked := false
+	if eng != nil && eng.Report() != nil {
+		s.mu.Lock()
+		if evicted := s.cache.put(eng.StateHash(), eng); evicted {
+			mCacheEvictions.Inc()
+		}
+		s.mu.Unlock()
+		parked = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "closed": true, "parked": parked})
+}
+
+// timeJSON renders a clock.Time as a JSON-friendly value: integer
+// picoseconds, or the string "inf"/"-inf" at the sentinels.
+func timeJSON(t clock.Time) any {
+	switch t {
+	case clock.Inf:
+		return "inf"
+	case -clock.Inf:
+		return "-inf"
+	}
+	return int64(t)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	// Keep error bodies single-line JSON for easy client handling.
+	msg = strings.ReplaceAll(msg, "\n", " ")
+	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// lruCache parks closed sessions' engines, keyed by state hash. take
+// transfers ownership out of the cache (an engine is never shared).
+type lruCache struct {
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	eng *incremental.Engine
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) take(key string) *incremental.Engine {
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.ll.Remove(el)
+	delete(c.m, key)
+	return el.Value.(*lruEntry).eng
+}
+
+func (c *lruCache) put(key string, eng *incremental.Engine) (evicted bool) {
+	if c.max <= 0 {
+		return false
+	}
+	if el, ok := c.m[key]; ok {
+		// Same state already parked; keep the existing one fresh.
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, eng: eng})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+		return true
+	}
+	return false
+}

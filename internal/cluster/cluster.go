@@ -132,6 +132,14 @@ type Network struct {
 	ctrlNets []bool
 }
 
+// IsControlNet reports whether the net (global id) lies in a pure clock
+// cone: a clock source, buffered clock or gating-gate output. Edits that
+// touch control nets re-shape the clock cones and the sites built from
+// them, so the incremental engine treats them as topology changes.
+func (nw *Network) IsControlNet(id int) bool {
+	return id >= 0 && id < len(nw.ctrlNets) && nw.ctrlNets[id]
+}
+
 // enableIn is one enable net feeding a control cone, with the worst-case
 // gating-logic delay from that net to the control pin.
 type enableIn struct {

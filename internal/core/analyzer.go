@@ -255,9 +255,22 @@ func (a *Analyzer) ResetOffsets() {
 func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
+	return a.identifySlowPathsFrom(sta.Analyze(a.NW))
+}
+
+// IdentifySlowPathsFrom runs Algorithm 1 starting from res, which must be
+// the block analysis of the network at its current offsets (for example a
+// cached result brought up to date with sta.Recompute). res is consumed:
+// the fixed point mutates it in place and the report retains it.
+func (a *Analyzer) IdentifySlowPathsFrom(res *sta.Result) (*Report, error) {
+	t0 := time.Now()
+	defer func() { tAnalysis.Observe(time.Since(t0)) }()
+	return a.identifySlowPathsFrom(res)
+}
+
+func (a *Analyzer) identifySlowPathsFrom(res *sta.Result) (*Report, error) {
 	a.conv.reset(a.Opts.Trace != nil)
 	rep := &Report{}
-	res := sta.Analyze(a.NW)
 
 	// Iteration 1: complete forward slack transfer to a fixed point.
 	for sweep := 0; ; sweep++ {

@@ -40,15 +40,29 @@ type Constraints struct {
 func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 	t0 := time.Now()
 	defer func() { tConstraints.Observe(time.Since(t0)) }()
+	return a.generateConstraintsFrom(sta.Analyze(a.NW))
+}
+
+// GenerateConstraintsFrom runs Algorithm 2 starting from res, which must be
+// the block analysis of the network at the current (post-Algorithm-1)
+// offsets — typically a clone of the Report's final Result. res is consumed:
+// the snatch fixed points mutate it in place. Note the snatches also move
+// the element offsets; callers that want to keep using the Algorithm-1
+// fixed point must save and restore the offsets around this call.
+func (a *Analyzer) GenerateConstraintsFrom(res *sta.Result) (*Constraints, error) {
+	t0 := time.Now()
+	defer func() { tConstraints.Observe(time.Since(t0)) }()
+	return a.generateConstraintsFrom(res)
+}
+
+func (a *Analyzer) generateConstraintsFrom(res *sta.Result) (*Constraints, error) {
 	a.conv.reset(a.Opts.Trace != nil)
-	nw := a.NW
 	c := &Constraints{}
 
 	// Iteration 1: snatch time backward across all synchronising elements
 	// until none is snatched; this traces actual ready times forward
 	// through the network, stopping when the actual times have been found
 	// for nodes in paths that are too slow.
-	res := sta.Analyze(nw)
 	for sweep := 0; ; sweep++ {
 		if sweep > a.Opts.MaxSweeps {
 			return nil, a.nonConverged("snatch-backward")

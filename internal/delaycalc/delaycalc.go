@@ -121,6 +121,50 @@ func New(lib *celllib.Library, design *netlist.Design, opts Options) (*Calc, err
 	return c, nil
 }
 
+// RefreshLoads recomputes the capacitive loads of the named nets from the
+// design's current instances. The incremental engine calls this after a
+// cell resize: the resized instance's input pin capacitances change the
+// loads — and hence the arc delays — of the nets driving it.
+func (c *Calc) RefreshLoads(nets []string) {
+	if len(nets) == 0 {
+		return
+	}
+	want := make(map[string]bool, len(nets))
+	for _, n := range nets {
+		want[n] = true
+	}
+	sinkCount := map[string]int{}
+	pinCap := map[string]celllib.Cap{}
+	for _, inst := range c.design.Instances {
+		cell := c.lib.Cell(inst.Ref)
+		if cell == nil {
+			continue
+		}
+		for pin, net := range inst.Conns {
+			if !want[net] {
+				continue
+			}
+			if p := cell.Pin(pin); p != nil && p.Dir == celllib.In {
+				sinkCount[net]++
+				pinCap[net] += p.C
+			}
+		}
+	}
+	for _, p := range c.design.Ports {
+		if p.Dir == netlist.Output && want[p.Name] {
+			sinkCount[p.Name]++
+			pinCap[p.Name] += c.opts.DefaultPortLoad
+		}
+	}
+	for _, net := range nets {
+		load := pinCap[net]
+		if n := sinkCount[net]; n > 0 {
+			load += c.opts.WireCapBase + celllib.Cap(n)*c.opts.WireCapPerFanout
+		}
+		c.loads[net] = load
+	}
+}
+
 // NetLoad returns the total capacitive load on the named net.
 func (c *Calc) NetLoad(net string) celllib.Cap { return c.loads[net] }
 

@@ -1,0 +1,189 @@
+package incremental
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sort"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/clock"
+	"hummingbird/internal/netlist"
+)
+
+// TopologyChecksum hashes everything that shapes the elaborated timing
+// network — clocks, ports, instance connectivity and each referenced
+// cell's pin/arc interface and synchronising parameters — while excluding
+// what delay-only edits may change: delay expressions, input capacitances
+// and per-instance adjustments. Two designs with equal checksums elaborate
+// to networks with identical clusters, sites and arcs (only the arc delay
+// values may differ).
+//
+// The checksum is a wrap-around sum of one FNV-1a term per instance plus a
+// header term, so a single-instance edit shifts the checksum by exactly
+// (new instance term − old instance term) — which is what lets the engine
+// verify a delay-only batch in O(edit) instead of rehashing the design.
+func TopologyChecksum(d *netlist.Design, lib *celllib.Library) uint64 {
+	sum := headerTerm(d)
+	for i := range d.Instances {
+		sum += instanceTerm(&d.Instances[i], lib)
+	}
+	return sum
+}
+
+// headerTerm hashes the design-wide structure: name, clocks, ports and
+// module names.
+func headerTerm(d *netlist.Design) uint64 {
+	h := fnv.New64a()
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	wi := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	ws(d.Name)
+	for _, c := range d.Clocks {
+		ws(c.Name)
+		wi(int64(c.Period))
+		wi(int64(c.RiseAt))
+		wi(int64(c.FallAt))
+	}
+	for _, p := range d.Ports {
+		ws(p.Name)
+		wi(int64(p.Dir))
+		ws(p.RefClock)
+		wi(int64(p.RefEdge))
+		wi(int64(p.Offset))
+	}
+	mods := make([]string, 0, len(d.Modules))
+	for m := range d.Modules {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	for _, m := range mods {
+		ws(m)
+	}
+	return h.Sum64()
+}
+
+// instanceTerm hashes one instance's contribution to the checksum: its
+// name, its cell's interface signature and its sorted connections.
+func instanceTerm(inst *netlist.Instance, lib *celllib.Library) uint64 {
+	h := fnv.New64a()
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	ws(inst.Name)
+	if cell := lib.Cell(inst.Ref); cell != nil {
+		cellSig(h, cell)
+	} else {
+		ws(inst.Ref)
+	}
+	pins := make([]string, 0, len(inst.Conns))
+	for pin := range inst.Conns {
+		pins = append(pins, pin)
+	}
+	sort.Strings(pins)
+	for _, pin := range pins {
+		ws(pin)
+		ws(inst.Conns[pin])
+	}
+	return h.Sum64()
+}
+
+// cellSig writes the parts of a cell that shape the network: kind, pin
+// names/directions/roles, arc endpoints/senses, and sync parameters.
+// Delay expressions and pin capacitances are deliberately excluded so a
+// drive-strength resize within the same interface keeps the checksum.
+func cellSig(h hash.Hash64, c *celllib.Cell) {
+	var b [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	ws("cell")
+	wi(int64(c.Kind))
+	pins := make([]string, len(c.Pins))
+	for i := range c.Pins {
+		pins[i] = c.Pins[i].Name
+	}
+	sort.Strings(pins)
+	for _, name := range pins {
+		p := c.Pin(name)
+		ws(p.Name)
+		wi(int64(p.Dir))
+		wi(int64(p.Role))
+	}
+	type arcKey struct {
+		from, to string
+		sense    celllib.Sense
+	}
+	arcs := make([]arcKey, len(c.Arcs))
+	for i, a := range c.Arcs {
+		arcs[i] = arcKey{a.From, a.To, a.Sense}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].from != arcs[j].from {
+			return arcs[i].from < arcs[j].from
+		}
+		if arcs[i].to != arcs[j].to {
+			return arcs[i].to < arcs[j].to
+		}
+		return arcs[i].sense < arcs[j].sense
+	})
+	for _, a := range arcs {
+		ws(a.from)
+		ws(a.to)
+		wi(int64(a.sense))
+	}
+	if c.Sync != nil {
+		wi(int64(c.Sync.Dsetup))
+		wi(int64(c.Sync.Ddz))
+		wi(int64(c.Sync.Dcz))
+		if c.Sync.ActiveLow {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+}
+
+func (e *Engine) topoHash() uint64 {
+	return TopologyChecksum(e.design, e.an.Lib)
+}
+
+// StateHash identifies the engine's full analysis state: the canonical
+// netlist text plus the cumulative delay adjustments. Two engines with
+// equal state hashes produce identical reports, which is what lets
+// hummingbirdd key its cache of parked analysis states on it.
+func (e *Engine) StateHash() string {
+	return StateKey(e.design, e.opts.Adjustments)
+}
+
+// StateKey computes the analysis-state hash for a design + adjustments
+// pair without building an engine — servers use it to probe their cache
+// before paying for a full elaboration.
+func StateKey(d *netlist.Design, adjustments map[string]clock.Time) string {
+	h := sha256.New()
+	netlist.Write(h, d)
+	names := make([]string, 0, len(adjustments))
+	for n := range adjustments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "adjust %s %d\n", n, int64(adjustments[n]))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

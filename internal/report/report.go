@@ -37,6 +37,11 @@ type Row struct {
 	Recomputes int64
 	// DelayEvals counts delay-expression evaluations (likewise).
 	DelayEvals int64
+	// IncrEdit and FullEdit are the re-analysis times after a single-gate
+	// delay edit: through the incremental engine (dirty clusters only) and
+	// from scratch (full elaboration + Algorithm 1). Zero when the
+	// measurement was not taken.
+	IncrEdit, FullEdit time.Duration
 	// OK is the timing verdict.
 	OK bool
 }
@@ -44,13 +49,20 @@ type Row struct {
 // Table1 renders rows in the shape of the paper's Table 1 (with this
 // machine's times substituted for VAX 8800 CPU seconds).
 func Table1(w io.Writer, rows []Row) {
-	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %9s %9s %5s\n",
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %9s %9s %10s %10s %8s %5s\n",
 		"name", "cells", "nets", "latches", "clusters", "passes",
-		"preprocess", "analysis", "sweeps", "recomps", "devals", "ok")
+		"preprocess", "analysis", "sweeps", "recomps", "devals",
+		"incr-edit", "full-edit", "speedup", "ok")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %9d %9d %5v\n",
+		incr, full, speedup := "-", "-", "-"
+		if r.IncrEdit > 0 && r.FullEdit > 0 {
+			incr, full = fmtDur(r.IncrEdit), fmtDur(r.FullEdit)
+			speedup = fmt.Sprintf("%.1fx", float64(r.FullEdit)/float64(r.IncrEdit))
+		}
+		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %9d %9d %10s %10s %8s %5v\n",
 			r.Name, r.Cells, r.Nets, r.Latches, r.Clusters, r.Passes,
-			fmtDur(r.PreProcess), fmtDur(r.Analysis), r.Sweeps, r.Recomputes, r.DelayEvals, r.OK)
+			fmtDur(r.PreProcess), fmtDur(r.Analysis), r.Sweeps, r.Recomputes, r.DelayEvals,
+			incr, full, speedup, r.OK)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
+	"hummingbird/internal/incremental"
 	"hummingbird/internal/netlist"
 )
 
@@ -85,19 +86,29 @@ func designArea(lib *celllib.Library, d *netlist.Design) int64 {
 // Run drives the Algorithm 3 loop on the design, mutating it in place
 // (instance references are retargeted to larger drives). maxIter bounds
 // the number of redesign steps.
+//
+// The loop runs through the incremental engine: the design is elaborated
+// once, and each drive resize re-analyses only the clusters whose arc
+// delays (own arcs plus arcs driving the resized gate's input nets)
+// actually changed — the paper's Algorithm 3 "re-perform timing analysis"
+// step at incremental cost.
 func Run(lib *celllib.Library, design *netlist.Design, opts core.Options, maxIter int) (*Result, error) {
 	res := &Result{AreaBefore: designArea(lib, design)}
-	defer func() { res.AreaAfter = designArea(lib, design) }()
+	var eng *incremental.Engine
+	defer func() {
+		d := design
+		if eng != nil {
+			d = eng.Design()
+		}
+		res.AreaAfter = designArea(lib, d)
+	}()
 
+	eng, err := incremental.Open(lib, design, opts)
+	if err != nil {
+		return nil, err
+	}
 	for iter := 0; ; iter++ {
-		a, err := core.Load(lib, design, opts)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := a.IdentifySlowPaths()
-		if err != nil {
-			return nil, err
-		}
+		rep := eng.Report()
 		res.Iterations = iter + 1
 		res.WorstSlack = rep.WorstSlack()
 		if rep.OK {
@@ -109,15 +120,17 @@ func Run(lib *celllib.Library, design *netlist.Design, opts core.Options, maxIte
 		}
 		// Constraint generation for the modules traversed by slow paths
 		// (Algorithm 2); the budgets steer candidate selection.
-		constraints, err := a.GenerateConstraints()
+		constraints, err := eng.Constraints()
 		if err != nil {
 			return nil, err
 		}
-		change, ok := pickChange(a, rep, constraints)
+		change, ok := pickChange(eng.Analyzer(), rep, constraints)
 		if !ok {
 			return res, nil // no move available: report failure honestly
 		}
-		applyChange(design, change)
+		if _, err := eng.Apply(incremental.Edit{Op: incremental.Resize, Inst: change.Inst, To: change.ToCell}); err != nil {
+			return nil, err
+		}
 		res.Changes = append(res.Changes, change)
 	}
 }
@@ -227,13 +240,4 @@ func pickChange(a *core.Analyzer, rep *core.Report, c *core.Constraints) (Change
 		return Change{}, false
 	}
 	return best, true
-}
-
-func applyChange(design *netlist.Design, ch Change) {
-	for i := range design.Instances {
-		if design.Instances[i].Name == ch.Inst {
-			design.Instances[i].Ref = ch.ToCell
-			return
-		}
-	}
 }

@@ -14,6 +14,7 @@
 package sta
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,29 @@ type Result struct {
 	// Passes carries the per-pass detail used for reporting and for
 	// Algorithm 2's recorded ready/required times.
 	Passes []PassDetail
+}
+
+// Clone returns a deep copy of the result. The per-pass Nets slices are
+// shared with the original: they alias the owning cluster's member list,
+// which no analysis mutates.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		InSlack:  append([]clock.Time(nil), r.InSlack...),
+		OutSlack: append([]clock.Time(nil), r.OutSlack...),
+		NetSlack: append([]clock.Time(nil), r.NetSlack...),
+		Passes:   make([]PassDetail, len(r.Passes)),
+	}
+	for i, p := range r.Passes {
+		c.Passes[i] = PassDetail{
+			Cluster: p.Cluster, Pass: p.Pass, Beta: p.Beta,
+			Nets:   p.Nets,
+			ReadyR: append([]clock.Time(nil), p.ReadyR...),
+			ReadyF: append([]clock.Time(nil), p.ReadyF...),
+			ReqR:   append([]clock.Time(nil), p.ReqR...),
+			ReqF:   append([]clock.Time(nil), p.ReqF...),
+		}
+	}
+	return c
 }
 
 // MinElemSlack returns the smaller of the element's terminal slacks.
@@ -198,6 +222,14 @@ func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
 	for _, id := range clusterIDs {
 		res.Passes = append(res.Passes, analyzeCluster(nw, nw.Clusters[id], res)...)
 	}
+	// Keep the pass list in Analyze's (cluster, pass) order so a result
+	// maintained by Recompute stays interchangeable with a fresh Analyze.
+	sort.Slice(res.Passes, func(i, j int) bool {
+		if res.Passes[i].Cluster != res.Passes[j].Cluster {
+			return res.Passes[i].Cluster < res.Passes[j].Cluster
+		}
+		return res.Passes[i].Pass < res.Passes[j].Pass
+	})
 }
 
 func newResult(nw *cluster.Network) *Result {

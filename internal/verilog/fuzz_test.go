@@ -1,0 +1,47 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"hummingbird/internal/netlist"
+)
+
+// FuzzImport checks the Verilog importer never panics and that accepted
+// sources produce designs the netlist layer can serialise and re-parse
+// without changing shape (the same invariant netlist.FuzzParse holds for
+// its own format).
+func FuzzImport(f *testing.F) {
+	f.Add(`module top(a, y); input a; output y; INV_X1 g1(.A(a), .Y(y)); endmodule`)
+	f.Add(`module top(); endmodule`)
+	f.Add(`module sub(a, y); input a; output y; BUF_X1 b(.A(a), .Y(y)); endmodule
+module top(a, y); input a; output y; sub s(.a(a), .y(y)); endmodule`)
+	f.Add(`module top(a); input a; wire w; // comment
+/* block */ endmodule`)
+	f.Add(`module \esc~ape (a); input a; endmodule`)
+	f.Add("module m(a; input a endmodule")
+	f.Add("module m(a); input a; INV_X1 g(.A(a), .Y()); endmodule")
+	f.Add("/* */ // \nmodule m(); endmodule")
+	f.Add("module m(a, y);\ninput a;\noutput y;\nNAND2_X1 g(.A(a), .B(a), .Y(y));\nendmodule\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ImportString(src, "")
+		if err != nil {
+			return
+		}
+		if d.Name == "" {
+			t.Fatal("accepted design with empty name")
+		}
+		var sb strings.Builder
+		if err := netlist.Write(&sb, d); err != nil {
+			t.Fatalf("write of imported design failed: %v", err)
+		}
+		d2, err := netlist.ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		if d2.Name != d.Name || len(d2.Instances) != len(d.Instances) ||
+			len(d2.Ports) != len(d.Ports) || len(d2.Modules) != len(d.Modules) {
+			t.Fatalf("round trip changed shape:\n%s", sb.String())
+		}
+	})
+}

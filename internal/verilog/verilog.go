@@ -204,6 +204,18 @@ func lex(src string) ([]token, error) {
 			}
 			line += strings.Count(src[i:i+2+end+2], "\n")
 			i += 2 + end + 2
+		case c == '\\':
+			// Escaped identifier: backslash up to the next whitespace
+			// (Verilog-1995 §2.7). The backslash is not part of the name.
+			j := i + 1
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\r' && src[j] != '\n' {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("verilog: line %d: empty escaped identifier", line)
+			}
+			toks = append(toks, token{'i', src[i+1 : j], line})
+			i = j
 		case isIdentStart(rune(c)):
 			j := i
 			for j < len(src) && isIdentPart(rune(src[j])) {
@@ -236,7 +248,7 @@ func lex(src string) ([]token, error) {
 }
 
 func isIdentStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_' || r == '\\'
+	return unicode.IsLetter(r) || r == '_'
 }
 
 func isIdentPart(r rune) bool {

@@ -209,20 +209,3 @@ func TestConstrainErrors(t *testing.T) {
 		t.Fatalf("direction mismatch accepted: %v", err)
 	}
 }
-
-// FuzzImport checks the Verilog front end never panics.
-func FuzzImport(f *testing.F) {
-	f.Add(simpleV)
-	f.Add("module m(); endmodule")
-	f.Add("module m(a); input a; INV_X1 g(.A(a), .Y()); endmodule")
-	f.Add("/* */ // \nmodule m(); endmodule")
-	f.Fuzz(func(t *testing.T, src string) {
-		d, err := ImportString(src, "")
-		if err != nil {
-			return
-		}
-		if d.Name == "" {
-			t.Fatal("accepted design with empty name")
-		}
-	})
-}
