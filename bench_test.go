@@ -31,6 +31,21 @@ import (
 
 var benchLib = celllib.Default()
 
+// mustGen unwraps a workload generator; the benchmark configurations are
+// static and valid by construction.
+func mustGen(d *netlist.Design, err error) *netlist.Design {
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// infallible adapts the generators that cannot fail to the fallible
+// signature the shared harnesses take.
+func infallible(mk func() *netlist.Design) func() (*netlist.Design, error) {
+	return func() (*netlist.Design, error) { return mk(), nil }
+}
+
 // loadOnce elaborates a design once (outside the timed loop).
 func loadOnce(b *testing.B, d *netlist.Design) *core.Analyzer {
 	b.Helper()
@@ -43,8 +58,11 @@ func loadOnce(b *testing.B, d *netlist.Design) *core.Analyzer {
 
 // benchTable1 measures one Table-1 row: the full pre-processing + Algorithm
 // 1 pipeline per iteration, matching the paper's reported quantities.
-func benchTable1(b *testing.B, mk func() *netlist.Design) {
-	d := mk()
+func benchTable1(b *testing.B, mk func() (*netlist.Design, error)) {
+	d, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("preprocess", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_, err := core.Load(benchLib, d, core.DefaultOptions())
@@ -71,8 +89,8 @@ func benchTable1(b *testing.B, mk func() *netlist.Design) {
 
 func BenchmarkTable1_DES(b *testing.B)  { benchTable1(b, workload.DES) }
 func BenchmarkTable1_ALU(b *testing.B)  { benchTable1(b, workload.ALU) }
-func BenchmarkTable1_SM1F(b *testing.B) { benchTable1(b, workload.SM1F) }
-func BenchmarkTable1_SM1H(b *testing.B) { benchTable1(b, workload.SM1H) }
+func BenchmarkTable1_SM1F(b *testing.B) { benchTable1(b, infallible(workload.SM1F)) }
+func BenchmarkTable1_SM1H(b *testing.B) { benchTable1(b, infallible(workload.SM1H)) }
 
 // pickEditInst finds an instance whose delay adjustment stays on the
 // engine's incremental path (a combinational gate off the clock cones).
@@ -101,9 +119,13 @@ func pickEditInst(b *testing.B, eng *incremental.Engine) string {
 // state never drifts); the "full" case re-elaborates and re-analyzes from
 // scratch, which is what Algorithm 3 pays without the engine. The ratio is
 // the speedup column of cmd/benchtables' Table 1.
-func benchIncrementalEdit(b *testing.B, mk func() *netlist.Design) {
+func benchIncrementalEdit(b *testing.B, mk func() (*netlist.Design, error)) {
 	b.Run("incremental", func(b *testing.B) {
-		eng, err := incremental.Open(benchLib, mk(), core.DefaultOptions())
+		d, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := incremental.Open(benchLib, d, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +144,10 @@ func benchIncrementalEdit(b *testing.B, mk func() *netlist.Design) {
 		}
 	})
 	b.Run("full", func(b *testing.B) {
-		d := mk()
+		d, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			a, err := core.Load(benchLib, d, core.DefaultOptions())
@@ -138,8 +163,8 @@ func benchIncrementalEdit(b *testing.B, mk func() *netlist.Design) {
 
 func BenchmarkIncrementalEdit_DES(b *testing.B)  { benchIncrementalEdit(b, workload.DES) }
 func BenchmarkIncrementalEdit_ALU(b *testing.B)  { benchIncrementalEdit(b, workload.ALU) }
-func BenchmarkIncrementalEdit_SM1F(b *testing.B) { benchIncrementalEdit(b, workload.SM1F) }
-func BenchmarkIncrementalEdit_SM1H(b *testing.B) { benchIncrementalEdit(b, workload.SM1H) }
+func BenchmarkIncrementalEdit_SM1F(b *testing.B) { benchIncrementalEdit(b, infallible(workload.SM1F)) }
+func BenchmarkIncrementalEdit_SM1H(b *testing.B) { benchIncrementalEdit(b, infallible(workload.SM1H)) }
 
 // BenchmarkFigure1_Passes measures the §7 pre-processing on the Figure 1
 // configuration and asserts the minimum pass count (2) it exists to prove.
@@ -162,7 +187,10 @@ func BenchmarkFigure1_Passes(b *testing.B) {
 // BenchmarkFigure2_GenericModel measures the generic-element effective-time
 // evaluation (the min/max composition of Figure 2).
 func BenchmarkFigure2_GenericModel(b *testing.B) {
-	cs := clock.MustSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	cs, err := clock.NewSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	if err != nil {
+		b.Fatal(err)
+	}
 	st := &celllib.SyncTiming{Dsetup: 150, Ddz: 280, Dcz: 320}
 	elems, err := syncelem.Build("e", celllib.Transparent, st, cs, 0, false, 2000, 1000)
 	if err != nil {
@@ -179,7 +207,10 @@ func BenchmarkFigure2_GenericModel(b *testing.B) {
 // BenchmarkFigure3_SlackTransfer measures the offset operations of §6 on a
 // transparent latch (the Figure 3 relationship drives every transfer).
 func BenchmarkFigure3_SlackTransfer(b *testing.B) {
-	cs := clock.MustSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	cs, err := clock.NewSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	if err != nil {
+		b.Fatal(err)
+	}
 	st := &celllib.SyncTiming{Dsetup: 150, Ddz: 280, Dcz: 320}
 	elems, err := syncelem.Build("e", celllib.Transparent, st, cs, 0, false, 0, 0)
 	if err != nil {
@@ -341,7 +372,7 @@ inst f1 DFF_X1 D=IN CK=phi Q=c0
 
 // benchScaling measures full load+analysis at a given cell count (A5).
 func benchScaling(b *testing.B, cells int) {
-	d := workload.Scaling(cells, 11)
+	d := mustGen(workload.Scaling(cells, 11))
 	for i := 0; i < b.N; i++ {
 		a, err := core.Load(benchLib, d, core.DefaultOptions())
 		if err != nil {
@@ -362,7 +393,7 @@ func BenchmarkScaling_4000(b *testing.B) { benchScaling(b, 4000) }
 // BenchmarkSTA_Sweep isolates one block-analysis sweep over the DES-sized
 // network — the inner loop whose cost dominates Table 1's analysis column.
 func BenchmarkSTA_Sweep(b *testing.B) {
-	a := loadOnce(b, workload.DES())
+	a := loadOnce(b, mustGen(workload.DES()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sta.Analyze(a.NW)
@@ -388,7 +419,7 @@ func BenchmarkAblation_Incremental(b *testing.B) {
 			opts := core.DefaultOptions()
 			opts.FullSweeps = mode.full
 			opts.Adjustments = map[string]clock.Time{"g_s3l2w5": 55 * clock.Ns}
-			a, err := core.Load(benchLib, workload.DES(), opts)
+			a, err := core.Load(benchLib, mustGen(workload.DES()), opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -414,7 +445,7 @@ func BenchmarkAblation_Incremental(b *testing.B) {
 // block analysis on the DES-sized network (same results as the sequential
 // sweep; see internal/sta's equivalence test).
 func BenchmarkSTA_SweepParallel(b *testing.B) {
-	a := loadOnce(b, workload.DES())
+	a := loadOnce(b, mustGen(workload.DES()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sta.AnalyzeParallel(a.NW, 4)
@@ -424,7 +455,7 @@ func BenchmarkSTA_SweepParallel(b *testing.B) {
 // BenchmarkClusterBuild isolates elaboration (cluster generation + §7
 // pre-processing), Table 1's pre-processing column.
 func BenchmarkClusterBuild(b *testing.B) {
-	d := workload.DES()
+	d := mustGen(workload.DES())
 	if err := d.Validate(benchLib); err != nil {
 		b.Fatal(err)
 	}
@@ -447,7 +478,7 @@ func BenchmarkClusterBuild(b *testing.B) {
 // BenchmarkSimulator measures the dynamic-validation harness on the ALU
 // workload: one full 10-cycle worst-case simulation per iteration.
 func BenchmarkSimulator(b *testing.B) {
-	nwA := loadOnce(b, workload.ALU()).NW
+	nwA := loadOnce(b, mustGen(workload.ALU())).NW
 	s, err := sim.New(nwA)
 	if err != nil {
 		b.Fatal(err)
@@ -483,7 +514,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 			opts := core.DefaultOptions()
 			opts.Adjustments = map[string]clock.Time{"g_s3l2w5": 55 * clock.Ns}
-			a, err := core.Load(benchLib, workload.DES(), opts)
+			a, err := core.Load(benchLib, mustGen(workload.DES()), opts)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -70,6 +70,12 @@ func main() {
 	}
 }
 
+// mustGen unwraps a workload generator result.
+func mustGen(d *netlist.Design, err error) *netlist.Design {
+	must(err)
+	return d
+}
+
 func must(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -175,16 +181,16 @@ func runTable1(w io.Writer) {
 	fmt.Fprintln(w, "incr-edit/full-edit: re-analysis after a single-gate delay edit, incremental engine vs from scratch")
 	lib := celllib.Default()
 	rows := []report.Row{
-		table1Row(lib, workload.DES()),
-		table1Row(lib, workload.ALU()),
+		table1Row(lib, mustGen(workload.DES())),
+		table1Row(lib, mustGen(workload.ALU())),
 		table1Row(lib, workload.SM1F()),
 		table1Row(lib, workload.SM1H()),
 	}
 	report.Table1(w, rows)
 	fmt.Fprintln(w, "extension rows (not in the paper's Table 1): gated clock / 2x second clock")
 	report.Table1(w, []report.Row{
-		table1Row(lib, workload.DESGated()),
-		table1Row(lib, workload.DESMultiFreq()),
+		table1Row(lib, mustGen(workload.DESGated())),
+		table1Row(lib, mustGen(workload.DESMultiFreq())),
 	})
 	fmt.Fprintln(w)
 }
@@ -327,7 +333,7 @@ func runAblations(w io.Writer) {
 	{
 		fmt.Fprintf(w, "%8s %12s %12s\n", "cells", "preprocess", "analysis")
 		for _, n := range []int{250, 500, 1000, 2000, 4000} {
-			d := workload.Scaling(n, 11)
+			d := mustGen(workload.Scaling(n, 11))
 			row := analyzeTimed(lib, d)
 			fmt.Fprintf(w, "%8d %12v %12v\n", row.Cells, row.PreProcess, row.Analysis)
 		}

@@ -1,0 +1,355 @@
+//go:build failpoint
+
+// Chaos suite: drives a real hummingbirdd process (the test binary
+// re-execing run()) through crashes, panics, deadline expiry and
+// overload. Build-tag gated because the tests kill processes and sleep on
+// real wall clock; run with
+//
+//	go test -tags failpoint ./cmd/hummingbirdd/ -run TestChaos
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/incremental"
+	"hummingbird/internal/netlist"
+)
+
+func TestMain(m *testing.M) {
+	// Child mode: become the daemon. The parent passes the argument vector
+	// JSON-encoded to sidestep shell quoting.
+	if argsJSON := os.Getenv("HB_CHAOS_DAEMON_ARGS"); argsJSON != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(argsJSON), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos daemon: bad args:", err)
+			os.Exit(2)
+		}
+		if err := run(args, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos daemon:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one live hummingbirdd child process under test.
+type daemon struct {
+	base string
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// startDaemon re-execs the test binary as a hummingbirdd with the given
+// extra flags and waits until /healthz answers.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr}, extra...)
+	argsJSON, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "HB_CHAOS_DAEMON_ARGS="+string(argsJSON))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{base: "http://" + addr, cmd: cmd, done: make(chan error, 1)}
+	go func() {
+		d.done <- cmd.Wait()
+		close(d.done) // later receives (cleanup after an explicit kill) read nil
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-d.done
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon at %s never became healthy", d.base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill9 delivers SIGKILL — the crash the journal must survive.
+func (d *daemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-d.done
+}
+
+// req issues one JSON request against the live daemon.
+func (d *daemon) req(t *testing.T, method, path string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	httpReq, err := http.NewRequest(method, d.base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, path, err)
+	}
+	return resp.StatusCode, m
+}
+
+// arm arms a failpoint in the live daemon over HTTP.
+func (d *daemon) arm(t *testing.T, name, spec string) {
+	t.Helper()
+	httpReq, err := http.NewRequest("PUT", d.base+"/debug/failpoints/"+name, strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arm %s=%s: %d", name, spec, resp.StatusCode)
+	}
+}
+
+// TestChaosCrashMidEditBatchReplays kills the daemon with SIGKILL while
+// an edit batch is stalled inside the journal append — applied in memory,
+// not yet durable, not yet acknowledged — and checks the restarted daemon
+// replays the journal to exactly the acknowledged state: deep-equal (by
+// state hash) to a reference engine driven with the acknowledged edits
+// only.
+func TestChaosCrashMidEditBatchReplays(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "-journal-dir", dir, "-failpoints")
+
+	status, m := d.req(t, "POST", "/v1/sessions", map[string]any{"design": pipeSrc})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	id := m["session"].(string)
+	status, m = d.req(t, "POST", "/v1/sessions/"+id+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": "250ps"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("acked batch: %d %v", status, m)
+	}
+
+	// Reference: the acknowledged state only.
+	des, err := netlist.ParseString(pipeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := incremental.Open(celllib.Default(), des, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Apply(incremental.Edit{Op: incremental.Adjust, Inst: "g2", Delta: 250}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the next journal append and crash while the unacked batch is
+	// inside it.
+	d.arm(t, "journal.append", "sleep(30s)")
+	stalled := make(chan struct{})
+	go func() {
+		defer close(stalled)
+		// The response (if any) is the crash's 'connection reset'; ignore it.
+		b, _ := json.Marshal(map[string]any{
+			"edits": []map[string]any{{"op": "adjust", "inst": "g3", "delta": "100ps"}},
+		})
+		http.Post(d.base+"/v1/sessions/"+id+"/edits", "application/json", bytes.NewReader(b))
+	}()
+	time.Sleep(300 * time.Millisecond) // let the batch reach the stalled append
+	d.kill9(t)
+	<-stalled
+
+	// A crash can also tear the tail of the file; simulate the worst case
+	// by appending half a record before restarting.
+	f, err := os.OpenFile(filepath.Join(dir, id+".journal"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00000000 {"kind":"edits","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := startDaemon(t, "-journal-dir", dir)
+	status, sum := d2.req(t, "GET", "/v1/sessions/"+id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("replayed session missing: %d %v", status, sum)
+	}
+	if sum["state_hash"] != ref.StateHash() {
+		t.Fatalf("replayed state %v != acknowledged reference %s", sum["state_hash"], ref.StateHash())
+	}
+	// The restored session keeps working.
+	status, m = d2.req(t, "POST", "/v1/sessions/"+id+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g3", "delta": "100ps"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edit after replay: %d %v", status, m)
+	}
+}
+
+// TestChaosGracefulShutdownPersistsSessions checks a SIGTERM shutdown
+// flushes journals so sessions survive a clean restart too.
+func TestChaosGracefulShutdownPersistsSessions(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "-journal-dir", dir, "-shutdown-grace", "3s")
+	status, m := d.req(t, "POST", "/v1/sessions", map[string]any{"design": pipeSrc})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	id := m["session"].(string)
+	_, sum := d.req(t, "GET", "/v1/sessions/"+id, nil)
+	hash := sum["state_hash"]
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-d.done; err != nil {
+		t.Fatalf("daemon exited uncleanly: %v", err)
+	}
+
+	d2 := startDaemon(t, "-journal-dir", dir)
+	status, sum2 := d2.req(t, "GET", "/v1/sessions/"+id, nil)
+	if status != http.StatusOK || sum2["state_hash"] != hash {
+		t.Fatalf("session lost across clean restart: %d %v (want hash %v)", status, sum2, hash)
+	}
+}
+
+// TestChaosPanicIsolation injects a panic into one session's edit path of
+// a live daemon and checks the process survives, the faulting session is
+// quarantined, and a sibling session keeps serving.
+func TestChaosPanicIsolation(t *testing.T) {
+	d := startDaemon(t, "-failpoints")
+	_, m1 := d.req(t, "POST", "/v1/sessions", map[string]any{"design": pipeSrc})
+	victim := m1["session"].(string)
+	_, m2 := d.req(t, "POST", "/v1/sessions", map[string]any{"design": pipeSrc})
+	bystander := m2["session"].(string)
+
+	d.arm(t, "incr.classify", "1*panic(chaos)")
+	status, _ := d.req(t, "POST", "/v1/sessions/"+victim+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": "1ps"}},
+	})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking edit: %d", status)
+	}
+	if status, _ := d.req(t, "GET", "/v1/sessions/"+victim, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("victim not quarantined: %d", status)
+	}
+	status, m := d.req(t, "POST", "/v1/sessions/"+bystander+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": "1ps"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("bystander edit after panic: %d %v", status, m)
+	}
+}
+
+// TestChaosDeadlineExpiryTyped stalls a full re-analysis and checks the
+// daemon returns the typed cancelled error within ±100ms of the request
+// deadline (acceptance criterion).
+func TestChaosDeadlineExpiryTyped(t *testing.T) {
+	const deadline = 300 * time.Millisecond
+	d := startDaemon(t, "-failpoints", "-request-timeout", deadline.String())
+	status, m := d.req(t, "POST", "/v1/sessions", map[string]any{"design": chainSrc(25)})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	id := m["session"].(string)
+
+	// ~25 clusters x 20ms sleep per visit: the full re-analysis needs
+	// ~500ms+ of wall clock, so the 300ms deadline always expires, and
+	// cancellation is detected within one 20ms cluster visit.
+	d.arm(t, "sta.cluster", "sleep(20ms)")
+	t0 := time.Now()
+	status, m = d.req(t, "POST", "/v1/sessions/"+id+"/edits", fullEdit("tap"))
+	elapsed := time.Since(t0)
+	if status != http.StatusGatewayTimeout || m["kind"] != "cancelled" {
+		t.Fatalf("deadline expiry: %d %v", status, m)
+	}
+	if elapsed < deadline-100*time.Millisecond || elapsed > deadline+100*time.Millisecond {
+		t.Fatalf("typed error after %v, want %v +/- 100ms", elapsed, deadline)
+	}
+}
+
+// TestChaosOverloadSheds saturates the single in-flight slot of a live
+// daemon and checks excess load is shed with 429 + Retry-After.
+func TestChaosOverloadSheds(t *testing.T) {
+	d := startDaemon(t, "-failpoints", "-max-inflight", "1", "-queue-timeout", "100ms")
+	status, m := d.req(t, "POST", "/v1/sessions", map[string]any{"design": chainSrc(25)})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	id := m["session"].(string)
+
+	d.arm(t, "sta.cluster", "sleep(30ms)")
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		b, _ := json.Marshal(fullEdit("tap"))
+		resp, err := http.Post(d.base+"/v1/sessions/"+id+"/edits", "application/json", bytes.NewReader(b))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // the slow edit now holds the slot
+
+	resp, err := http.Get(d.base + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-slow
+}

@@ -20,19 +20,39 @@
 // sessions' engines are parked in an LRU cache keyed by the design's state
 // hash, so re-opening the same design (adjustments included) skips the full
 // elaboration.
+//
+// Fault tolerance (see docs/ROBUSTNESS.md):
+//
+//   - Every request runs under a deadline (-request-timeout); an analysis
+//     that exceeds it is cancelled between clusters and reported as a typed
+//     "cancelled" error (504). Non-converging designs exhaust the sweep
+//     budget (-max-sweeps) and report a typed "non_convergence" error (422).
+//   - Handler panics are recovered; the session they ran against is
+//     quarantined — later operations on it fail fast with 503 and the panic
+//     diagnostic — while every other session keeps serving.
+//   - With -journal-dir set, every session-mutating operation is journaled
+//     and fsynced before the response is acknowledged; a restarted daemon
+//     replays the journals and restores the sessions under their old ids.
+//   - Admission control (-max-inflight, -queue-timeout) sheds load with
+//     429 + Retry-After instead of queueing without bound.
+//   - -failpoints exposes /debug/failpoints for fault injection (chaos
+//     tests); HB_FAILPOINTS arms points at startup.
 package main
 
 import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -41,19 +61,25 @@ import (
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
+	"hummingbird/internal/failpoint"
 	"hummingbird/internal/incremental"
+	"hummingbird/internal/journal"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/report"
 	"hummingbird/internal/telemetry"
 )
 
 var (
-	mSessionsOpened = telemetry.NewCounter("hummingbirdd.sessions_opened")
-	mSessionsClosed = telemetry.NewCounter("hummingbirdd.sessions_closed")
-	mEditCalls      = telemetry.NewCounter("hummingbirdd.edit_calls")
-	mCacheHits      = telemetry.NewCounter("hummingbirdd.cache_hits")
-	mCacheMisses    = telemetry.NewCounter("hummingbirdd.cache_misses")
-	mCacheEvictions = telemetry.NewCounter("hummingbirdd.cache_evictions")
+	mSessionsOpened  = telemetry.NewCounter("hummingbirdd.sessions_opened")
+	mSessionsClosed  = telemetry.NewCounter("hummingbirdd.sessions_closed")
+	mEditCalls       = telemetry.NewCounter("hummingbirdd.edit_calls")
+	mCacheHits       = telemetry.NewCounter("hummingbirdd.cache_hits")
+	mCacheMisses     = telemetry.NewCounter("hummingbirdd.cache_misses")
+	mCacheEvictions  = telemetry.NewCounter("hummingbirdd.cache_evictions")
+	mPanicsRecovered = telemetry.NewCounter("server.panics_recovered")
+	mRequestsShed    = telemetry.NewCounter("server.requests_shed")
+	mQuarantined     = telemetry.NewCounter("server.sessions_quarantined")
+	mReplayed        = telemetry.NewCounter("server.sessions_replayed")
 )
 
 func main() {
@@ -72,9 +98,21 @@ func run(args []string, w, errW io.Writer) error {
 		maxSessions = fs.Int("max-sessions", 64, "maximum concurrently open sessions")
 		cacheSize   = fs.Int("cache", 16, "LRU capacity for parked analysis states")
 		metricsOut  = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on shutdown")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request deadline; slow analyses are cancelled (0 = none)")
+		maxInflight = fs.Int("max-inflight", 32, "maximum concurrently served requests (0 = unbounded)")
+		queueWait   = fs.Duration("queue-timeout", time.Second, "how long an over-limit request may wait before 429")
+		maxSweeps   = fs.Int("max-sweeps", 0, "fixed-point sweep budget per iteration (0 = auto)")
+		journalDir  = fs.String("journal-dir", "", "directory for per-session edit journals (crash recovery; empty = off)")
+		shutGrace   = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections and flush journals")
+		failpoints  = fs.Bool("failpoints", false, "expose /debug/failpoints fault-injection endpoints")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if env := os.Getenv("HB_FAILPOINTS"); env != "" {
+		if err := failpoint.ArmFromEnv(env); err != nil {
+			return err
+		}
 	}
 	lib := celllib.Default()
 	if *libFile != "" {
@@ -92,7 +130,30 @@ func run(args []string, w, errW io.Writer) error {
 	telemetry.Enable()
 	defer telemetry.Disable()
 
-	srv := newServer(lib, *maxSessions, *cacheSize)
+	cfg := serverConfig{
+		maxSessions:    *maxSessions,
+		cacheSize:      *cacheSize,
+		requestTimeout: *reqTimeout,
+		maxInflight:    *maxInflight,
+		queueTimeout:   *queueWait,
+		maxSweeps:      *maxSweeps,
+		failpoints:     *failpoints,
+		errLog:         errW,
+	}
+	if *journalDir != "" {
+		jm, err := journal.NewManager(*journalDir)
+		if err != nil {
+			return err
+		}
+		cfg.journal = jm
+	}
+	srv := newServer(lib, cfg)
+	if cfg.journal != nil {
+		restored := srv.recoverSessions()
+		if restored > 0 {
+			fmt.Fprintf(w, "hummingbirdd: replayed %d session(s) from %s\n", restored, *journalDir)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,9 +168,13 @@ func run(args []string, w, errW io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(w, "hummingbirdd: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutGrace)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
+	err := httpSrv.Shutdown(shutCtx)
+	// Flush and close journals, drop parked state — even when the drain
+	// above timed out, acknowledged records must reach the disk.
+	srv.shutdown()
+	if err != nil {
 		return err
 	}
 	if *metricsOut != "" {
@@ -136,6 +201,7 @@ type sess struct {
 
 	mu      sync.Mutex
 	eng     *incremental.Engine
+	jw      *journal.Writer // nil when journaling is off
 	edits   int
 	created time.Time
 	// prevSlack maps net name → slack after the previous analysis, for
@@ -144,37 +210,64 @@ type sess struct {
 	prevSlack map[string]clock.Time
 }
 
+// serverConfig bundles the run-time knobs of the daemon.
+type serverConfig struct {
+	maxSessions    int
+	cacheSize      int
+	requestTimeout time.Duration // 0 = no deadline
+	maxInflight    int           // 0 = unbounded
+	queueTimeout   time.Duration
+	maxSweeps      int              // 0 = auto
+	journal        *journal.Manager // nil = journaling off
+	failpoints     bool             // expose /debug/failpoints
+	errLog         io.Writer        // panic stacks and replay diagnostics
+}
+
 // server owns the session table and the parked-state cache.
 type server struct {
 	lib  *celllib.Library
 	opts core.Options
+	cfg  serverConfig
+
+	// inflight is the admission semaphore; nil when unbounded.
+	inflight chan struct{}
 
 	mu          sync.Mutex
 	sessions    map[string]*sess
+	quarantined map[string]string // id → diagnostic of the fault
 	nextID      int
-	maxSessions int
 	cache       *lruCache
 }
 
-func newServer(lib *celllib.Library, maxSessions, cacheSize int) *server {
-	return &server{
-		lib:         lib,
-		opts:        core.DefaultOptions(),
-		sessions:    make(map[string]*sess),
-		maxSessions: maxSessions,
-		cache:       newLRU(cacheSize),
+func newServer(lib *celllib.Library, cfg serverConfig) *server {
+	if cfg.errLog == nil {
+		cfg.errLog = io.Discard
 	}
+	opts := core.DefaultOptions()
+	opts.MaxSweeps = cfg.maxSweeps
+	s := &server{
+		lib:         lib,
+		opts:        opts,
+		cfg:         cfg,
+		sessions:    make(map[string]*sess),
+		quarantined: make(map[string]string),
+		cache:       newLRU(cfg.cacheSize),
+	}
+	if cfg.maxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.maxInflight)
+	}
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSummary)
-	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleEdits)
-	mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /v1/sessions/{id}/constraints", s.handleConstraints)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /v1/sessions", s.guard("open", s.handleOpen))
+	mux.HandleFunc("GET /v1/sessions", s.guard("list", s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.guard("summary", s.handleSummary))
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.guard("edits", s.handleEdits))
+	mux.HandleFunc("GET /v1/sessions/{id}/report", s.guard("report", s.handleReport))
+	mux.HandleFunc("GET /v1/sessions/{id}/constraints", s.guard("constraints", s.handleConstraints))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.guard("close", s.handleClose))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -182,7 +275,158 @@ func (s *server) handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		telemetry.WriteSnapshot(w)
 	})
+	if s.cfg.failpoints {
+		mux.HandleFunc("GET /debug/failpoints", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{"failpoints": failpoint.List()})
+		})
+		mux.HandleFunc("PUT /debug/failpoints/{name}", func(w http.ResponseWriter, r *http.Request) {
+			spec, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "read spec: %v", err)
+				return
+			}
+			name := r.PathValue("name")
+			if err := failpoint.Arm(name, strings.TrimSpace(string(spec))); err != nil {
+				httpError(w, http.StatusUnprocessableEntity, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"failpoint": name, "armed": true})
+		})
+		mux.HandleFunc("DELETE /debug/failpoints/{name}", func(w http.ResponseWriter, r *http.Request) {
+			failpoint.Disarm(r.PathValue("name"))
+			writeJSON(w, http.StatusOK, map[string]any{"failpoint": r.PathValue("name"), "armed": false})
+		})
+	}
 	return mux
+}
+
+// guard is the middleware wrapped around every session endpoint: admission
+// control (bounded in-flight requests with a queue timeout), the
+// per-request deadline, the quarantine fast-fail, and panic isolation. A
+// panicking handler quarantines only the session it ran against; the
+// recover here keeps the rest of the process serving.
+func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				timer := time.NewTimer(s.cfg.queueTimeout)
+				select {
+				case s.inflight <- struct{}{}:
+					timer.Stop()
+					defer func() { <-s.inflight }()
+				case <-timer.C:
+					mRequestsShed.Inc()
+					w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.queueTimeout)))
+					httpError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.maxInflight)
+					return
+				case <-r.Context().Done():
+					timer.Stop()
+					return
+				}
+			}
+		}
+		if id := r.PathValue("id"); id != "" {
+			if diag, ok := s.quarantineInfo(id); ok {
+				if r.Method == http.MethodDelete {
+					// Closing a quarantined session acknowledges the fault
+					// and releases the id.
+					s.clearQuarantine(id)
+					writeJSON(w, http.StatusOK, map[string]any{
+						"session": id, "closed": true, "quarantined": true,
+					})
+					return
+				}
+				httpError(w, http.StatusServiceUnavailable, "session %s quarantined: %s", id, diag)
+				return
+			}
+		}
+		if s.cfg.requestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if v := recover(); v != nil {
+				mPanicsRecovered.Inc()
+				fmt.Fprintf(s.cfg.errLog, "hummingbirdd: panic in %s %s: %v\n%s\n", op, r.URL.Path, v, debug.Stack())
+				diag := fmt.Sprintf("panic during %s: %v", op, v)
+				if id := r.PathValue("id"); id != "" {
+					s.quarantine(id, diag)
+				}
+				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// retryAfterSeconds rounds the queue timeout up to a whole non-zero number
+// of seconds for the Retry-After header.
+func retryAfterSeconds(d time.Duration) int {
+	n := int((d + time.Second - 1) / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// quarantine removes the session from service and records the diagnostic;
+// its journal is set aside for post-mortem rather than replayed into the
+// next process. Callers must NOT hold ss.mu of the target session's peers;
+// the target's own engine state is abandoned as-is.
+func (s *server) quarantine(id, diag string) {
+	s.mu.Lock()
+	ss := s.sessions[id]
+	delete(s.sessions, id)
+	s.quarantined[id] = diag
+	s.mu.Unlock()
+	mQuarantined.Inc()
+	if ss != nil && ss.jw != nil {
+		ss.jw.Close()
+	}
+	if s.cfg.journal != nil {
+		if err := s.cfg.journal.Quarantine(id); err != nil {
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: quarantine journal %s: %v\n", id, err)
+		}
+	}
+}
+
+func (s *server) quarantineInfo(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	diag, ok := s.quarantined[id]
+	return diag, ok
+}
+
+func (s *server) clearQuarantine(id string) {
+	s.mu.Lock()
+	delete(s.quarantined, id)
+	s.mu.Unlock()
+}
+
+// shutdown flushes and closes every session journal and drops the parked
+// LRU state (shutdown path; the HTTP listener is already drained).
+func (s *server) shutdown() {
+	s.mu.Lock()
+	sessions := make([]*sess, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.cache = newLRU(0)
+	s.mu.Unlock()
+	for _, ss := range sessions {
+		ss.mu.Lock()
+		if ss.jw != nil {
+			if err := ss.jw.Close(); err != nil {
+				fmt.Fprintf(s.cfg.errLog, "hummingbirdd: close journal %s: %v\n", ss.id, err)
+			}
+			ss.jw = nil
+		}
+		ss.mu.Unlock()
+	}
 }
 
 type openRequest struct {
@@ -193,32 +437,47 @@ type openRequest struct {
 	Adjustments map[string]string `json:"adjustments,omitempty"`
 }
 
-func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
-	var req openRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
+// parseOpen turns an open request into a parsed design and options; it is
+// shared by the live handler and journal replay so both construct sessions
+// identically.
+func (s *server) parseOpen(req *openRequest) (*netlist.Design, core.Options, error) {
 	design, err := netlist.ParseString(req.Design)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "parse design: %v", err)
-		return
+		return nil, core.Options{}, fmt.Errorf("parse design: %w", err)
 	}
 	opts := s.opts
 	opts.Adjustments = map[string]clock.Time{}
 	for inst, v := range req.Adjustments {
 		t, err := netlist.ParseTime(v)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "adjustment %s: %v", inst, err)
-			return
+			return nil, core.Options{}, fmt.Errorf("adjustment %s: %w", inst, err)
 		}
 		opts.Adjustments[inst] = t
 	}
+	return design, opts, nil
+}
+
+func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req openRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	design, opts, err := s.parseOpen(&req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
 
 	s.mu.Lock()
-	if len(s.sessions) >= s.maxSessions {
+	if len(s.sessions) >= s.cfg.maxSessions {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "session limit (%d) reached", s.maxSessions)
+		httpError(w, http.StatusServiceUnavailable, "session limit (%d) reached", s.cfg.maxSessions)
 		return
 	}
 	s.nextID++
@@ -234,13 +493,23 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	} else {
 		mCacheMisses.Inc()
 		var err error
-		eng, err = incremental.Open(s.lib, design, opts)
+		eng, err = incremental.OpenContext(r.Context(), s.lib, design, opts)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "open design: %v", err)
+			writeAnalysisError(w, "open design", err)
 			return
 		}
 	}
 	ss := &sess{id: id, eng: eng, created: time.Now()}
+	if s.cfg.journal != nil {
+		// The open record is fsynced before the session becomes visible, so
+		// a crash can never leave an acknowledged session without a journal.
+		jw, err := s.cfg.journal.Create(id, &req)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "journal open: %v", err)
+			return
+		}
+		ss.jw = jw
+	}
 	ss.rememberSlacks()
 	s.mu.Lock()
 	s.sessions[id] = ss
@@ -255,6 +524,116 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	addSummary(resp, ss)
 	ss.mu.Unlock()
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// recoverSessions replays every intact journal in the journal directory,
+// restoring the sessions a previous process had open under their original
+// ids. Journals that fail to replay are quarantined (renamed aside) with a
+// diagnostic, not deleted. Returns the number of sessions restored.
+func (s *server) recoverSessions() int {
+	ids, err := s.cfg.journal.Sessions()
+	if err != nil {
+		fmt.Fprintf(s.cfg.errLog, "hummingbirdd: list journals: %v\n", err)
+		return 0
+	}
+	restored, maxID := 0, 0
+	for _, id := range ids {
+		ss, req, batches, err := s.replaySession(id)
+		if err != nil {
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: replay %s: %v (journal quarantined)\n", id, err)
+			s.mu.Lock()
+			s.quarantined[id] = fmt.Sprintf("journal replay failed: %v", err)
+			s.mu.Unlock()
+			if qerr := s.cfg.journal.Quarantine(id); qerr != nil {
+				fmt.Fprintf(s.cfg.errLog, "hummingbirdd: quarantine journal %s: %v\n", id, qerr)
+			}
+			continue
+		}
+		// Rewrite a compact journal for the restored session: the open
+		// record plus every acknowledged batch, dropping any torn tail.
+		jw, err := s.cfg.journal.Create(id, req)
+		if err == nil {
+			for _, b := range batches {
+				if aerr := jw.Append(journal.KindEdits, b); aerr != nil {
+					err = aerr
+					break
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: rewrite journal %s: %v\n", id, err)
+			jw = nil
+		}
+		ss.jw = jw
+		s.mu.Lock()
+		s.sessions[id] = ss
+		s.mu.Unlock()
+		mReplayed.Inc()
+		restored++
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	s.mu.Lock()
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.mu.Unlock()
+	return restored
+}
+
+// replaySession rebuilds one session from its journal records, returning
+// the restored session plus the open request and edit batches needed to
+// rewrite a compact journal.
+func (s *server) replaySession(id string) (*sess, *openRequest, []json.RawMessage, error) {
+	recs, err := s.cfg.journal.Read(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var req openRequest
+	if err := json.Unmarshal(recs[0].Body, &req); err != nil {
+		return nil, nil, nil, fmt.Errorf("decode open record: %w", err)
+	}
+	design, opts, err := s.parseOpen(&req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng, err := incremental.Open(s.lib, design, opts)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reopen design: %w", err)
+	}
+	var batches []json.RawMessage
+	for i, rec := range recs[1:] {
+		if rec.Kind != journal.KindEdits {
+			return nil, nil, nil, fmt.Errorf("record %d: unexpected kind %q", i+1, rec.Kind)
+		}
+		var ejs []editJSON
+		if err := json.Unmarshal(rec.Body, &ejs); err != nil {
+			return nil, nil, nil, fmt.Errorf("record %d: decode edits: %w", i+1, err)
+		}
+		edits := make([]incremental.Edit, len(ejs))
+		for j := range ejs {
+			ed, err := ejs[j].toEdit()
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("record %d edit %d: %w", i+1, j, err)
+			}
+			edits[j] = ed
+		}
+		if _, err := eng.Apply(edits...); err != nil {
+			return nil, nil, nil, fmt.Errorf("record %d: re-apply: %w", i+1, err)
+		}
+		batches = append(batches, rec.Body)
+	}
+	ss := &sess{id: id, eng: eng, created: time.Now()}
+	ss.edits = 0
+	for _, b := range batches {
+		var ejs []editJSON
+		if json.Unmarshal(b, &ejs) == nil {
+			ss.edits += len(ejs)
+		}
+	}
+	ss.rememberSlacks()
+	return ss, &req, batches, nil
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -366,7 +745,12 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Edits []editJSON `json:"edits"`
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -387,16 +771,32 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.eng == nil {
+		// The session was closed while this request waited on ss.mu.
+		httpError(w, http.StatusNotFound, "session closed")
+		return
+	}
 	prevWorst := clock.Inf
 	if rep := ss.eng.Report(); rep != nil {
 		prevWorst = rep.WorstSlack()
 	}
 	t0 := time.Now()
-	out, err := ss.eng.Apply(edits...)
+	out, err := ss.eng.ApplyContext(r.Context(), edits...)
 	elapsed := time.Since(t0)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "apply: %v", err)
+		writeAnalysisError(w, "apply", err)
 		return
+	}
+	if ss.jw != nil {
+		// Acknowledged edits must be durable: the record is fsynced before
+		// the response. A dead journal poisons the session — its disk state
+		// can no longer be trusted to match the in-memory engine.
+		if jerr := ss.jw.Append(journal.KindEdits, req.Edits); jerr != nil {
+			ss.jw = nil
+			s.quarantine(ss.id, fmt.Sprintf("journal append failed: %v", jerr))
+			httpError(w, http.StatusServiceUnavailable, "journal append failed, session quarantined: %v", jerr)
+			return
+		}
 	}
 	ss.edits += len(edits)
 
@@ -419,6 +819,44 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	resp["changed_nets"] = ss.slackDeltas()
 	ss.rememberSlacks()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeAnalysisError maps analysis failures to typed HTTP errors:
+//
+//   - a cancelled analysis (request deadline or client disconnect) → 504
+//     with kind "cancelled" and the interruption point — the caller knows
+//     partial work was discarded;
+//   - a non-converging fixed point (sweep budget exhausted) → 422 with
+//     kind "non_convergence" and the budget that was exhausted;
+//   - anything else (bad edit, unknown instance, ...) → 422 untyped.
+func writeAnalysisError(w http.ResponseWriter, op string, err error) {
+	var ce *core.CancelledError
+	var nc *core.NonConvergenceError
+	switch {
+	case errors.As(err, &ce):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":     fmt.Sprintf("%s: %v", op, err),
+			"kind":      "cancelled",
+			"iteration": ce.Iteration,
+			"sweep":     ce.Sweep,
+			"partial":   true,
+		})
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":   fmt.Sprintf("%s: %v", op, err),
+			"kind":    "cancelled",
+			"partial": true,
+		})
+	case errors.As(err, &nc):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":      fmt.Sprintf("%s: %v", op, err),
+			"kind":       "non_convergence",
+			"iteration":  nc.Iteration,
+			"max_sweeps": nc.MaxSweeps,
+		})
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "%s: %v", op, err)
+	}
 }
 
 // rememberSlacks snapshots per-net slacks for the next delta report;
@@ -494,6 +932,10 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.eng == nil {
+		httpError(w, http.StatusNotFound, "session closed")
+		return
+	}
 	rep := ss.eng.Report()
 	if rep == nil {
 		httpError(w, http.StatusConflict, "no valid analysis (last edit failed to converge)")
@@ -513,9 +955,13 @@ func (s *server) handleConstraints(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	cons, err := ss.eng.Constraints()
+	if ss.eng == nil {
+		httpError(w, http.StatusNotFound, "session closed")
+		return
+	}
+	cons, err := ss.eng.ConstraintsContext(r.Context())
 	if err != nil {
-		httpError(w, http.StatusConflict, "constraints: %v", err)
+		writeAnalysisError(w, "constraints", err)
 		return
 	}
 	a := ss.eng.Analyzer()
@@ -571,7 +1017,18 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 	ss.mu.Lock()
 	eng := ss.eng
 	ss.eng = nil
+	jw := ss.jw
+	ss.jw = nil
 	ss.mu.Unlock()
+	// A deliberate close has nothing left to replay: drop the journal.
+	if jw != nil {
+		jw.Close()
+	}
+	if s.cfg.journal != nil {
+		if err := s.cfg.journal.Remove(id); err != nil {
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: remove journal %s: %v\n", id, err)
+		}
+	}
 	parked := false
 	if eng != nil && eng.Report() != nil {
 		s.mu.Lock()

@@ -34,7 +34,10 @@ end
 
 func newTestServer(t *testing.T, maxSessions, cacheSize int) *httptest.Server {
 	t.Helper()
-	srv := newServer(celllib.Default(), maxSessions, cacheSize)
+	srv := newServer(celllib.Default(), serverConfig{
+		maxSessions: maxSessions,
+		cacheSize:   cacheSize,
+	})
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts

@@ -216,7 +216,11 @@ func TestLibraryRoundTripPreservesAnalysis(t *testing.T) {
 // ALU workload agree on every element slack.
 func TestWorkloadAnalysisDeterministic(t *testing.T) {
 	runOnce := func() (*core.Analyzer, *core.Report) {
-		a, err := core.Load(celllib.Default(), workload.ALU(), core.DefaultOptions())
+		d, err := workload.ALU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Load(celllib.Default(), d, core.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

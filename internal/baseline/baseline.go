@@ -31,21 +31,25 @@ import (
 // and tristate drivers into edge-triggered elements (capture and assert on
 // the effective trailing control edge). Cell names are preserved, so any
 // design referencing lib resolves unchanged against the result.
-func OpaqueLibrary(lib *celllib.Library) *celllib.Library {
+func OpaqueLibrary(lib *celllib.Library) (*celllib.Library, error) {
 	out := celllib.NewLibrary(lib.Name + "+opaque")
 	for _, name := range lib.Names() {
 		c := lib.Cell(name)
 		if c.Kind != celllib.Transparent && c.Kind != celllib.Tristate {
-			out.MustAdd(c)
+			if err := out.Add(c); err != nil {
+				return nil, fmt.Errorf("baseline: %w", err)
+			}
 			continue
 		}
 		clone := *c
 		clone.Kind = celllib.EdgeTriggered
 		st := *c.Sync
 		clone.Sync = &st
-		out.MustAdd(&clone)
+		if err := out.Add(&clone); err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
 	}
-	return out
+	return out, nil
 }
 
 // AnalyzeOpaque runs the full analysis pipeline with the opaque-latch
@@ -53,7 +57,11 @@ func OpaqueLibrary(lib *celllib.Library) *celllib.Library {
 // degenerates to a single classic static timing analysis — exactly the
 // McWilliams-class method.
 func AnalyzeOpaque(lib *celllib.Library, design *netlist.Design, opts core.Options) (*core.Report, error) {
-	a, err := core.Load(OpaqueLibrary(lib), design, opts)
+	opq, err := OpaqueLibrary(lib)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Load(opq, design, opts)
 	if err != nil {
 		return nil, err
 	}

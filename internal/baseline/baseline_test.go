@@ -22,7 +22,10 @@ func parse(t *testing.T, text string) *netlist.Design {
 
 func TestOpaqueLibrary(t *testing.T) {
 	lib := testlib.Lib()
-	opq := OpaqueLibrary(lib)
+	opq, err := OpaqueLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if opq.Len() != lib.Len() {
 		t.Fatalf("cell count changed: %d vs %d", opq.Len(), lib.Len())
 	}

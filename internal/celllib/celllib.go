@@ -331,13 +331,6 @@ func (l *Library) Add(c *Cell) error {
 	return nil
 }
 
-// MustAdd is Add that panics on error; for library construction code.
-func (l *Library) MustAdd(c *Cell) {
-	if err := l.Add(c); err != nil {
-		panic(err)
-	}
-}
-
 // Cell returns the named cell, or nil.
 func (l *Library) Cell(name string) *Cell { return l.cells[name] }
 

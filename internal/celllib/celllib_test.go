@@ -45,6 +45,19 @@ func TestDefaultLibraryValid(t *testing.T) {
 	}
 }
 
+// TestDefaultLibraryBuilds guards the static cell table behind Default():
+// every prototype must pass validation, so the error channel of the builder
+// stays empty on a consistent tree.
+func TestDefaultLibraryBuilds(t *testing.T) {
+	l, err := buildDefault()
+	if err != nil {
+		t.Fatalf("default library table broken: %v", err)
+	}
+	if l.Len() != Default().Len() {
+		t.Fatalf("fresh build has %d cells, cached Default has %d", l.Len(), Default().Len())
+	}
+}
+
 func TestDefaultLibraryContents(t *testing.T) {
 	l := Default()
 	for _, want := range []string{

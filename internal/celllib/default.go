@@ -1,7 +1,9 @@
 package celllib
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"hummingbird/internal/clock"
 )
@@ -16,8 +18,33 @@ import (
 // of picoseconds of intrinsic gate delay, a few fF of pin capacitance) —
 // the same era as the paper's DES/ALU experiments — but they are synthetic:
 // only the *shape* of analysis results depends on them.
+//
+// The library is built once and shared (libraries are read-only after
+// construction). The cell table is static, so construction cannot fail on
+// a consistent tree; TestDefaultLibraryBuilds guards the table, and a cell
+// that somehow fails validation is simply absent, surfacing later as an
+// ordinary "unknown cell" error at the point of use.
 func Default() *Library {
+	defaultOnce.Do(func() { defaultLib, defaultErr = buildDefault() })
+	return defaultLib
+}
+
+var (
+	defaultOnce sync.Once
+	defaultLib  *Library
+	defaultErr  error
+)
+
+// buildDefault constructs the default library with Add, collecting (rather
+// than panicking on) validation errors so the table stays testable.
+func buildDefault() (*Library, error) {
 	l := NewLibrary("hb-generic-1u")
+	var errs []error
+	add := func(c *Cell) {
+		if err := l.Add(c); err != nil {
+			errs = append(errs, err)
+		}
+	}
 
 	type proto struct {
 		base     string
@@ -48,17 +75,17 @@ func Default() *Library {
 	}
 	for _, p := range protos {
 		for _, drive := range []int{1, 2, 4} {
-			l.MustAdd(combCell(p.base, p.function, p.nIn, p.sense, p.ir, p.ifl, p.sr, p.sf, p.area, drive))
+			add(combCell(p.base, p.function, p.nIn, p.sense, p.ir, p.ifl, p.sr, p.sf, p.area, drive))
 		}
 	}
 
 	for _, drive := range []int{1, 2} {
-		l.MustAdd(latchCell("DLATCH", Transparent, false, drive))
-		l.MustAdd(latchCell("DLATCHN", Transparent, true, drive))
-		l.MustAdd(latchCell("DFF", EdgeTriggered, false, drive))
-		l.MustAdd(latchCell("TBUF", Tristate, false, drive))
+		add(latchCell("DLATCH", Transparent, false, drive))
+		add(latchCell("DLATCHN", Transparent, true, drive))
+		add(latchCell("DFF", EdgeTriggered, false, drive))
+		add(latchCell("TBUF", Tristate, false, drive))
 	}
-	return l
+	return l, errors.Join(errs...)
 }
 
 // combCell builds one combinational cell at the given drive strength: pins

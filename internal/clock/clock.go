@@ -224,15 +224,6 @@ func NewSet(signals ...Signal) (*Set, error) {
 	return set, nil
 }
 
-// MustSet is NewSet that panics on error; for tests and fixed fixtures.
-func MustSet(signals ...Signal) *Set {
-	s, err := NewSet(signals...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Overall returns the overall clock period T: the smallest interval that is
 // an integer multiple of every member period (§3's synchronous-operation
 // assumption).

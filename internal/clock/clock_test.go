@@ -6,6 +6,15 @@ import (
 	"testing/quick"
 )
 
+// mustSet wraps NewSet for static, known-valid test fixtures.
+func mustSet(signals ...Signal) *Set {
+	s, err := NewSet(signals...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time
@@ -148,7 +157,7 @@ func TestNewSetRejectsEmpty(t *testing.T) {
 }
 
 func TestEdgesSortedAndComplete(t *testing.T) {
-	cs := MustSet(
+	cs := mustSet(
 		Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 30},
 		Signal{Name: "b", Period: 50, RiseAt: 10, FallAt: 25},
 	)
@@ -211,7 +220,7 @@ func TestEdgesPropertyCount(t *testing.T) {
 }
 
 func TestIndexAndEdgeName(t *testing.T) {
-	cs := MustSet(
+	cs := mustSet(
 		Signal{Name: "phi1", Period: 100, RiseAt: 0, FallAt: 30},
 		Signal{Name: "fast", Period: 50, RiseAt: 10, FallAt: 25},
 	)
@@ -229,7 +238,7 @@ func TestIndexAndEdgeName(t *testing.T) {
 }
 
 func TestFindEdge(t *testing.T) {
-	cs := MustSet(
+	cs := mustSet(
 		Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 30},
 		Signal{Name: "b", Period: 50, RiseAt: 10, FallAt: 25},
 	)
@@ -247,7 +256,7 @@ func TestFindEdge(t *testing.T) {
 }
 
 func TestCyclicForward(t *testing.T) {
-	cs := MustSet(Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 50})
+	cs := mustSet(Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 50})
 	if d := cs.CyclicForward(30, 70); d != 40 {
 		t.Fatalf("forward 30->70 = %v", d)
 	}
@@ -260,7 +269,7 @@ func TestCyclicForward(t *testing.T) {
 }
 
 func TestNextAfter(t *testing.T) {
-	cs := MustSet(Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 50})
+	cs := mustSet(Signal{Name: "a", Period: 100, RiseAt: 0, FallAt: 50})
 	if at := cs.NextAfter(30, 70); at != 70 {
 		t.Fatalf("NextAfter(30,70) = %v", at)
 	}
@@ -332,11 +341,8 @@ func TestEdgeTimeNegativeIndexAndPeriodicity(t *testing.T) {
 	}
 }
 
-func TestMustSetPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustSet did not panic on invalid input")
-		}
-	}()
-	MustSet(Signal{Name: "", Period: 0})
+func TestNewSetRejectsInvalidSignal(t *testing.T) {
+	if _, err := NewSet(Signal{Name: "", Period: 0}); err == nil {
+		t.Fatal("NewSet accepted an invalid signal")
+	}
 }

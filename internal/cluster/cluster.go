@@ -515,7 +515,9 @@ func (nw *Network) extractClusters(arcs []Arc) error {
 		if isCtrl[arcs[i].From] || isCtrl[arcs[i].To] {
 			continue
 		}
-		g.AddEdge(arcs[i].From, arcs[i].To)
+		if err := g.AddEdge(arcs[i].From, arcs[i].To); err != nil {
+			return fmt.Errorf("cluster: arc of instance %s: %w", arcs[i].Inst, err)
+		}
 	}
 	comp, _ := g.UndirectedComponents()
 	byComp := make(map[int]*Cluster)
@@ -599,7 +601,9 @@ func (nw *Network) extractClusters(arcs []Arc) error {
 func (nw *Network) preprocess(cl *Cluster) error {
 	local := graph.New(len(cl.Nets))
 	for _, a := range cl.Arcs {
-		local.AddEdge(cl.local[a.From], cl.local[a.To])
+		if err := local.AddEdge(cl.local[a.From], cl.local[a.To]); err != nil {
+			return fmt.Errorf("cluster %d: arc of instance %s: %w", cl.ID, a.Inst, err)
+		}
 	}
 	orderLocal, err := local.TopoSort()
 	if err != nil {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -116,8 +117,11 @@ func (a *Analyzer) buildElemClusters() {
 // sweep applies op to every element against the current result, then
 // refreshes res — incrementally over the touched clusters unless
 // FullSweeps is set. It returns how many element offsets moved and how
-// many clusters were recomputed.
-func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, int, int) {
+// many clusters were recomputed. A nil ctx (the legacy entry points)
+// makes the sweep uninterruptible; with a context the re-analysis is
+// abandoned mid-sweep on expiry, returning the cause — res is then stale
+// and must be discarded.
+func (a *Analyzer) sweep(ctx context.Context, res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, int, int, error) {
 	mSweeps.Inc()
 	dirty := map[int]bool{}
 	moved := 0
@@ -130,12 +134,16 @@ func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) c
 		}
 	}
 	if moved == 0 {
-		return res, 0, 0
+		return res, 0, 0, nil
 	}
 	mOffsetsMoved.Add(int64(moved))
 	if a.Opts.FullSweeps {
 		mFullSweeps.Inc()
-		return sta.Analyze(a.NW), moved, len(a.NW.Clusters)
+		if ctx != nil {
+			r, err := sta.AnalyzeContext(ctx, a.NW)
+			return r, moved, len(a.NW.Clusters), err
+		}
+		return sta.Analyze(a.NW), moved, len(a.NW.Clusters), nil
 	}
 	ids := make([]int, 0, len(dirty))
 	for id := range dirty {
@@ -144,8 +152,14 @@ func (a *Analyzer) sweep(res *sta.Result, op func(ei int, e *syncelem.Element) c
 	sort.Ints(ids)
 	mIncrClusters.Add(int64(len(ids)))
 	mIncrSkipped.Add(int64(len(a.NW.Clusters) - len(ids)))
+	if ctx != nil {
+		if err := sta.RecomputeContext(ctx, a.NW, res, ids); err != nil {
+			return nil, moved, len(ids), err
+		}
+		return res, moved, len(ids), nil
+	}
 	sta.Recompute(a.NW, res, ids)
-	return res, moved, len(ids)
+	return res, moved, len(ids), nil
 }
 
 // Load validates a design, resolves its hierarchy (rolling combinational
@@ -251,11 +265,29 @@ func (a *Analyzer) ResetOffsets() {
 	}
 }
 
-// IdentifySlowPaths runs Algorithm 1 and returns the report.
+// IdentifySlowPaths runs Algorithm 1 and returns the report. It cannot be
+// interrupted; servers and other callers with deadlines use
+// IdentifySlowPathsCtx.
 func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	return a.identifySlowPathsFrom(sta.Analyze(a.NW))
+	return a.identifySlowPathsFrom(nil, sta.Analyze(a.NW))
+}
+
+// IdentifySlowPathsCtx is IdentifySlowPaths with cancellation: the context
+// is checked inside every fixed-point sweep (between cluster
+// re-analyses), so an expired deadline interrupts even a single
+// long-running sweep. The returned error is a *CancelledError wrapping
+// the cause.
+func (a *Analyzer) IdentifySlowPathsCtx(ctx context.Context) (*Report, error) {
+	t0 := time.Now()
+	defer func() { tAnalysis.Observe(time.Since(t0)) }()
+	res, err := sta.AnalyzeContext(ctx, a.NW)
+	if err != nil {
+		a.conv.reset(a.Opts.Trace != nil)
+		return nil, a.cancelled("", 0, err)
+	}
+	return a.identifySlowPathsFrom(ctx, res)
 }
 
 // IdentifySlowPathsFrom runs Algorithm 1 starting from res, which must be
@@ -265,10 +297,23 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 func (a *Analyzer) IdentifySlowPathsFrom(res *sta.Result) (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	return a.identifySlowPathsFrom(res)
+	return a.identifySlowPathsFrom(nil, res)
 }
 
-func (a *Analyzer) identifySlowPathsFrom(res *sta.Result) (*Report, error) {
+// IdentifySlowPathsFromCtx is IdentifySlowPathsFrom with cancellation;
+// see IdentifySlowPathsCtx. On error res has been partially mutated and
+// must be discarded along with the offsets (call ResetOffsets before
+// reusing the analyzer).
+func (a *Analyzer) IdentifySlowPathsFromCtx(ctx context.Context, res *sta.Result) (*Report, error) {
+	t0 := time.Now()
+	defer func() { tAnalysis.Observe(time.Since(t0)) }()
+	return a.identifySlowPathsFrom(ctx, res)
+}
+
+// identifySlowPathsFrom is Algorithm 1. A nil ctx runs it to completion
+// unconditionally; a non-nil ctx makes every sweep interruptible, with
+// interruptions surfaced as *CancelledError.
+func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (*Report, error) {
 	a.conv.reset(a.Opts.Trace != nil)
 	rep := &Report{}
 
@@ -283,9 +328,13 @@ func (a *Analyzer) identifySlowPathsFrom(res *sta.Result) (*Report, error) {
 		}
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteForward(res.InSlack[ei])
 		})
+		if err != nil {
+			return nil, a.cancelled("forward", sweep, err)
+		}
 		a.record("forward", sweep, moved, recomputed, res, start)
 		if moved == 0 {
 			break
@@ -303,9 +352,13 @@ func (a *Analyzer) identifySlowPathsFrom(res *sta.Result) (*Report, error) {
 		}
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteBackward(res.OutSlack[ei])
 		})
+		if err != nil {
+			return nil, a.cancelled("backward", sweep, err)
+		}
 		a.record("backward", sweep, moved, recomputed, res, start)
 		if moved == 0 {
 			break
@@ -319,17 +372,25 @@ func (a *Analyzer) identifySlowPathsFrom(res *sta.Result) (*Report, error) {
 	for k := 0; k < rep.BackwardSweeps; k++ {
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialForward(res.InSlack[ei], a.Opts.PartialDivisor)
 		})
+		if err != nil {
+			return nil, a.cancelled("partial-forward", k, err)
+		}
 		a.record("partial-forward", k, moved, recomputed, res, start)
 	}
 	for k := 0; k < rep.ForwardSweeps; k++ {
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialBackward(res.OutSlack[ei], a.Opts.PartialDivisor)
 		})
+		if err != nil {
+			return nil, a.cancelled("partial-backward", k, err)
+		}
 		a.record("partial-backward", k, moved, recomputed, res, start)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"hummingbird/internal/clock"
@@ -40,7 +41,22 @@ type Constraints struct {
 func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 	t0 := time.Now()
 	defer func() { tConstraints.Observe(time.Since(t0)) }()
-	return a.generateConstraintsFrom(sta.Analyze(a.NW))
+	return a.generateConstraintsFrom(nil, sta.Analyze(a.NW))
+}
+
+// GenerateConstraintsCtx is GenerateConstraints with cancellation, checked
+// inside every snatch sweep; interruptions surface as *CancelledError.
+// On error the element offsets have moved and must be restored (or the
+// analyzer reloaded) before further use.
+func (a *Analyzer) GenerateConstraintsCtx(ctx context.Context) (*Constraints, error) {
+	t0 := time.Now()
+	defer func() { tConstraints.Observe(time.Since(t0)) }()
+	res, err := sta.AnalyzeContext(ctx, a.NW)
+	if err != nil {
+		a.conv.reset(a.Opts.Trace != nil)
+		return nil, a.cancelled("", 0, err)
+	}
+	return a.generateConstraintsFrom(ctx, res)
 }
 
 // GenerateConstraintsFrom runs Algorithm 2 starting from res, which must be
@@ -52,10 +68,20 @@ func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 func (a *Analyzer) GenerateConstraintsFrom(res *sta.Result) (*Constraints, error) {
 	t0 := time.Now()
 	defer func() { tConstraints.Observe(time.Since(t0)) }()
-	return a.generateConstraintsFrom(res)
+	return a.generateConstraintsFrom(nil, res)
 }
 
-func (a *Analyzer) generateConstraintsFrom(res *sta.Result) (*Constraints, error) {
+// GenerateConstraintsFromCtx is GenerateConstraintsFrom with
+// cancellation; see GenerateConstraintsCtx.
+func (a *Analyzer) GenerateConstraintsFromCtx(ctx context.Context, res *sta.Result) (*Constraints, error) {
+	t0 := time.Now()
+	defer func() { tConstraints.Observe(time.Since(t0)) }()
+	return a.generateConstraintsFrom(ctx, res)
+}
+
+// generateConstraintsFrom is Algorithm 2. A nil ctx runs it to completion
+// unconditionally; a non-nil ctx makes every sweep interruptible.
+func (a *Analyzer) generateConstraintsFrom(ctx context.Context, res *sta.Result) (*Constraints, error) {
 	a.conv.reset(a.Opts.Trace != nil)
 	c := &Constraints{}
 
@@ -70,9 +96,13 @@ func (a *Analyzer) generateConstraintsFrom(res *sta.Result) (*Constraints, error
 		c.BackwardSnatches++
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchBackward(res.InSlack[ei])
 		})
+		if err != nil {
+			return nil, a.cancelled("snatch-backward", sweep, err)
+		}
 		a.record("snatch-backward", sweep, moved, recomputed, res, start)
 		if moved == 0 {
 			c.Ready = append([]sta.PassDetail(nil), res.Passes...)
@@ -89,9 +119,13 @@ func (a *Analyzer) generateConstraintsFrom(res *sta.Result) (*Constraints, error
 		c.ForwardSnatches++
 		start := a.sweepStart()
 		var moved, recomputed int
-		res, moved, recomputed = a.sweep(res, func(ei int, e *syncelem.Element) clock.Time {
+		var err error
+		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchForward(res.OutSlack[ei])
 		})
+		if err != nil {
+			return nil, a.cancelled("snatch-forward", sweep, err)
+		}
 		a.record("snatch-forward", sweep, moved, recomputed, res, start)
 		if moved == 0 {
 			c.Required = append([]sta.PassDetail(nil), res.Passes...)

@@ -102,6 +102,40 @@ func (a *Analyzer) nonConverged(iter string) error {
 	return &NonConvergenceError{Iteration: iter, MaxSweeps: a.Opts.MaxSweeps, Trail: a.conv.tail()}
 }
 
+// CancelledError reports a fixed-point run interrupted before it settled —
+// a request deadline expired, the caller cancelled, or a fault was
+// injected. It carries the same trailing convergence trajectory as
+// NonConvergenceError, so the partial progress is visible, and unwraps to
+// the cause: errors.Is(err, context.DeadlineExceeded) distinguishes a
+// deadline from an explicit cancel.
+type CancelledError struct {
+	// Iteration names the loop that was interrupted (empty if the
+	// interruption hit the initial full analysis, before any sweep).
+	Iteration string
+	// Sweep is the sweep index within the iteration at interruption.
+	Sweep int
+	// Trail holds the trailing sweep events, oldest first.
+	Trail []telemetry.SweepEvent
+	// Cause is the underlying interruption (context cause or injected
+	// fault).
+	Cause error
+}
+
+func (e *CancelledError) Error() string {
+	where := "initial analysis"
+	if e.Iteration != "" {
+		where = fmt.Sprintf("%s iteration, sweep %d", e.Iteration, e.Sweep)
+	}
+	return fmt.Sprintf("core: analysis cancelled during %s: %v", where, e.Cause)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// cancelled builds the error for an interruption in the named iteration.
+func (a *Analyzer) cancelled(iter string, sweep int, cause error) error {
+	return &CancelledError{Iteration: iter, Sweep: sweep, Trail: a.conv.tail(), Cause: cause}
+}
+
 // sweepStart reads the clock only when a tracer is attached: untraced
 // sweeps never pay for time.Now.
 func (a *Analyzer) sweepStart() time.Time {

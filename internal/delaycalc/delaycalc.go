@@ -265,7 +265,9 @@ func rollUp(lib *celllib.Library, m *netlist.Design, opts Options) (*celllib.Cel
 			if !ok1 || !ok2 {
 				continue
 			}
-			g.AddEdge(id[fromNet], id[toNet])
+			if err := g.AddEdge(id[fromNet], id[toNet]); err != nil {
+				return nil, fmt.Errorf("module %s: arc of instance %s: %w", m.Name, inst.Name, err)
+			}
 			edges = append(edges, edge{id[fromNet], id[toNet], calc.ArcDelays(inst, arc), arc.Sense})
 		}
 	}

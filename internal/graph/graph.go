@@ -38,12 +38,19 @@ func (g *Digraph) AddNode() int {
 	return len(g.out) - 1
 }
 
-// AddEdge inserts the directed edge u -> v. Parallel edges are permitted;
-// callers that need simple graphs must deduplicate themselves.
-func (g *Digraph) AddEdge(u, v int) {
+// AddEdge inserts the directed edge u -> v, rejecting out-of-range
+// endpoints. Parallel edges are permitted; callers that need simple graphs
+// must deduplicate themselves.
+func (g *Digraph) AddEdge(u, v int) error {
 	if u < 0 || u >= len(g.out) || v < 0 || v >= len(g.out) {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.out)))
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.out))
 	}
+	g.addEdge(u, v)
+	return nil
+}
+
+// addEdge is AddEdge for indices already known to be in range.
+func (g *Digraph) addEdge(u, v int) {
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.m++
@@ -382,7 +389,7 @@ func (g *Digraph) Induced(keep []bool) (sub *Digraph, oldToNew, newToOld []int) 
 		}
 		for _, v := range g.out[u] {
 			if keep[v] {
-				sub.AddEdge(oldToNew[u], oldToNew[v])
+				sub.addEdge(oldToNew[u], oldToNew[v])
 			}
 		}
 	}

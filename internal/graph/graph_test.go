@@ -9,7 +9,9 @@ import (
 func mk(n int, edges [][2]int) *Digraph {
 	g := New(n)
 	for _, e := range edges {
-		g.AddEdge(e[0], e[1])
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
 	}
 	return g
 }
@@ -312,14 +314,16 @@ func TestInduced(t *testing.T) {
 	}
 }
 
-func TestAddEdgePanicsOutOfRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
 	g := New(2)
-	g.AddEdge(0, 5)
+	for _, e := range [][2]int{{0, 5}, {-1, 0}, {2, 0}, {0, -3}} {
+		if err := g.AddEdge(e[0], e[1]); err == nil {
+			t.Errorf("edge %v accepted", e)
+		}
+	}
+	if g.M() != 0 {
+		t.Fatalf("rejected edges counted: M=%d", g.M())
+	}
 }
 
 func TestAddNode(t *testing.T) {
@@ -328,7 +332,9 @@ func TestAddNode(t *testing.T) {
 	if id != 1 || g.N() != 2 {
 		t.Fatalf("AddNode id=%d N=%d", id, g.N())
 	}
-	g.AddEdge(0, 1)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
 	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 {
 		t.Fatal("degree bookkeeping wrong after AddNode")
 	}

@@ -19,14 +19,17 @@ import (
 // GenerateConstraints at the same cumulative options — the incremental
 // path must be observationally identical to full re-analysis.
 func TestEquivalenceRandomEdits(t *testing.T) {
+	infallible := func(mk func() *netlist.Design) func() (*netlist.Design, error) {
+		return func() (*netlist.Design, error) { return mk(), nil }
+	}
 	cases := []struct {
 		name  string
-		build func() *netlist.Design
+		build func() (*netlist.Design, error)
 		edits int
 	}{
-		{"Figure1", workload.Figure1, 8},
-		{"SM1F", workload.SM1F, 8},
-		{"SM1H", workload.SM1H, 8},
+		{"Figure1", infallible(workload.Figure1), 8},
+		{"SM1F", infallible(workload.SM1F), 8},
+		{"SM1H", infallible(workload.SM1H), 8},
 		{"ALU", workload.ALU, 6},
 		{"DES", workload.DES, 4},
 	}
@@ -38,7 +41,11 @@ func TestEquivalenceRandomEdits(t *testing.T) {
 				edits = 2
 			}
 			lib := celllib.Default()
-			eng, err := Open(lib, tc.build(), core.DefaultOptions())
+			d, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := Open(lib, d, core.DefaultOptions())
 			if err != nil {
 				t.Fatal(err)
 			}

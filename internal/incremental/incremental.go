@@ -33,12 +33,14 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
+	"hummingbird/internal/failpoint"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/telemetry"
@@ -162,9 +164,16 @@ type Engine struct {
 // is edited in place by delay-only edits and replaced wholesale by
 // topology edits — always read it back through Design().
 func Open(lib *celllib.Library, design *netlist.Design, opts core.Options) (*Engine, error) {
+	return OpenContext(nil, lib, design, opts)
+}
+
+// OpenContext is Open with cancellation of the initial analysis: on an
+// expired deadline no engine is returned. A nil ctx is accepted and makes
+// the open uninterruptible.
+func OpenContext(ctx context.Context, lib *celllib.Library, design *netlist.Design, opts core.Options) (*Engine, error) {
 	opts.Adjustments = cloneAdjust(opts.Adjustments)
 	e := &Engine{lib: lib, opts: opts, design: design}
-	if err := e.loadFull(); err != nil {
+	if err := e.loadFull(ctx); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -196,15 +205,28 @@ func (e *Engine) Options() core.Options {
 // fixed-point offsets afterwards (the snatch sweeps move them). The result
 // is cached until the next edit.
 func (e *Engine) Constraints() (*core.Constraints, error) {
+	return e.ConstraintsContext(nil)
+}
+
+// ConstraintsContext is Constraints with cancellation. An interrupted
+// snatch fixed point restores the Algorithm-1 offsets before returning,
+// so the engine stays usable; only the constraints cache is left cold.
+func (e *Engine) ConstraintsContext(ctx context.Context) (*core.Constraints, error) {
 	if e.cons != nil {
 		return e.cons, nil
 	}
 	if e.rep == nil {
-		if err := e.loadFull(); err != nil {
+		if err := e.loadFull(ctx); err != nil {
 			return nil, err
 		}
 	}
-	cons, err := e.an.GenerateConstraintsFrom(e.rep.Result.Clone())
+	var cons *core.Constraints
+	var err error
+	if ctx != nil {
+		cons, err = e.an.GenerateConstraintsFromCtx(ctx, e.rep.Result.Clone())
+	} else {
+		cons, err = e.an.GenerateConstraintsFrom(e.rep.Result.Clone())
+	}
 	e.restoreOffsets()
 	if err != nil {
 		return nil, err
@@ -218,11 +240,20 @@ func (e *Engine) Constraints() (*core.Constraints, error) {
 // error from the fixed point leaves the edits applied but the report
 // invalid; the next call rebuilds from scratch.
 func (e *Engine) Apply(edits ...Edit) (*Outcome, error) {
+	return e.ApplyContext(nil, edits...)
+}
+
+// ApplyContext is Apply with cancellation of the re-analysis. An
+// interruption after validation leaves the edits applied but the report
+// invalid — exactly like a non-convergence error — and the next call
+// rebuilds from scratch. Interrupted validation (or a fault injected at
+// "incr.classify") leaves the engine unchanged.
+func (e *Engine) ApplyContext(ctx context.Context, edits ...Edit) (*Outcome, error) {
 	if len(edits) == 0 {
 		return &Outcome{Incremental: true, Report: e.rep}, nil
 	}
 	if e.rep == nil {
-		if err := e.loadFull(); err != nil {
+		if err := e.loadFull(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -232,14 +263,18 @@ func (e *Engine) Apply(edits ...Edit) (*Outcome, error) {
 	}
 	mEdits.Add(int64(len(edits)))
 	if !delayOnly {
-		return e.applyFull(edits)
+		return e.applyFull(ctx, edits)
 	}
-	return e.applyDelayOnly(edits)
+	return e.applyDelayOnly(ctx, edits)
 }
 
 // classify validates every edit and reports whether the whole batch is
-// delay-only. It performs no mutation.
+// delay-only. It performs no mutation — which makes it the chaos suite's
+// injection site for "edit rejected before touching anything".
 func (e *Engine) classify(edits []Edit) (bool, error) {
+	if err := failpoint.Hit("incr.classify"); err != nil {
+		return false, err
+	}
 	delayOnly := true
 	// batch tracks instances added (true) or removed (false) by earlier
 	// edits in this batch, so later edits can reference them.
@@ -364,7 +399,7 @@ func sameInterface(a, b *celllib.Cell) bool {
 
 // applyDelayOnly patches arc delays in place and recomputes only the dirty
 // clusters against the cached initial-offset result.
-func (e *Engine) applyDelayOnly(edits []Edit) (*Outcome, error) {
+func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, error) {
 	affectedNets := map[string]bool{}
 	dirtyArcs := map[arcRef]bool{}
 	// topo tracks the checksum across the batch: the sum-composed
@@ -433,7 +468,10 @@ func (e *Engine) applyDelayOnly(edits []Edit) (*Outcome, error) {
 	// rebuild everything.
 	if topo != e.topo {
 		mChecksumFallbacks.Inc()
-		if err := e.loadFull(); err != nil {
+		if err := e.loadFull(ctx); err != nil {
+			// The arcs are already patched, so the surviving caches are
+			// stale: invalidate the report to force a rebuild next call.
+			e.rep, e.cons = nil, nil
 			return nil, err
 		}
 		return &Outcome{FallbackReason: "checksum mismatch", Report: e.rep}, nil
@@ -450,14 +488,29 @@ func (e *Engine) applyDelayOnly(edits []Edit) (*Outcome, error) {
 
 	// Replay the from-scratch computation: initial offsets, cached base
 	// result with just the dirty clusters recomputed, then the incremental
-	// Algorithm 1 fixed point.
+	// Algorithm 1 fixed point. Any interruption invalidates the report (and
+	// the base cache, which no longer matches the patched arcs): the next
+	// call rebuilds everything through loadFull.
 	e.an.ResetOffsets()
 	res := e.base.Clone()
 	if len(ids) > 0 {
-		sta.Recompute(e.an.NW, res, ids)
+		if ctx != nil {
+			if err := sta.RecomputeContext(ctx, e.an.NW, res, ids); err != nil {
+				e.rep, e.cons = nil, nil
+				return nil, err
+			}
+		} else {
+			sta.Recompute(e.an.NW, res, ids)
+		}
 		e.base = res.Clone()
 	}
-	rep, err := e.an.IdentifySlowPathsFrom(res)
+	var rep *core.Report
+	var err error
+	if ctx != nil {
+		rep, err = e.an.IdentifySlowPathsFromCtx(ctx, res)
+	} else {
+		rep, err = e.an.IdentifySlowPathsFrom(res)
+	}
 	if err != nil {
 		e.rep, e.cons = nil, nil
 		return nil, err
@@ -488,7 +541,7 @@ func (e *Engine) reevalArc(r arcRef) {
 
 // applyFull applies the batch to a private copy of the design and
 // re-elaborates; the engine only adopts the copy if the rebuild succeeds.
-func (e *Engine) applyFull(edits []Edit) (*Outcome, error) {
+func (e *Engine) applyFull(ctx context.Context, edits []Edit) (*Outcome, error) {
 	mFullFallbacks.Inc()
 	d2 := cloneDesign(e.design)
 	adj2 := cloneAdjust(e.opts.Adjustments)
@@ -532,7 +585,7 @@ func (e *Engine) applyFull(edits []Edit) (*Outcome, error) {
 	}
 	oldDesign, oldAdj := e.design, e.opts.Adjustments
 	e.design, e.opts.Adjustments = d2, adj2
-	if err := e.loadFull(); err != nil {
+	if err := e.loadFull(ctx); err != nil {
 		e.design, e.opts.Adjustments = oldDesign, oldAdj
 		return nil, err
 	}
@@ -540,18 +593,31 @@ func (e *Engine) applyFull(edits []Edit) (*Outcome, error) {
 }
 
 // loadFull re-elaborates the current design and runs a full analysis,
-// refreshing every cache. The engine's previous state survives a failed
-// elaboration; a non-convergent fixed point invalidates the report.
-func (e *Engine) loadFull() error {
+// refreshing every cache (ctx may be nil: uninterruptible). The engine's
+// previous state survives a failed or interrupted elaboration; a
+// non-convergent fixed point invalidates the report.
+func (e *Engine) loadFull(ctx context.Context) error {
 	mFullAnalyses.Inc()
 	mCacheMisses.Inc()
 	an, err := core.Load(e.lib, e.design, e.opts)
 	if err != nil {
 		return err
 	}
-	res := sta.Analyze(an.NW)
+	var res *sta.Result
+	if ctx != nil {
+		if res, err = sta.AnalyzeContext(ctx, an.NW); err != nil {
+			return err
+		}
+	} else {
+		res = sta.Analyze(an.NW)
+	}
 	base := res.Clone()
-	rep, err := an.IdentifySlowPathsFrom(res)
+	var rep *core.Report
+	if ctx != nil {
+		rep, err = an.IdentifySlowPathsFromCtx(ctx, res)
+	} else {
+		rep, err = an.IdentifySlowPathsFrom(res)
+	}
 	if err != nil {
 		return err
 	}

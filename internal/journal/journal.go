@@ -1,0 +1,286 @@
+// Package journal provides the append-only per-session edit journals that
+// give hummingbirdd crash recovery: every session-mutating operation (the
+// open request, then each applied edit batch) is appended as one
+// CRC-framed JSON record before the response is acknowledged, so a daemon
+// restarted after a crash can replay the journals and restore every
+// session to its exact pre-crash state.
+//
+// # Format
+//
+// A journal is a text file of newline-terminated records:
+//
+//	<crc32c-hex> <payload-json>\n
+//
+// where the checksum covers the payload bytes. The payload is
+//
+//	{"kind":"open"|"edits","seq":N,"body":<caller JSON>}
+//
+// with seq increasing from 0 within one file. The framing makes replay
+// torn-write-tolerant: a crash mid-append leaves a final line that is
+// truncated or fails its checksum, and Read stops there, returning every
+// record the daemon had previously acknowledged (records are fsynced
+// before the HTTP response, so an acknowledged edit is never lost).
+//
+// # Durability
+//
+// Appends are group-committed: the record is written under the file lock,
+// then Append waits on a shared fsync barrier — concurrent appenders that
+// land while another fsync is in flight share the next one, so a burst of
+// edits costs one or two fsyncs rather than one each.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hummingbird/internal/failpoint"
+	"hummingbird/internal/telemetry"
+)
+
+var (
+	mAppends   = telemetry.NewCounter("journal.appends")
+	mSyncs     = telemetry.NewCounter("journal.syncs")
+	mReplays   = telemetry.NewCounter("journal.replays")
+	mTornTails = telemetry.NewCounter("journal.torn_tails")
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by modern storage
+// stacks; any fixed table would do, this one is hardware-accelerated).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record kinds.
+const (
+	KindOpen  = "open"
+	KindEdits = "edits"
+)
+
+// Record is one replayed journal entry.
+type Record struct {
+	Kind string          `json:"kind"`
+	Seq  int64           `json:"seq"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Writer appends records to one session's journal file.
+type Writer struct {
+	mu   sync.Mutex // file writes + seq
+	f    *os.File
+	seq  int64
+	path string
+
+	// group-commit fsync barrier: writeGen counts records written,
+	// syncGen records synced; an appender whose record is already
+	// covered by a completed fsync skips its own.
+	syncMu   sync.Mutex
+	writeGen int64
+	syncGen  int64
+}
+
+// Manager owns a directory of session journals, one file per session id.
+type Manager struct {
+	dir string
+}
+
+// NewManager ensures the directory exists and returns a manager over it.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Manager{dir: dir}, nil
+}
+
+// Dir returns the journal directory.
+func (m *Manager) Dir() string { return m.dir }
+
+func (m *Manager) path(session string) string {
+	return filepath.Join(m.dir, session+".journal")
+}
+
+// Create starts a fresh journal for the session, writing (and syncing) the
+// open record. An existing journal for the same id is truncated — the
+// caller allocates ids that never collide with live sessions.
+func (m *Manager) Create(session string, openBody any) (*Writer, error) {
+	f, err := os.OpenFile(m.path(session), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f, path: m.path(session)}
+	if err := w.Append(KindOpen, openBody); err != nil {
+		f.Close()
+		os.Remove(w.path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// Remove deletes the session's journal (normal close: the state is parked
+// or discarded deliberately, so there is nothing left to replay).
+func (m *Manager) Remove(session string) error {
+	err := os.Remove(m.path(session))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Quarantine renames the session's journal aside (suffix ".quarantined")
+// so a poisoned session's history survives for diagnosis without being
+// replayed into the next process.
+func (m *Manager) Quarantine(session string) error {
+	err := os.Rename(m.path(session), m.path(session)+".quarantined")
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Sessions lists the session ids with a journal on disk, sorted.
+func (m *Manager) Sessions() ([]string, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".journal") {
+			ids = append(ids, strings.TrimSuffix(name, ".journal"))
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Read replays the session's journal, tolerating a torn tail: records
+// after the first truncated or checksum-failing line are dropped (they
+// were never acknowledged). The returned slice starts with the KindOpen
+// record. Counts one journal.replays.
+func (m *Manager) Read(session string) ([]Record, error) {
+	f, err := os.Open(m.path(session))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		crcHex, payload, ok := strings.Cut(string(line), " ")
+		if !ok {
+			mTornTails.Inc()
+			break
+		}
+		want, err := strconv.ParseUint(crcHex, 16, 32)
+		if err != nil || crc32.Checksum([]byte(payload), castagnoli) != uint32(want) {
+			mTornTails.Inc()
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+			mTornTails.Inc()
+			break
+		}
+		if rec.Seq != int64(len(recs)) {
+			// A sequence gap means the file was tampered with or
+			// mis-assembled; stop at the last consistent prefix.
+			mTornTails.Inc()
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return recs, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("journal %s: no intact records", session)
+	}
+	if recs[0].Kind != KindOpen {
+		return nil, fmt.Errorf("journal %s: first record is %q, want %q", session, recs[0].Kind, KindOpen)
+	}
+	mReplays.Inc()
+	return recs, nil
+}
+
+// Append frames, writes and fsyncs one record. The record is durable when
+// Append returns nil; on a write or sync error the journal should be
+// treated as dead (the daemon quarantines the session).
+func (w *Writer) Append(kind string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("journal: encode body: %w", err)
+	}
+	w.mu.Lock()
+	rec := Record{Kind: kind, Seq: w.seq, Body: raw}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	if err := failpoint.Hit("journal.append"); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, castagnoli), payload)
+	if _, err := w.f.WriteString(line); err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.seq++
+	w.writeGen++
+	gen := w.writeGen
+	w.mu.Unlock()
+	mAppends.Inc()
+	return w.barrier(gen)
+}
+
+// barrier is the group-commit fsync: returns once a sync covering write
+// generation gen has completed, issuing one itself only if needed.
+func (w *Writer) barrier(gen int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.syncGen >= gen {
+		return nil // a concurrent appender's fsync already covered us
+	}
+	if err := failpoint.Hit("journal.sync"); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	covered := w.writeGen
+	w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	mSyncs.Inc()
+	w.syncGen = covered
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far (shutdown flush).
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	gen := w.writeGen
+	w.mu.Unlock()
+	return w.barrier(gen)
+}
+
+// Close syncs and closes the file; the journal stays on disk for replay.
+func (w *Writer) Close() error {
+	syncErr := w.Sync()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// Path returns the journal file's path (diagnostics).
+func (w *Writer) Path() string { return w.path }

@@ -192,15 +192,6 @@ func Parse(function string) (*Expr, error) {
 	return e, nil
 }
 
-// MustParse is Parse that panics on error; for fixture construction.
-func MustParse(function string) *Expr {
-	e, err := Parse(function)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 func collect(n node, seen map[string]bool) {
 	switch v := n.(type) {
 	case identNode:

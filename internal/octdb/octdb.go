@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"hummingbird/internal/core"
+	"hummingbird/internal/failpoint"
 	"hummingbird/internal/netlist"
 )
 
@@ -165,6 +166,9 @@ func FlagSlowPaths(db *DB, a *core.Analyzer, rep *core.Report) {
 //
 // Object and value fields are quoted, so arbitrary names round-trip.
 func (db *DB) Save(w io.Writer) error {
+	if err := failpoint.Hit("octdb.save"); err != nil {
+		return err
+	}
 	keys := make([]key, 0, len(db.props))
 	for k := range db.props {
 		keys = append(keys, k)
@@ -194,6 +198,9 @@ func (db *DB) Save(w io.Writer) error {
 // Load reads properties saved by Save into the store (merging over any
 // existing properties).
 func (db *DB) Load(r io.Reader) error {
+	if err := failpoint.Hit("octdb.load"); err != nil {
+		return err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0

@@ -323,7 +323,10 @@ func TestCrossValidationRandomPipelines(t *testing.T) {
 			ClockBufs: int(seed % 2), Seed: seed,
 			GatedBank: seed%2 == 0,
 		}
-		d := workload.Pipeline(cfg)
+		d, err := workload.Pipeline(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		a, err := core.Load(lib, d, core.DefaultOptions())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -11,6 +11,15 @@ import (
 	"hummingbird/internal/workload"
 )
 
+// mustGen unwraps a workload generator; the fixture configurations are
+// static and valid by construction.
+func mustGen(d *netlist.Design, err error) *netlist.Design {
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 func buildWorkload(t *testing.T, d *netlist.Design) *cluster.Network {
 	t.Helper()
 	lib := celllib.Default()
@@ -42,7 +51,7 @@ func buildWorkload(t *testing.T, d *netlist.Design) *cluster.Network {
 // TestAnalyzeParallelEquivalence: the parallel analysis must agree with the
 // sequential one bit for bit, including the pass-detail ordering.
 func TestAnalyzeParallelEquivalence(t *testing.T) {
-	nw := buildWorkload(t, workload.ALU())
+	nw := buildWorkload(t, mustGen(workload.ALU()))
 	seq := Analyze(nw)
 	for _, workers := range []int{1, 2, 4, 8} {
 		par := AnalyzeParallel(nw, workers)
@@ -79,7 +88,8 @@ func TestAnalyzeParallelEquivalence(t *testing.T) {
 // under -race this also exercises the worker pool for data races.
 func TestAnalyzeParallelAllWorkloads(t *testing.T) {
 	designs := []*netlist.Design{
-		workload.DES(), workload.ALU(), workload.SM1F(), workload.SM1H(), workload.Figure1(),
+		mustGen(workload.DES()), mustGen(workload.ALU()),
+		workload.SM1F(), workload.SM1H(), workload.Figure1(),
 	}
 	for _, d := range designs {
 		d := d

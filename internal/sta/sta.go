@@ -14,6 +14,7 @@
 package sta
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/cluster"
+	"hummingbird/internal/failpoint"
 	"hummingbird/internal/telemetry"
 )
 
@@ -39,6 +41,7 @@ var (
 	mParallelWorkers  = telemetry.NewCounter("sta.parallel_workers")
 	mWorkerBusyNs     = telemetry.NewCounter("sta.parallel_worker_busy_ns")
 	mParallelWallNs   = telemetry.NewCounter("sta.parallel_wall_ns")
+	mCancelled        = telemetry.NewCounter("sta.cancelled")
 )
 
 const (
@@ -124,7 +127,8 @@ func (r *Result) WorstSlack() clock.Time {
 }
 
 // Analyze runs every pass of every cluster against the network's current
-// element offsets.
+// element offsets. It cannot be interrupted; servers and other callers
+// with deadlines use AnalyzeContext.
 func Analyze(nw *cluster.Network) *Result {
 	mAnalyses.Inc()
 	res := newResult(nw)
@@ -132,6 +136,41 @@ func Analyze(nw *cluster.Network) *Result {
 		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
 	}
 	return res
+}
+
+// interrupt builds the per-cluster cancellation check of the Context
+// analysis variants: the "sta.cluster" failpoint first (so chaos tests can
+// inject sleeps, errors and panics into the middle of an analysis), then
+// the context. The returned error is context.Cause's, so a caller-supplied
+// cancel cause propagates.
+func interrupt(ctx context.Context) func() error {
+	return func() error {
+		if err := failpoint.Hit("sta.cluster"); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			mCancelled.Inc()
+			return context.Cause(ctx)
+		}
+		return nil
+	}
+}
+
+// AnalyzeContext is Analyze with cancellation: the context is checked
+// between clusters, and an expired deadline abandons the analysis,
+// returning the cause. The partial result is discarded — an interrupted
+// analysis is never a valid block analysis.
+func AnalyzeContext(ctx context.Context, nw *cluster.Network) (*Result, error) {
+	mAnalyses.Inc()
+	check := interrupt(ctx)
+	res := newResult(nw)
+	for _, cl := range nw.Clusters {
+		if err := check(); err != nil {
+			return nil, err
+		}
+		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
+	}
+	return res, nil
 }
 
 // AnalyzeParallel is Analyze with the per-cluster work spread across the
@@ -196,6 +235,18 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 // mode of Algorithm 1's sweeps: after a slack transfer only the clusters
 // adjacent to the moved element change.
 func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
+	recompute(nw, res, clusterIDs, nil)
+}
+
+// RecomputeContext is Recompute with cancellation, checked between
+// clusters. On a non-nil error res has been partially rebuilt and must be
+// discarded by the caller — slacks of the untouched clusters are intact
+// but the interrupted cluster's are reset to +Inf.
+func RecomputeContext(ctx context.Context, nw *cluster.Network, res *Result, clusterIDs []int) error {
+	return recompute(nw, res, clusterIDs, interrupt(ctx))
+}
+
+func recompute(nw *cluster.Network, res *Result, clusterIDs []int, check func() error) error {
 	mRecomputes.Inc()
 	dirty := make(map[int]bool, len(clusterIDs))
 	for _, id := range clusterIDs {
@@ -220,6 +271,11 @@ func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
 	}
 	res.Passes = kept
 	for _, id := range clusterIDs {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		res.Passes = append(res.Passes, analyzeCluster(nw, nw.Clusters[id], res)...)
 	}
 	// Keep the pass list in Analyze's (cluster, pass) order so a result
@@ -230,6 +286,7 @@ func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
 		}
 		return res.Passes[i].Pass < res.Passes[j].Pass
 	})
+	return nil
 }
 
 func newResult(nw *cluster.Network) *Result {

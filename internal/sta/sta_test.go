@@ -15,6 +15,12 @@ import (
 // can be computed by hand.
 func testLib() *celllib.Library {
 	l := celllib.NewLibrary("sta-test")
+	// Test fixture: a bad cell is a broken test, so panicking is fine here.
+	mustAdd := func(c *celllib.Cell) {
+		if err := l.Add(c); err != nil {
+			panic(err)
+		}
+	}
 	fixed := func(rise, fall clock.Time) celllib.ArcDelay {
 		return celllib.ArcDelay{
 			MaxRise: celllib.Linear{Intrinsic: rise},
@@ -23,17 +29,17 @@ func testLib() *celllib.Library {
 			MinFall: celllib.Linear{Intrinsic: fall / 2},
 		}
 	}
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "BUFD", Kind: celllib.Comb, Function: "Y=A", Area: 1, Drive: 1,
 		Pins: []celllib.Pin{{Name: "A", Dir: celllib.In}, {Name: "Y", Dir: celllib.Out}},
 		Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.PositiveUnate, Delay: fixed(100, 100)}},
 	})
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "INVD", Kind: celllib.Comb, Function: "Y=!A", Area: 1, Drive: 1,
 		Pins: []celllib.Pin{{Name: "A", Dir: celllib.In}, {Name: "Y", Dir: celllib.Out}},
 		Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.NegativeUnate, Delay: fixed(100, 60)}},
 	})
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "XORD", Kind: celllib.Comb, Function: "Y=A^B", Area: 1, Drive: 1,
 		Pins: []celllib.Pin{
 			{Name: "A", Dir: celllib.In}, {Name: "B", Dir: celllib.In},
@@ -45,7 +51,7 @@ func testLib() *celllib.Library {
 		},
 	})
 	zeroSync := &celllib.SyncTiming{Dsetup: 0, Ddz: 0, Dcz: 0}
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "LAT", Kind: celllib.Transparent, Function: "latch", Area: 2, Drive: 1,
 		Pins: []celllib.Pin{
 			{Name: "D", Dir: celllib.In},
@@ -55,7 +61,7 @@ func testLib() *celllib.Library {
 		Arcs: []celllib.Arc{{From: "D", To: "Q", Sense: celllib.PositiveUnate, Delay: fixed(0, 0)}},
 		Sync: zeroSync,
 	})
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "FFD", Kind: celllib.EdgeTriggered, Function: "dff", Area: 2, Drive: 1,
 		Pins: []celllib.Pin{
 			{Name: "D", Dir: celllib.In},

@@ -31,7 +31,10 @@ func transparentTiming() *celllib.SyncTiming {
 // after the start of the pulse, so Ozd = 5ns and Odz = −15ns. A 2ns delay
 // between the clock source and the control input gives Oat = Ozc = 2ns.
 func TestTransparentOffsets_PaperExample(t *testing.T) {
-	cs := clock.MustSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	cs, err := clock.NewSet(clock.Signal{Name: "phi", Period: 100 * clock.Ns, RiseAt: 0, FallAt: 20 * clock.Ns})
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := &celllib.SyncTiming{Dsetup: 0, Ddz: 0, Dcz: 0}
 	elems, err := Build("lat", celllib.Transparent, st, cs, 0, false, 2*clock.Ns, 2*clock.Ns)
 	if err != nil {

@@ -29,6 +29,13 @@ import (
 //	FFS   — flip-flop with Dsetup=2ns, Dcz=1ns
 func Lib() *celllib.Library {
 	l := celllib.NewLibrary("fixture")
+	// Fixture construction: a bad cell is a broken test, so panicking here
+	// (test-only package) is the right failure mode.
+	mustAdd := func(c *celllib.Cell) {
+		if err := l.Add(c); err != nil {
+			panic(err)
+		}
+	}
 	fixed := func(rise, fall clock.Time) celllib.ArcDelay {
 		return celllib.ArcDelay{
 			MaxRise: celllib.Linear{Intrinsic: rise},
@@ -44,16 +51,16 @@ func Lib() *celllib.Library {
 			Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.PositiveUnate, Delay: fixed(d, d)}},
 		}
 	}
-	l.MustAdd(buf("BUFD", 100))
+	mustAdd(buf("BUFD", 100))
 	for _, ns := range []clock.Time{1, 5, 10, 20, 30, 40, 55, 60} {
-		l.MustAdd(buf(fmt.Sprintf("D%dNS", ns), ns*clock.Ns))
+		mustAdd(buf(fmt.Sprintf("D%dNS", ns), ns*clock.Ns))
 	}
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "INVD", Kind: celllib.Comb, Function: "Y=!A", Area: 1, Drive: 1,
 		Pins: []celllib.Pin{{Name: "A", Dir: celllib.In}, {Name: "Y", Dir: celllib.Out}},
 		Arcs: []celllib.Arc{{From: "A", To: "Y", Sense: celllib.NegativeUnate, Delay: fixed(100, 60)}},
 	})
-	l.MustAdd(&celllib.Cell{
+	mustAdd(&celllib.Cell{
 		Name: "XORD", Kind: celllib.Comb, Function: "Y=A^B", Area: 1, Drive: 1,
 		Pins: []celllib.Pin{
 			{Name: "A", Dir: celllib.In}, {Name: "B", Dir: celllib.In},
@@ -87,10 +94,10 @@ func Lib() *celllib.Library {
 			Sync: &st,
 		}
 	}
-	l.MustAdd(latch("LAT", celllib.Transparent, celllib.SyncTiming{}))
-	l.MustAdd(latch("LATN", celllib.Transparent, celllib.SyncTiming{ActiveLow: true}))
-	l.MustAdd(latch("FFD", celllib.EdgeTriggered, celllib.SyncTiming{}))
-	l.MustAdd(latch("FFS", celllib.EdgeTriggered, celllib.SyncTiming{Dsetup: 2 * clock.Ns, Dcz: 1 * clock.Ns}))
+	mustAdd(latch("LAT", celllib.Transparent, celllib.SyncTiming{}))
+	mustAdd(latch("LATN", celllib.Transparent, celllib.SyncTiming{ActiveLow: true}))
+	mustAdd(latch("FFD", celllib.EdgeTriggered, celllib.SyncTiming{}))
+	mustAdd(latch("FFS", celllib.EdgeTriggered, celllib.SyncTiming{Dsetup: 2 * clock.Ns, Dcz: 1 * clock.Ns}))
 	return l
 }
 

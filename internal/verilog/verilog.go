@@ -25,6 +25,7 @@ import (
 	"strings"
 	"unicode"
 
+	"hummingbird/internal/failpoint"
 	"hummingbird/internal/netlist"
 )
 
@@ -33,6 +34,9 @@ import (
 // Every other module in the file becomes a submodule definition of the
 // result.
 func Import(r io.Reader, top string) (*netlist.Design, error) {
+	if err := failpoint.Hit("verilog.import"); err != nil {
+		return nil, err
+	}
 	src, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err

@@ -75,8 +75,10 @@ var gatePool = []gateChoice{
 	{"INV_X1", 1}, {"BUF_X1", 1}, {"AND2_X1", 2}, {"OR2_X1", 2},
 }
 
-// Pipeline builds a synthetic multi-stage latch pipeline.
-func Pipeline(cfg PipeConfig) *netlist.Design {
+// Pipeline builds a synthetic multi-stage latch pipeline. It fails when the
+// configuration is inconsistent (e.g. the structural cells already exceed
+// TargetCells, so no padding can reach the target exactly).
+func Pipeline(cfg PipeConfig) (*netlist.Design, error) {
 	if cfg.Period == 0 {
 		cfg.Period = 100 * clock.Ns
 	}
@@ -194,7 +196,7 @@ func Pipeline(cfg PipeConfig) *netlist.Design {
 	// Pad to the exact target cell count with a buffer chain.
 	if cfg.TargetCells > 0 {
 		if cells > cfg.TargetCells {
-			panic(fmt.Sprintf("workload %s: %d cells exceeds target %d", cfg.Name, cells, cfg.TargetCells))
+			return nil, fmt.Errorf("workload %s: %d cells exceeds target %d", cfg.Name, cells, cfg.TargetCells)
 		}
 		src := cur[0]
 		for i := 0; cells < cfg.TargetCells; i++ {
@@ -203,12 +205,12 @@ func Pipeline(cfg PipeConfig) *netlist.Design {
 			src = dst
 		}
 	}
-	return d
+	return d, nil
 }
 
 // DES builds the Table 1 DES-chip analogue: exactly 3681 standard cells in
 // a 16-round two-phase transparent-latch pipeline.
-func DES() *netlist.Design {
+func DES() (*netlist.Design, error) {
 	return Pipeline(PipeConfig{
 		Name: "des", Stages: 16, Width: 32, Depth: 5,
 		Latch: "DLATCH_X1", Latch2: "DLATCH_X1",
@@ -218,7 +220,7 @@ func DES() *netlist.Design {
 
 // ALU builds the Table 1 ALU analogue: exactly 899 cells, 16 bits wide,
 // mixing transparent latches and flip-flops.
-func ALU() *netlist.Design {
+func ALU() (*netlist.Design, error) {
 	return Pipeline(PipeConfig{
 		Name: "alu", Stages: 4, Width: 16, Depth: 7,
 		Latch: "DLATCH_X1", Latch2: "DFF_X1",
@@ -410,7 +412,7 @@ func Figure1() *netlist.Design {
 
 // Scaling builds a family of designs with growing cell counts for the A5
 // scaling ablation.
-func Scaling(cells int, seed int64) *netlist.Design {
+func Scaling(cells int, seed int64) (*netlist.Design, error) {
 	width := 16
 	stages := 4
 	depth := (cells/width - stages) / (stages + 1)
@@ -427,7 +429,7 @@ func Scaling(cells int, seed int64) *netlist.Design {
 // DESGated is the DES analogue with one bank's clock gated by a latched
 // enable — the §4 enable-path machinery at Table-1 scale. An extension row
 // (not in the paper's Table 1).
-func DESGated() *netlist.Design {
+func DESGated() (*netlist.Design, error) {
 	return Pipeline(PipeConfig{
 		Name: "des-gated", Stages: 16, Width: 32, Depth: 5,
 		Latch: "DLATCH_X1", Latch2: "DLATCH_X1",
@@ -442,7 +444,7 @@ func DESGated() *netlist.Design {
 // assertion-to-slow-closure pair leaves less time than a stage needs on
 // every other pulse — so the fast banks are edge-triggered, the realistic
 // idiom.) An extension row, not in the paper's Table 1.
-func DESMultiFreq() *netlist.Design {
+func DESMultiFreq() (*netlist.Design, error) {
 	return Pipeline(PipeConfig{
 		Name: "des-mf", Stages: 16, Width: 32, Depth: 5,
 		Latch: "DLATCH_X1", Latch2: "DFF_X1",

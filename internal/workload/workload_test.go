@@ -11,6 +11,15 @@ import (
 
 var lib = celllib.Default()
 
+// mustGen unwraps a generator result; the static test configurations are
+// valid by construction.
+func mustGen(d *netlist.Design, err error) *netlist.Design {
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 func validate(t *testing.T, d *netlist.Design) netlist.Stats {
 	t.Helper()
 	if err := d.Validate(lib); err != nil {
@@ -20,7 +29,7 @@ func validate(t *testing.T, d *netlist.Design) netlist.Stats {
 }
 
 func TestDESCellCount(t *testing.T) {
-	d := DES()
+	d := mustGen(DES())
 	s := validate(t, d)
 	if s.Cells != 3681 {
 		t.Fatalf("DES cells = %d, want 3681 (Table 1)", s.Cells)
@@ -34,7 +43,7 @@ func TestDESCellCount(t *testing.T) {
 }
 
 func TestALUCellCount(t *testing.T) {
-	s := validate(t, ALU())
+	s := validate(t, mustGen(ALU()))
 	if s.Cells != 899 {
 		t.Fatalf("ALU cells = %d, want 899 (Table 1)", s.Cells)
 	}
@@ -72,7 +81,7 @@ func TestSM1H(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, b := DES(), DES()
+	a, b := mustGen(DES()), mustGen(DES())
 	if len(a.Instances) != len(b.Instances) {
 		t.Fatal("nondeterministic instance count")
 	}
@@ -89,7 +98,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestAllWorkloadsAnalyzable(t *testing.T) {
-	for _, d := range []*netlist.Design{ALU(), SM1F(), SM1H(), Figure1()} {
+	for _, d := range []*netlist.Design{mustGen(ALU()), SM1F(), SM1H(), Figure1()} {
 		a, err := core.Load(lib, d, core.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name, err)
@@ -108,7 +117,7 @@ func TestDESAnalyzable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("DES analysis in -short mode")
 	}
-	a, err := core.Load(lib, DES(), core.DefaultOptions())
+	a, err := core.Load(lib, mustGen(DES()), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +161,7 @@ func TestFigure1TwoPasses(t *testing.T) {
 func TestScalingFamily(t *testing.T) {
 	prev := 0
 	for _, target := range []int{200, 400, 800} {
-		d := Scaling(target, 7)
+		d := mustGen(Scaling(target, 7))
 		s := validate(t, d)
 		if s.Cells != target {
 			t.Fatalf("Scaling(%d) cells = %d", target, s.Cells)
@@ -164,20 +173,20 @@ func TestScalingFamily(t *testing.T) {
 	}
 }
 
-func TestPipelinePanicsWhenOverTarget(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic when target below natural size")
-		}
-	}()
-	Pipeline(PipeConfig{Name: "tiny", Stages: 4, Width: 16, Depth: 4, TargetCells: 10})
+func TestPipelineRejectsOverTarget(t *testing.T) {
+	if _, err := Pipeline(PipeConfig{Name: "tiny", Stages: 4, Width: 16, Depth: 4, TargetCells: 10}); err == nil {
+		t.Fatal("expected error when target below natural size")
+	}
 }
 
 func TestGatedPipelineAnalyzable(t *testing.T) {
-	d := Pipeline(PipeConfig{
+	d, err := Pipeline(PipeConfig{
 		Name: "gated", Stages: 4, Width: 8, Depth: 3,
 		Latch: "DLATCH_X1", GatedBank: true, Seed: 3,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, err := core.Load(lib, d, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -202,10 +211,13 @@ func TestGatedPipelineAnalyzable(t *testing.T) {
 }
 
 func TestFastClockPipelineAnalyzable(t *testing.T) {
-	d := Pipeline(PipeConfig{
+	d, err := Pipeline(PipeConfig{
 		Name: "mf", Stages: 4, Width: 8, Depth: 3,
 		Latch: "DLATCH_X1", Latch2: "DFF_X1", FastSecondClock: true, Seed: 5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, err := core.Load(lib, d, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -233,7 +245,7 @@ func TestDESVariantsAnalyzable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size variants in -short mode")
 	}
-	for _, d := range []*netlist.Design{DESGated(), DESMultiFreq()} {
+	for _, d := range []*netlist.Design{mustGen(DESGated()), mustGen(DESMultiFreq())} {
 		s := validate(t, d)
 		if s.Cells != 3681 {
 			t.Fatalf("%s cells = %d", d.Name, s.Cells)
@@ -252,7 +264,7 @@ func TestDESVariantsAnalyzable(t *testing.T) {
 	}
 	// The multi-frequency variant really replicates: 512 sync sites + 64
 	// ports would give 576 elements unreplicated; the 256 fast FFs double.
-	a, _ := core.Load(lib, DESMultiFreq(), core.DefaultOptions())
+	a, _ := core.Load(lib, mustGen(DESMultiFreq()), core.DefaultOptions())
 	if len(a.NW.Elems) <= 700 {
 		t.Fatalf("element count %d suggests no replication", len(a.NW.Elems))
 	}
