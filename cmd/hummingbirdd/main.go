@@ -305,8 +305,27 @@ func (s *server) handler() http.Handler {
 // per-request deadline, the quarantine fast-fail, and panic isolation. A
 // panicking handler quarantines only the session it ran against; the
 // recover here keeps the rest of the process serving.
+// startTracker wraps a ResponseWriter and records whether the response has
+// been started, so the panic recovery in guard knows whether it may still
+// write an error body or would only corrupt an in-flight response.
+type startTracker struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (t *startTracker) WriteHeader(code int) {
+	t.started = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *startTracker) Write(b []byte) (int, error) {
+	t.started = true
+	return t.ResponseWriter.Write(b)
+}
+
 func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		w := &startTracker{ResponseWriter: rw}
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
@@ -356,7 +375,13 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 				if id := r.PathValue("id"); id != "" {
 					s.quarantine(id, diag)
 				}
-				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+				// Only answer if the handler had not started a response — a
+				// late WriteHeader would corrupt whatever was in flight. The
+				// body is deliberately generic; the panic value stays in the
+				// server log and the quarantine diagnostic.
+				if !w.started {
+					httpError(w, http.StatusInternalServerError, "internal error during %s", op)
+				}
 			}
 		}()
 		h(w, r)
@@ -375,8 +400,9 @@ func retryAfterSeconds(d time.Duration) int {
 
 // quarantine removes the session from service and records the diagnostic;
 // its journal is set aside for post-mortem rather than replayed into the
-// next process. Callers must NOT hold ss.mu of the target session's peers;
-// the target's own engine state is abandoned as-is.
+// next process. Callers must not hold any session mutex: the target's
+// journal writer is detached under ss.mu (handlers mutate ss.jw under the
+// same lock) before it is closed; the engine state is abandoned as-is.
 func (s *server) quarantine(id, diag string) {
 	s.mu.Lock()
 	ss := s.sessions[id]
@@ -384,13 +410,36 @@ func (s *server) quarantine(id, diag string) {
 	s.quarantined[id] = diag
 	s.mu.Unlock()
 	mQuarantined.Inc()
-	if ss != nil && ss.jw != nil {
-		ss.jw.Close()
-	}
-	if s.cfg.journal != nil {
-		if err := s.cfg.journal.Quarantine(id); err != nil {
-			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: quarantine journal %s: %v\n", id, err)
+	if ss != nil {
+		ss.mu.Lock()
+		jw := ss.jw
+		ss.jw = nil
+		ss.mu.Unlock()
+		if jw != nil {
+			jw.Close()
 		}
+	}
+	s.quarantineJournalFile(id)
+}
+
+// quarantineUnserved records a quarantine for an id with no live session
+// (replay or rewrite failure during recovery): diagnostic plus journal
+// set-aside, nothing to detach.
+func (s *server) quarantineUnserved(id, diag string) {
+	s.mu.Lock()
+	s.quarantined[id] = diag
+	s.mu.Unlock()
+	mQuarantined.Inc()
+	s.quarantineJournalFile(id)
+}
+
+// quarantineJournalFile renames the id's journal aside (best-effort).
+func (s *server) quarantineJournalFile(id string) {
+	if s.cfg.journal == nil {
+		return
+	}
+	if err := s.cfg.journal.Quarantine(id); err != nil {
+		fmt.Fprintf(s.cfg.errLog, "hummingbirdd: quarantine journal %s: %v\n", id, err)
 	}
 }
 
@@ -538,31 +587,27 @@ func (s *server) recoverSessions() int {
 	}
 	restored, maxID := 0, 0
 	for _, id := range ids {
+		// Every journal on disk claims its id — replayable or not — so a
+		// freshly allocated session id can never collide with one that
+		// ends up quarantined below.
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > maxID {
+			maxID = n
+		}
 		ss, req, batches, err := s.replaySession(id)
 		if err != nil {
 			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: replay %s: %v (journal quarantined)\n", id, err)
-			s.mu.Lock()
-			s.quarantined[id] = fmt.Sprintf("journal replay failed: %v", err)
-			s.mu.Unlock()
-			if qerr := s.cfg.journal.Quarantine(id); qerr != nil {
-				fmt.Fprintf(s.cfg.errLog, "hummingbirdd: quarantine journal %s: %v\n", id, qerr)
-			}
+			s.quarantineUnserved(id, fmt.Sprintf("journal replay failed: %v", err))
 			continue
 		}
 		// Rewrite a compact journal for the restored session: the open
 		// record plus every acknowledged batch, dropping any torn tail.
-		jw, err := s.cfg.journal.Create(id, req)
-		if err == nil {
-			for _, b := range batches {
-				if aerr := jw.Append(journal.KindEdits, b); aerr != nil {
-					err = aerr
-					break
-				}
-			}
-		}
+		// The rewrite is atomic (temp file + rename); if it fails, the
+		// session is quarantined rather than served without durability.
+		jw, err := s.cfg.journal.Rewrite(id, req, batches)
 		if err != nil {
-			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: rewrite journal %s: %v\n", id, err)
-			jw = nil
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: rewrite journal %s: %v (session quarantined)\n", id, err)
+			s.quarantineUnserved(id, fmt.Sprintf("journal rewrite failed: %v", err))
+			continue
 		}
 		ss.jw = jw
 		s.mu.Lock()
@@ -570,9 +615,6 @@ func (s *server) recoverSessions() int {
 		s.mu.Unlock()
 		mReplayed.Inc()
 		restored++
-		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > maxID {
-			maxID = n
-		}
 	}
 	s.mu.Lock()
 	if maxID > s.nextID {
@@ -769,55 +811,74 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	}
 	mEditCalls.Inc()
 
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	if ss.eng == nil {
-		// The session was closed while this request waited on ss.mu.
-		httpError(w, http.StatusNotFound, "session closed")
-		return
-	}
-	prevWorst := clock.Inf
-	if rep := ss.eng.Report(); rep != nil {
-		prevWorst = rep.WorstSlack()
-	}
-	t0 := time.Now()
-	out, err := ss.eng.ApplyContext(r.Context(), edits...)
-	elapsed := time.Since(t0)
-	if err != nil {
-		writeAnalysisError(w, "apply", err)
-		return
-	}
-	if ss.jw != nil {
-		// Acknowledged edits must be durable: the record is fsynced before
-		// the response. A dead journal poisons the session — its disk state
-		// can no longer be trusted to match the in-memory engine.
-		if jerr := ss.jw.Append(journal.KindEdits, req.Edits); jerr != nil {
-			ss.jw = nil
-			s.quarantine(ss.id, fmt.Sprintf("journal append failed: %v", jerr))
-			httpError(w, http.StatusServiceUnavailable, "journal append failed, session quarantined: %v", jerr)
-			return
+	// The closure owns ss.mu (defer keeps the unlock panic-safe for the
+	// guard's recovery, which re-acquires it); the quarantine and the 503
+	// for a dead journal happen after the lock is released.
+	resp, jerr := func() (map[string]any, error) {
+		ss.mu.Lock()
+		defer ss.mu.Unlock()
+		if ss.eng == nil {
+			// The session was closed while this request waited on ss.mu.
+			httpError(w, http.StatusNotFound, "session closed")
+			return nil, nil
 		}
-	}
-	ss.edits += len(edits)
+		prevWorst := clock.Inf
+		if rep := ss.eng.Report(); rep != nil {
+			prevWorst = rep.WorstSlack()
+		}
+		t0 := time.Now()
+		out, err := ss.eng.ApplyContext(r.Context(), edits...)
+		elapsed := time.Since(t0)
+		if err != nil {
+			// ApplyContext is atomic: a cancelled or failed batch was rolled
+			// back, the engine still matches the journal, and nothing is
+			// recorded — a client retry applies the batch exactly once.
+			writeAnalysisError(w, "apply", err)
+			return nil, nil
+		}
+		if ss.jw != nil {
+			// Acknowledged edits must be durable: the record is fsynced
+			// before the response. A dead journal poisons the session — its
+			// disk state can no longer be trusted to match the in-memory
+			// engine — so the session stops serving before the lock is
+			// released (eng == nil reads as closed to waiting requests).
+			if jerr := ss.jw.Append(journal.KindEdits, req.Edits); jerr != nil {
+				ss.jw.Close()
+				ss.jw = nil
+				ss.eng = nil
+				return nil, jerr
+			}
+		}
+		ss.edits += len(edits)
 
-	rep := out.Report
-	resp := map[string]any{
-		"session":     ss.id,
-		"incremental": out.Incremental,
-		"elapsed_us":  elapsed.Microseconds(),
-		"ok":          rep.OK,
-		"worst_slack": timeJSON(rep.WorstSlack()),
+		rep := out.Report
+		resp := map[string]any{
+			"session":     ss.id,
+			"incremental": out.Incremental,
+			"elapsed_us":  elapsed.Microseconds(),
+			"ok":          rep.OK,
+			"worst_slack": timeJSON(rep.WorstSlack()),
+		}
+		if out.Incremental {
+			resp["dirty_clusters"] = out.DirtyClusters
+		} else {
+			resp["fallback_reason"] = out.FallbackReason
+		}
+		if prevWorst != clock.Inf && rep.WorstSlack() != clock.Inf {
+			resp["worst_slack_delta_ps"] = int64(rep.WorstSlack() - prevWorst)
+		}
+		resp["changed_nets"] = ss.slackDeltas()
+		ss.rememberSlacks()
+		return resp, nil
+	}()
+	if jerr != nil {
+		s.quarantine(ss.id, fmt.Sprintf("journal append failed: %v", jerr))
+		httpError(w, http.StatusServiceUnavailable, "journal append failed, session quarantined: %v", jerr)
+		return
 	}
-	if out.Incremental {
-		resp["dirty_clusters"] = out.DirtyClusters
-	} else {
-		resp["fallback_reason"] = out.FallbackReason
+	if resp == nil {
+		return
 	}
-	if prevWorst != clock.Inf && rep.WorstSlack() != clock.Inf {
-		resp["worst_slack_delta_ps"] = int64(rep.WorstSlack() - prevWorst)
-	}
-	resp["changed_nets"] = ss.slackDeltas()
-	ss.rememberSlacks()
 	writeJSON(w, http.StatusOK, resp)
 }
 

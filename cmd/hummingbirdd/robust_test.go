@@ -515,6 +515,199 @@ func TestBrokenJournalQuarantinedOnReplay(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "s7.journal.quarantined")); err != nil {
 		t.Fatalf("quarantined journal file missing: %v", err)
 	}
+	// The quarantined id is still claimed: a fresh open must not collide
+	// with it (a collision would 503 every request on the new session).
+	id, _ := openSession(t, ts, pipeSrc)
+	if id == "s7" {
+		t.Fatal("new session reused the quarantined id")
+	}
+	status, m = call(t, ts, "POST", "/v1/sessions/"+id+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": "1ps"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edit on fresh session after quarantine: %d %v", status, m)
+	}
+}
+
+// TestCancelledEditKeepsJournalConsistent is the cancelled-mid-batch
+// consistency check: a delay-only edit batch that times out must leave the
+// live engine, the journal, and a retry all agreeing. The engine rolls the
+// batch back atomically, so the 504 means "nothing happened" — the summary
+// hash is unchanged, a crash-replay reproduces the live state, and the
+// client's retry applies the batch exactly once.
+func TestCancelledEditKeepsJournalConsistent(t *testing.T) {
+	dir := t.TempDir()
+	jm1, err := journal.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServerCfg(t, serverConfig{
+		maxSessions:    4,
+		cacheSize:      0,
+		journal:        jm1,
+		requestTimeout: 50 * time.Millisecond,
+	})
+	id, _ := openSession(t, ts, pipeSrc)
+	_, sum := call(t, ts, "GET", "/v1/sessions/"+id, nil)
+	openHash, _ := sum["state_hash"].(string)
+	if openHash == "" {
+		t.Fatalf("no state hash: %v", sum)
+	}
+
+	// The first cluster visit sleeps past the whole 50ms request deadline,
+	// so the incremental recompute is cancelled after the edits were
+	// already patched into the engine — the rollback path under test.
+	if err := failpoint.Arm("sta.cluster", "sleep(150ms)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisarmAll)
+
+	batch := map[string]any{
+		"edits": []map[string]any{
+			{"op": "adjust", "inst": "g2", "delta": "250ps"},
+			{"op": "resize", "inst": "g3", "to": "INV_X4"},
+		},
+	}
+	status, m := call(t, ts, "POST", "/v1/sessions/"+id+"/edits", batch)
+	if status != http.StatusGatewayTimeout || m["kind"] != "cancelled" {
+		t.Fatalf("cancelled edit: %d %v", status, m)
+	}
+
+	// Nothing happened: the live state still matches the pre-batch hash.
+	failpoint.DisarmAll()
+	_, sum = call(t, ts, "GET", "/v1/sessions/"+id, nil)
+	if sum["state_hash"] != openHash {
+		t.Fatalf("cancelled batch leaked into live state: %v != %s", sum["state_hash"], openHash)
+	}
+
+	// The retry applies the batch exactly once.
+	status, m = call(t, ts, "POST", "/v1/sessions/"+id+"/edits", batch)
+	if status != http.StatusOK {
+		t.Fatalf("retry after cancel: %d %v", status, m)
+	}
+	_, sum = call(t, ts, "GET", "/v1/sessions/"+id, nil)
+	liveHash, _ := sum["state_hash"].(string)
+
+	// Crash-restart: the journal must reproduce the live state, which
+	// would fail if the cancelled attempt had mutated the engine without
+	// being journalled (or been journalled without taking effect).
+	jm2, err := journal.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServerCfg(t, serverConfig{maxSessions: 4, cacheSize: 0, journal: jm2})
+	if n := srv2.recoverSessions(); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	_, sum2 := call(t, ts2, "GET", "/v1/sessions/"+id, nil)
+	if sum2["state_hash"] != liveHash {
+		t.Fatalf("replayed state %v != live %s", sum2["state_hash"], liveHash)
+	}
+
+	// Reference: the same design with the batch applied once. Equality
+	// here is the double-apply check.
+	d, err := netlist.ParseString(pipeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := incremental.Open(celllib.Default(), d, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Apply(
+		incremental.Edit{Op: incremental.Adjust, Inst: "g2", Delta: 250},
+		incremental.Edit{Op: incremental.Resize, Inst: "g3", To: "INV_X4"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if ref.StateHash() != liveHash {
+		t.Fatalf("reference %s != live %s (batch applied twice?)", ref.StateHash(), liveHash)
+	}
+
+	// The replayed session keeps working and tracking the reference.
+	follow := map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g1", "delta": "50ps"}},
+	}
+	if status, m := call(t, ts2, "POST", "/v1/sessions/"+id+"/edits", follow); status != http.StatusOK {
+		t.Fatalf("edit after replay: %d %v", status, m)
+	}
+	if _, err := ref.Apply(incremental.Edit{Op: incremental.Adjust, Inst: "g1", Delta: 50}); err != nil {
+		t.Fatal(err)
+	}
+	_, sum2 = call(t, ts2, "GET", "/v1/sessions/"+id, nil)
+	if sum2["state_hash"] != ref.StateHash() {
+		t.Fatalf("post-replay edit diverged: %v != %s", sum2["state_hash"], ref.StateHash())
+	}
+}
+
+// TestRecoveryRewriteFailureQuarantines fails the recovery-time journal
+// compaction and checks the daemon quarantines the session rather than
+// serving it without durability — and that the set-aside journal still
+// holds every acknowledged record, so a later restart can recover it.
+func TestRecoveryRewriteFailureQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	jm1, err := journal.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServerCfg(t, serverConfig{maxSessions: 4, cacheSize: 0, journal: jm1})
+	id, _ := openSession(t, ts, pipeSrc)
+	status, m := call(t, ts, "POST", "/v1/sessions/"+id+"/edits", map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": "250ps"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edit: %d %v", status, m)
+	}
+	_, sum := call(t, ts, "GET", "/v1/sessions/"+id, nil)
+	ackedHash := sum["state_hash"]
+
+	// "Crash", then fail the compaction rewrite during recovery.
+	jm2, err := journal.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("journal.append", "1*error(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisarmAll)
+	srv2, ts2 := newTestServerCfg(t, serverConfig{maxSessions: 4, cacheSize: 0, journal: jm2})
+	if n := srv2.recoverSessions(); n != 0 {
+		t.Fatalf("recovered %d sessions despite rewrite failure", n)
+	}
+	if status, _ := call(t, ts2, "GET", "/v1/sessions/"+id, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("session served without durability: %d", status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".journal.quarantined")); err != nil {
+		t.Fatalf("quarantined journal missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".journal")); !os.IsNotExist(err) {
+		t.Fatalf("original journal still present: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".journal.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("rewrite temp left behind: %v", err)
+	}
+
+	// The quarantined journal lost nothing: put it back and a healthy
+	// restart replays the full acknowledged history.
+	failpoint.DisarmAll()
+	if err := os.Rename(
+		filepath.Join(dir, id+".journal.quarantined"),
+		filepath.Join(dir, id+".journal"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	jm3, err := journal.NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3, ts3 := newTestServerCfg(t, serverConfig{maxSessions: 4, cacheSize: 0, journal: jm3})
+	if n := srv3.recoverSessions(); n != 1 {
+		t.Fatalf("recovery after restore: %d sessions, want 1", n)
+	}
+	_, sum3 := call(t, ts3, "GET", "/v1/sessions/"+id, nil)
+	if sum3["state_hash"] != ackedHash {
+		t.Fatalf("restored replay state %v != acked %v", sum3["state_hash"], ackedHash)
+	}
 }
 
 // TestCleanCloseDropsJournal checks a deliberate DELETE removes the

@@ -235,19 +235,21 @@ func (e *Engine) ConstraintsContext(ctx context.Context) (*core.Constraints, err
 	return cons, nil
 }
 
-// Apply applies a batch of edits as one unit and re-analyzes. Validation
-// errors leave the engine (and its design) unchanged. A non-convergence
-// error from the fixed point leaves the edits applied but the report
-// invalid; the next call rebuilds from scratch.
+// Apply applies a batch of edits as one unit and re-analyzes. Apply is
+// atomic: on any error — validation, cancellation, or a non-convergent
+// fixed point — the engine (design, adjustments, delays, cached report)
+// is exactly as it was before the call, so the previous report keeps
+// serving and retrying the same batch applies it exactly once.
 func (e *Engine) Apply(edits ...Edit) (*Outcome, error) {
 	return e.ApplyContext(nil, edits...)
 }
 
-// ApplyContext is Apply with cancellation of the re-analysis. An
-// interruption after validation leaves the edits applied but the report
-// invalid — exactly like a non-convergence error — and the next call
-// rebuilds from scratch. Interrupted validation (or a fault injected at
-// "incr.classify") leaves the engine unchanged.
+// ApplyContext is Apply with cancellation of the re-analysis. The
+// atomicity guarantee of Apply holds for interruptions too: a cancelled
+// delay-only batch rolls its in-place patches back and a cancelled full
+// rebuild never adopts the edited design copy, so callers that persist
+// acknowledged batches (hummingbirdd's journal) stay consistent with the
+// live engine across timeouts.
 func (e *Engine) ApplyContext(ctx context.Context, edits ...Edit) (*Outcome, error) {
 	if len(edits) == 0 {
 		return &Outcome{Incremental: true, Report: e.rep}, nil
@@ -397,11 +399,48 @@ func sameInterface(a, b *celllib.Cell) bool {
 	return true
 }
 
+// undoStep records how to reverse one delay-only mutation; adjustments
+// are additive (reverse by negating the delta) and resizes restore the
+// previous cell ref.
+type undoStep struct {
+	isAdjust bool
+	inst     string     // Adjust: instance name
+	delta    clock.Time // Adjust: applied delta
+	instIdx  int        // Resize: instance index
+	oldRef   string     // Resize: previous cell ref
+}
+
 // applyDelayOnly patches arc delays in place and recomputes only the dirty
-// clusters against the cached initial-offset result.
+// clusters against the cached initial-offset result. Every error path runs
+// the undo log, so a failed batch (cancellation, non-convergence, a failed
+// checksum-fallback rebuild) leaves the engine bit-identical to its state
+// before the call — including the still-valid previous report.
 func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, error) {
 	affectedNets := map[string]bool{}
 	dirtyArcs := map[arcRef]bool{}
+	oldBase := e.base
+	var undo []undoStep
+	var nets []string
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			u := undo[i]
+			if u.isAdjust {
+				e.opts.Adjustments[u.inst] -= u.delta
+				if e.opts.Adjustments[u.inst] == 0 {
+					delete(e.opts.Adjustments, u.inst)
+				}
+				e.an.NW.Calc.Adjust(u.inst, -u.delta)
+			} else {
+				e.design.Instances[u.instIdx].Ref = u.oldRef
+			}
+		}
+		e.an.NW.Calc.RefreshLoads(nets)
+		for r := range dirtyArcs {
+			e.reevalArc(r)
+		}
+		e.base = oldBase
+		e.restoreOffsets()
+	}
 	// topo tracks the checksum across the batch: the sum-composed
 	// TopologyChecksum lets each mutation shift it by (new term − old term)
 	// without rehashing the whole design.
@@ -418,6 +457,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 				delete(e.opts.Adjustments, inst.Name)
 			}
 			e.an.NW.Calc.Adjust(inst.Name, ed.Delta)
+			undo = append(undo, undoStep{isAdjust: true, inst: inst.Name, delta: ed.Delta})
 		case Resize:
 			cur := e.an.Lib.Cell(inst.Ref)
 			neu := e.an.Lib.Cell(ed.To)
@@ -434,6 +474,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 				}
 			}
 			topo -= instanceTerm(inst, e.an.Lib)
+			undo = append(undo, undoStep{instIdx: e.instIdx[ed.Inst], oldRef: inst.Ref})
 			inst.Ref = ed.To
 			topo += instanceTerm(inst, e.an.Lib)
 		}
@@ -442,7 +483,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 		}
 	}
 	if len(affectedNets) > 0 {
-		nets := make([]string, 0, len(affectedNets))
+		nets = make([]string, 0, len(affectedNets))
 		for n := range affectedNets {
 			nets = append(nets, n)
 		}
@@ -469,9 +510,10 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 	if topo != e.topo {
 		mChecksumFallbacks.Inc()
 		if err := e.loadFull(ctx); err != nil {
-			// The arcs are already patched, so the surviving caches are
-			// stale: invalidate the report to force a rebuild next call.
-			e.rep, e.cons = nil, nil
+			// loadFull failed before adopting anything, so the surviving
+			// analyzer still matches the pre-batch design once the patches
+			// are reversed.
+			rollback()
 			return nil, err
 		}
 		return &Outcome{FallbackReason: "checksum mismatch", Report: e.rep}, nil
@@ -488,15 +530,15 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 
 	// Replay the from-scratch computation: initial offsets, cached base
 	// result with just the dirty clusters recomputed, then the incremental
-	// Algorithm 1 fixed point. Any interruption invalidates the report (and
-	// the base cache, which no longer matches the patched arcs): the next
-	// call rebuilds everything through loadFull.
+	// Algorithm 1 fixed point. Any interruption rolls the patches back —
+	// the previous report and base cache stay live, and the caller can
+	// retry the identical batch.
 	e.an.ResetOffsets()
 	res := e.base.Clone()
 	if len(ids) > 0 {
 		if ctx != nil {
 			if err := sta.RecomputeContext(ctx, e.an.NW, res, ids); err != nil {
-				e.rep, e.cons = nil, nil
+				rollback()
 				return nil, err
 			}
 		} else {
@@ -512,7 +554,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 		rep, err = e.an.IdentifySlowPathsFrom(res)
 	}
 	if err != nil {
-		e.rep, e.cons = nil, nil
+		rollback()
 		return nil, err
 	}
 	e.rep, e.cons = rep, nil

@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -142,6 +143,65 @@ func TestInvalidEditsLeaveEngineUnchanged(t *testing.T) {
 		if eng.StateHash() != hash {
 			t.Fatalf("edit %+v changed the design despite failing", ed)
 		}
+	}
+}
+
+// TestCancelledApplyRollsBack cancels a delay-only batch mid-analysis and
+// checks atomicity: the engine keeps its previous state, hash and report,
+// and retrying the identical batch applies it exactly once (matching a
+// reference engine that never saw the cancellation).
+func TestCancelledApplyRollsBack(t *testing.T) {
+	eng := openPipe(t)
+	ref := openPipe(t)
+	hash := eng.StateHash()
+	rep := eng.Report()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// An adjust plus a cap-changing drive resize: exercises the adjustment
+	// map, the delay calculator, the load refresh and the arc patches.
+	batch := []Edit{
+		{Op: Adjust, Inst: "g2", Delta: 100},
+		{Op: Resize, Inst: "g3", To: "INV_X4"},
+	}
+	if _, err := eng.ApplyContext(ctx, batch...); err == nil {
+		t.Fatal("cancelled apply reported success")
+	}
+	if eng.StateHash() != hash {
+		t.Fatal("cancelled apply changed the state hash")
+	}
+	if eng.Report() != rep {
+		t.Fatal("cancelled apply replaced the report")
+	}
+	if got := eng.Options().Adjustments; len(got) != 0 {
+		t.Fatalf("cancelled apply left adjustments behind: %v", got)
+	}
+	if got := eng.Design().Instances[3].Ref; got != "INV_X1" {
+		t.Fatalf("cancelled apply left resize applied: ref %q", got)
+	}
+	if _, err := eng.Apply(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Apply(batch...); err != nil {
+		t.Fatal(err)
+	}
+	if eng.StateHash() != ref.StateHash() {
+		t.Fatalf("retried batch diverged: %s != %s", eng.StateHash(), ref.StateHash())
+	}
+	if eng.Report().WorstSlack() != ref.Report().WorstSlack() {
+		t.Fatalf("retried batch worst slack %v != reference %v",
+			eng.Report().WorstSlack(), ref.Report().WorstSlack())
+	}
+	// A further edit over the rolled-back-then-retried state must still be
+	// bit-identical — stale arc delays or a stale base cache would show here.
+	more := Edit{Op: Adjust, Inst: "g1", Delta: 50}
+	if _, err := eng.Apply(more); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Apply(more); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Report().WorstSlack() != ref.Report().WorstSlack() {
+		t.Fatal("post-retry edit diverged from reference")
 	}
 }
 

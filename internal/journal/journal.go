@@ -91,9 +91,18 @@ type Manager struct {
 }
 
 // NewManager ensures the directory exists and returns a manager over it.
+// Stale compaction temporaries (a crash mid-Rewrite) are removed: the
+// original journal each was meant to replace is still intact.
 func NewManager(dir string) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if e.Type().IsRegular() && strings.HasSuffix(e.Name(), ".journal.tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	return &Manager{dir: dir}, nil
 }
@@ -120,6 +129,52 @@ func (m *Manager) Create(session string, openBody any) (*Writer, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// Rewrite atomically replaces the session's journal with a compacted one —
+// the open record plus the given acknowledged edit batches — and returns a
+// writer appending to it. The compacted journal is assembled and fsynced in
+// a temporary file and only then renamed over the original, so a crash (or
+// an injected fault) at any point of the rewrite leaves either the old
+// journal or the complete new one on disk, never neither; on error the
+// original journal is untouched.
+func (m *Manager) Rewrite(session string, openBody any, batches []json.RawMessage) (*Writer, error) {
+	final := m.path(session)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f, path: tmp}
+	err = w.Append(KindOpen, openBody)
+	for _, b := range batches {
+		if err != nil {
+			break
+		}
+		err = w.Append(KindEdits, b)
+	}
+	if err == nil {
+		if rerr := os.Rename(tmp, final); rerr != nil {
+			err = fmt.Errorf("journal: rewrite %s: %w", session, rerr)
+		}
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	w.path = final
+	syncDir(m.dir)
+	return w, nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename or remove survives
+// a power loss; best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // Remove deletes the session's journal (normal close: the state is parked

@@ -147,6 +147,122 @@ func TestRemoveAndQuarantine(t *testing.T) {
 	}
 }
 
+// TestRewriteCompactsAtomically replays a journal with a torn tail,
+// rewrites it compactly, and checks: the compacted file replays to exactly
+// the acknowledged records, the writer keeps appending to the final path,
+// and no temporary file is left behind.
+func TestRewriteCompactsAtomically(t *testing.T) {
+	m := newManager(t)
+	w, err := m.Create("s1", openRec{Design: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Append(KindEdits, []editRec{{Op: "adjust", Inst: fmt.Sprintf("g%d", i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	path := filepath.Join(m.Dir(), "s1.journal")
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString(`deadbeef {"kind":"edits","se`)
+	f.Close()
+
+	recs, err := m.Read("s1")
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("read: %d records, %v", len(recs), err)
+	}
+	var batches []json.RawMessage
+	for _, r := range recs[1:] {
+		batches = append(batches, r.Body)
+	}
+	w2, err := m.Rewrite("s1", json.RawMessage(recs[0].Body), batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Path() != path {
+		t.Fatalf("rewritten journal at %s, want %s", w2.Path(), path)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("rewrite left its temp file: %v", err)
+	}
+	// The compacted journal replays identically and accepts new appends.
+	if err := w2.Append(KindEdits, []editRec{{Op: "adjust", Inst: "g9"}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	recs2, err := m.Read("s1")
+	if err != nil || len(recs2) != 4 {
+		t.Fatalf("compacted read: %d records, %v; want 4", len(recs2), err)
+	}
+	if string(recs2[0].Body) != string(recs[0].Body) || string(recs2[1].Body) != string(recs[1].Body) {
+		t.Fatal("compaction changed record bodies")
+	}
+}
+
+// TestRewriteFailureKeepsOriginal injects an append fault into the rewrite
+// and checks the original journal survives untouched — a failed (or
+// crashed) compaction must never cost acknowledged records.
+func TestRewriteFailureKeepsOriginal(t *testing.T) {
+	failpoint.DisarmAll()
+	t.Cleanup(failpoint.DisarmAll)
+	m := newManager(t)
+	w, err := m.Create("s1", openRec{Design: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(KindEdits, []editRec{{Op: "adjust", Inst: "g0"}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	before, err := os.ReadFile(filepath.Join(m.Dir(), "s1.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm("journal.append", "1*error(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rewrite("s1", openRec{Design: "x"}, nil); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("rewrite under failpoint: %v", err)
+	}
+	after, err := os.ReadFile(filepath.Join(m.Dir(), "s1.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed rewrite modified the original journal")
+	}
+	if _, err := os.Stat(filepath.Join(m.Dir(), "s1.journal.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed rewrite left its temp file")
+	}
+}
+
+// TestNewManagerSweepsStaleTemporaries plants a leftover compaction temp
+// (crash mid-rewrite) and checks NewManager removes it without touching
+// real journals.
+func TestNewManagerSweepsStaleTemporaries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journals")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s1.journal.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s1.journal"), []byte("real"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s1.journal.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp survived NewManager")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s1.journal")); err != nil {
+		t.Fatalf("real journal removed by sweep: %v", err)
+	}
+}
+
 // TestConcurrentAppends drives the group-commit barrier from many
 // goroutines; with -race this is the journal's data-race check.
 func TestConcurrentAppends(t *testing.T) {
