@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"hummingbird/internal/buildinfo"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
@@ -125,9 +126,14 @@ func run(args []string, stdin io.Reader, w, errW io.Writer) error {
 		metricsOut  = fs.String("metrics-out", "", "write a JSON telemetry snapshot (counters, phase timers) to this file")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile to this file before exiting")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.WriteVersion(w, "hummingbird")
+		return nil
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()

@@ -104,6 +104,22 @@ func TestRunFlagsFile(t *testing.T) {
 	}
 }
 
+// TestVersionFlag checks -version prints a build line and exits before
+// the usual "design file required" check.
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, strings.NewReader(""), &out, io.Discard); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	line := out.String()
+	if !strings.HasPrefix(line, "hummingbird ") || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("version output %q", line)
+	}
+	if !strings.Contains(line, "go") {
+		t.Fatalf("version output %q lacks toolchain version", line)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader(""), &out, io.Discard); err == nil {

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"hummingbird/internal/core"
 	"hummingbird/internal/incremental"
 	"hummingbird/internal/netlist"
+	"hummingbird/internal/telemetry"
 )
 
 func TestMain(m *testing.M) {
@@ -352,4 +354,71 @@ func TestChaosOverloadSheds(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	<-slow
+}
+
+// TestChaosMetricsScrape plays Prometheus against a live daemon: after
+// real traffic, a crash and a journal replay, /metrics must still parse
+// as text exposition, /healthz must be green and /readyz must report the
+// replayed daemon ready for traffic.
+func TestChaosMetricsScrape(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "-journal-dir", dir)
+	status, m := d.req(t, "POST", "/v1/sessions", map[string]any{"design": pipeSrc})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	id := m["session"].(string)
+	for _, delta := range []string{"250ps", "-250ps"} {
+		status, m = d.req(t, "POST", "/v1/sessions/"+id+"/edits", map[string]any{
+			"edits": []map[string]any{{"op": "adjust", "inst": "g2", "delta": delta}},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", delta, status, m)
+		}
+	}
+
+	scrape := func(d *daemon) {
+		t.Helper()
+		resp, err := http.Get(d.base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics Content-Type = %q", ct)
+		}
+		if err := telemetry.CheckExposition(bytes.NewReader(body)); err != nil {
+			t.Fatalf("metrics exposition invalid: %v\n%s", err, body)
+		}
+		// The traffic above must show up: request latency histograms and
+		// the enabled marker.
+		for _, want := range []string{"hb_telemetry_enabled 1", "hb_server_request_edits_seconds_bucket"} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("scrape lacks %q", want)
+			}
+		}
+		if status, h := d.req(t, "GET", "/healthz", nil); status != http.StatusOK || h["ok"] != true {
+			t.Fatalf("healthz: %d %v", status, h)
+		}
+		if status, rdy := d.req(t, "GET", "/readyz", nil); status != http.StatusOK || rdy["ready"] != true {
+			t.Fatalf("readyz: %d %v", status, rdy)
+		}
+		if status, bi := d.req(t, "GET", "/buildinfo", nil); status != http.StatusOK || bi["goVersion"] == "" {
+			t.Fatalf("buildinfo: %d %v", status, bi)
+		}
+	}
+	scrape(d)
+
+	// Crash, restart over the same journals, scrape again: the replayed
+	// daemon must come back ready and still speak valid exposition.
+	d.kill9(t)
+	d2 := startDaemon(t, "-journal-dir", dir)
+	if status, _ := d2.req(t, "GET", "/v1/sessions/"+id, nil); status != http.StatusOK {
+		t.Fatalf("session not replayed: %d", status)
+	}
+	scrape(d2)
 }

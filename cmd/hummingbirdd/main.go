@@ -12,14 +12,27 @@
 //	POST   /v1/sessions/{id}/edits      {"edits":[...]} → delta report
 //	GET    /v1/sessions/{id}/report     full analysis JSON
 //	GET    /v1/sessions/{id}/constraints?net=N  Algorithm 2 budgets
+//	GET    /v1/sessions/{id}/trace/last span tree of the session's last request
 //	DELETE /v1/sessions/{id}            close (parks the state in the LRU cache)
 //	GET    /healthz                     liveness
-//	GET    /metrics                     telemetry snapshot JSON
+//	GET    /readyz                      readiness (journals replayed, nothing quarantined, under the inflight ceiling)
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /metrics.json                telemetry snapshot JSON
+//	GET    /buildinfo                   build metadata (module version, VCS revision)
 //
 // Sessions are concurrent; edits within one session are serialized. Closed
 // sessions' engines are parked in an LRU cache keyed by the design's state
 // hash, so re-opening the same design (adjustments included) skips the full
 // elaboration.
+//
+// Observability (see docs/OBSERVABILITY.md): every request runs under a
+// trace whose id is generated at admission and returned in the X-Trace-Id
+// header; nested spans cover admission wait, journal append+fsync, edit
+// classification, dirty-cluster recompute, each fixed-point sweep, and
+// response encoding. The finished span tree of a session's latest request
+// is served at /trace/last, every trace is written in Chrome trace-event
+// format under -trace-dir when set, and any request slower than
+// -slow-threshold dumps its tree to the server log.
 //
 // Fault tolerance (see docs/ROBUSTNESS.md):
 //
@@ -50,14 +63,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"hummingbird/internal/buildinfo"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
@@ -67,6 +83,7 @@ import (
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/report"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
 )
 
 var (
@@ -81,6 +98,30 @@ var (
 	mQuarantined     = telemetry.NewCounter("server.sessions_quarantined")
 	mReplayed        = telemetry.NewCounter("server.sessions_replayed")
 )
+
+// requestTimers holds one latency histogram per guarded endpoint; the op
+// names match the guard() labels so the Prometheus surface exposes
+// hb_server_request_<op>_seconds histograms.
+var requestTimers = map[string]*telemetry.Timer{
+	"open":        telemetry.NewTimer("server.request.open"),
+	"list":        telemetry.NewTimer("server.request.list"),
+	"summary":     telemetry.NewTimer("server.request.summary"),
+	"edits":       telemetry.NewTimer("server.request.edits"),
+	"report":      telemetry.NewTimer("server.request.report"),
+	"constraints": telemetry.NewTimer("server.request.constraints"),
+	"close":       telemetry.NewTimer("server.request.close"),
+}
+
+// traceSeq disambiguates trace ids generated within one millisecond.
+var traceSeq atomic.Int64
+
+// newTraceID generates a request trace id at admission: wall-clock millis
+// in base36 plus a process-wide sequence number, unique within and across
+// restarts of one daemon.
+func newTraceID() string {
+	return strconv.FormatInt(time.Now().UnixMilli(), 36) + "-" +
+		strconv.FormatInt(traceSeq.Add(1), 36)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -105,9 +146,16 @@ func run(args []string, w, errW io.Writer) error {
 		journalDir  = fs.String("journal-dir", "", "directory for per-session edit journals (crash recovery; empty = off)")
 		shutGrace   = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections and flush journals")
 		failpoints  = fs.Bool("failpoints", false, "expose /debug/failpoints fault-injection endpoints")
+		traceDir    = fs.String("trace-dir", "", "write every finished request trace here in Chrome trace-event format (empty = off)")
+		slowThresh  = fs.Duration("slow-threshold", 0, "log the full span tree of any request slower than this (0 = off)")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.WriteVersion(w, "hummingbirdd")
+		return nil
 	}
 	if env := os.Getenv("HB_FAILPOINTS"); env != "" {
 		if err := failpoint.ArmFromEnv(env); err != nil {
@@ -129,7 +177,13 @@ func run(args []string, w, errW io.Writer) error {
 	}
 	telemetry.Enable()
 	defer telemetry.Disable()
+	telemetry.RegisterRuntimeGauges()
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 	cfg := serverConfig{
 		maxSessions:    *maxSessions,
 		cacheSize:      *cacheSize,
@@ -138,6 +192,8 @@ func run(args []string, w, errW io.Writer) error {
 		queueTimeout:   *queueWait,
 		maxSweeps:      *maxSweeps,
 		failpoints:     *failpoints,
+		traceDir:       *traceDir,
+		slowThreshold:  *slowThresh,
 		errLog:         errW,
 	}
 	if *journalDir != "" {
@@ -208,6 +264,9 @@ type sess struct {
 	// delta reports (by name so full rebuilds that renumber nets still
 	// diff correctly).
 	prevSlack map[string]clock.Time
+	// lastTrace is the finished span tree of the session's most recent
+	// guarded request (served at /trace/last). It dies with the session.
+	lastTrace *span.Trace
 }
 
 // serverConfig bundles the run-time knobs of the daemon.
@@ -220,6 +279,8 @@ type serverConfig struct {
 	maxSweeps      int              // 0 = auto
 	journal        *journal.Manager // nil = journaling off
 	failpoints     bool             // expose /debug/failpoints
+	traceDir       string           // Chrome trace-event export dir; "" = off
+	slowThreshold  time.Duration    // slow-request log threshold; 0 = off
 	errLog         io.Writer        // panic stacks and replay diagnostics
 }
 
@@ -231,6 +292,10 @@ type server struct {
 
 	// inflight is the admission semaphore; nil when unbounded.
 	inflight chan struct{}
+
+	// ready flips to true once every journal has been replayed (or
+	// immediately when journaling is off); /readyz gates on it.
+	ready atomic.Bool
 
 	mu          sync.Mutex
 	sessions    map[string]*sess
@@ -256,6 +321,29 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
+	if cfg.journal == nil {
+		s.ready.Store(true) // nothing to replay
+	}
+	// Server-health gauges. NewGaugeFunc replaces by name, so tests that
+	// build several servers in one process always read the newest one.
+	telemetry.NewGaugeFunc("server.inflight", func() float64 {
+		return float64(len(s.inflight))
+	})
+	telemetry.NewGaugeFunc("server.sessions_open", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	telemetry.NewGaugeFunc("server.sessions_quarantined", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.quarantined))
+	})
+	telemetry.NewGaugeFunc("server.parked_lru", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.len())
+	})
 	return s
 }
 
@@ -268,12 +356,22 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/report", s.guard("report", s.handleReport))
 	mux.HandleFunc("GET /v1/sessions/{id}/constraints", s.guard("constraints", s.handleConstraints))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.guard("close", s.handleClose))
+	mux.HandleFunc("GET /v1/sessions/{id}/trace/last", s.handleTraceLast)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		telemetry.WriteSnapshot(w)
+	})
+	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		buildinfo.WriteJSON(w)
 	})
 	if s.cfg.failpoints {
 		mux.HandleFunc("GET /debug/failpoints", func(w http.ResponseWriter, r *http.Request) {
@@ -326,6 +424,21 @@ func (t *startTracker) Write(b []byte) (int, error) {
 func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		w := &startTracker{ResponseWriter: rw}
+		// The trace starts the moment the request reaches the guard; its id
+		// is echoed in X-Trace-Id so a client can correlate a slow response
+		// with the daemon's trace exports. This finish defer is declared
+		// before the recover defer below, so a panicking request's spans are
+		// force-ended and recorded too (defers run LIFO).
+		tr := span.New(newTraceID(), "server."+op)
+		if id := r.PathValue("id"); id != "" {
+			tr.Root().Annotate("session", id)
+		}
+		w.Header().Set("X-Trace-Id", tr.ID())
+		defer s.finishRequest(op, tr)
+		trCtx := span.NewContext(r.Context(), tr)
+		// The admission span's returned context is discarded: later spans
+		// nest under the root, as siblings of the wait.
+		_, adm := span.Start(trCtx, "admission")
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
@@ -338,6 +451,7 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 					defer func() { <-s.inflight }()
 				case <-timer.C:
 					mRequestsShed.Inc()
+					adm.End()
 					w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.queueTimeout)))
 					httpError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.maxInflight)
 					return
@@ -347,6 +461,7 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 				}
 			}
 		}
+		adm.End()
 		if id := r.PathValue("id"); id != "" {
 			if diag, ok := s.quarantineInfo(id); ok {
 				if r.Method == http.MethodDelete {
@@ -362,11 +477,13 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
+		ctx := trCtx
 		if s.cfg.requestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
+		r = r.WithContext(ctx)
 		defer func() {
 			if v := recover(); v != nil {
 				mPanicsRecovered.Inc()
@@ -386,6 +503,88 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 		}()
 		h(w, r)
 	}
+}
+
+// finishRequest closes a request's trace and fans it out: the per-op
+// latency histogram, the owning session's /trace/last slot, the
+// slow-request log, and the -trace-dir Chrome export.
+func (s *server) finishRequest(op string, tr *span.Trace) {
+	total := tr.Finish()
+	if t := requestTimers[op]; t != nil {
+		t.Observe(total)
+	}
+	if sid := tr.Root().Attr("session"); sid != "" {
+		if ss := s.session(sid); ss != nil {
+			ss.mu.Lock()
+			ss.lastTrace = tr
+			ss.mu.Unlock()
+		}
+	}
+	if s.cfg.slowThreshold > 0 && total >= s.cfg.slowThreshold {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "hummingbirdd: slow request %s took %v:\n", op, total)
+		tr.WriteText(&sb)
+		fmt.Fprint(s.cfg.errLog, sb.String())
+	}
+	if s.cfg.traceDir != "" {
+		path := filepath.Join(s.cfg.traceDir, tr.ID()+".trace.json")
+		f, err := os.Create(path)
+		if err == nil {
+			err = tr.WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: write trace %s: %v\n", path, err)
+		}
+	}
+}
+
+// handleReadyz reports readiness: journals replayed, no session
+// quarantined, and the admission semaphore below its ceiling. Load
+// balancers use it to drain a daemon that is still alive (healthz) but
+// should not receive new work.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	quarantined := len(s.quarantined)
+	s.mu.Unlock()
+	inflight, ceiling := 0, 0
+	if s.inflight != nil {
+		inflight, ceiling = len(s.inflight), cap(s.inflight)
+	}
+	ready := s.ready.Load() && quarantined == 0 && (s.inflight == nil || inflight < ceiling)
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":        ready,
+		"replayed":     s.ready.Load(),
+		"quarantined":  quarantined,
+		"inflight":     inflight,
+		"max_inflight": ceiling,
+	})
+}
+
+// handleTraceLast serves the span tree of the session's most recent
+// guarded request as JSON. Unguarded: it must stay readable while the
+// server is saturated, and must not overwrite the trace it reports.
+func (s *server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	ss := s.session(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ss.mu.Lock()
+	tr := ss.lastTrace
+	ss.mu.Unlock()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "no trace recorded for session yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteJSON(w)
 }
 
 // retryAfterSeconds rounds the queue timeout up to a whole non-zero number
@@ -564,6 +763,9 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = ss
 	s.mu.Unlock()
 	mSessionsOpened.Inc()
+	// Associate the request trace with the freshly allocated id so the
+	// guard's finish hook files it under the new session.
+	span.Current(r.Context()).Annotate("session", id)
 
 	resp := map[string]any{
 		"session": id,
@@ -621,6 +823,7 @@ func (s *server) recoverSessions() int {
 		s.nextID = maxID
 	}
 	s.mu.Unlock()
+	s.ready.Store(true)
 	return restored
 }
 
@@ -842,7 +1045,7 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 			// disk state can no longer be trusted to match the in-memory
 			// engine — so the session stops serving before the lock is
 			// released (eng == nil reads as closed to waiting requests).
-			if jerr := ss.jw.Append(journal.KindEdits, req.Edits); jerr != nil {
+			if jerr := ss.jw.AppendContext(r.Context(), journal.KindEdits, req.Edits); jerr != nil {
 				ss.jw.Close()
 				ss.jw = nil
 				ss.eng = nil
@@ -879,7 +1082,9 @@ func (s *server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	if resp == nil {
 		return
 	}
+	_, esp := span.Start(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }
 
 // writeAnalysisError maps analysis failures to typed HTTP errors:
@@ -1145,6 +1350,8 @@ type lruEntry struct {
 func newLRU(max int) *lruCache {
 	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
+
+func (c *lruCache) len() int { return c.ll.Len() }
 
 func (c *lruCache) take(key string) *incremental.Engine {
 	el, ok := c.m[key]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -15,6 +16,7 @@ import (
 	"hummingbird/internal/core"
 	"hummingbird/internal/incremental"
 	"hummingbird/internal/netlist"
+	"hummingbird/internal/telemetry"
 )
 
 const pipeSrc = `
@@ -351,14 +353,42 @@ func TestHealthAndMetrics(t *testing.T) {
 	if status != http.StatusOK || h["ok"] != true {
 		t.Fatalf("healthz: %d %v", status, h)
 	}
+	status, rdy := call(t, ts, "GET", "/readyz", nil)
+	if status != http.StatusOK || rdy["ready"] != true {
+		t.Fatalf("readyz: %d %v", status, rdy)
+	}
+
+	// /metrics speaks Prometheus text exposition; the JSON snapshot moved
+	// to /metrics.json.
 	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	if err := telemetry.CheckExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("metrics exposition invalid: %v\n%s", err, body)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var snap map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("metrics not JSON: %v", err)
+		t.Fatalf("metrics.json not JSON: %v", err)
+	}
+
+	status, bi := call(t, ts, "GET", "/buildinfo", nil)
+	if status != http.StatusOK || bi["goVersion"] == "" {
+		t.Fatalf("buildinfo: %d %v", status, bi)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"hummingbird/internal/sta"
 	"hummingbird/internal/syncelem"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
 )
 
 // Options tunes the analyzer.
@@ -117,12 +118,19 @@ func (a *Analyzer) buildElemClusters() {
 // sweep applies op to every element against the current result, then
 // refreshes res — incrementally over the touched clusters unless
 // FullSweeps is set. It returns how many element offsets moved and how
-// many clusters were recomputed. A nil ctx (the legacy entry points)
-// makes the sweep uninterruptible; with a context the re-analysis is
-// abandoned mid-sweep on expiry, returning the cause — res is then stale
-// and must be discarded.
-func (a *Analyzer) sweep(ctx context.Context, res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, int, int, error) {
+// many clusters were recomputed. iter and k name the fixed-point
+// iteration and the sweep's index within it, labelling the per-sweep
+// request span (each sweep of a traced request becomes one "core.sweep"
+// child whose own child is the sta recompute it triggered). A nil ctx
+// (the legacy entry points) makes the sweep uninterruptible; with a
+// context the re-analysis is abandoned mid-sweep on expiry, returning
+// the cause — res is then stale and must be discarded.
+func (a *Analyzer) sweep(ctx context.Context, iter string, k int, res *sta.Result, op func(ei int, e *syncelem.Element) clock.Time) (*sta.Result, int, int, error) {
 	mSweeps.Inc()
+	sctx, sp := span.Start(ctx, "core.sweep")
+	sp.Annotate("iteration", iter)
+	sp.AnnotateInt("sweep", k)
+	defer sp.End()
 	dirty := map[int]bool{}
 	moved := 0
 	for ei, e := range a.NW.Elems {
@@ -133,6 +141,7 @@ func (a *Analyzer) sweep(ctx context.Context, res *sta.Result, op func(ei int, e
 			}
 		}
 	}
+	sp.AnnotateInt("moved", moved)
 	if moved == 0 {
 		return res, 0, 0, nil
 	}
@@ -140,7 +149,7 @@ func (a *Analyzer) sweep(ctx context.Context, res *sta.Result, op func(ei int, e
 	if a.Opts.FullSweeps {
 		mFullSweeps.Inc()
 		if ctx != nil {
-			r, err := sta.AnalyzeContext(ctx, a.NW)
+			r, err := sta.AnalyzeContext(sctx, a.NW)
 			return r, moved, len(a.NW.Clusters), err
 		}
 		return sta.Analyze(a.NW), moved, len(a.NW.Clusters), nil
@@ -153,7 +162,7 @@ func (a *Analyzer) sweep(ctx context.Context, res *sta.Result, op func(ei int, e
 	mIncrClusters.Add(int64(len(ids)))
 	mIncrSkipped.Add(int64(len(a.NW.Clusters) - len(ids)))
 	if ctx != nil {
-		if err := sta.RecomputeContext(ctx, a.NW, res, ids); err != nil {
+		if err := sta.RecomputeContext(sctx, a.NW, res, ids); err != nil {
 			return nil, moved, len(ids), err
 		}
 		return res, moved, len(ids), nil
@@ -329,7 +338,7 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "forward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteForward(res.InSlack[ei])
 		})
 		if err != nil {
@@ -353,7 +362,7 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "backward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.CompleteBackward(res.OutSlack[ei])
 		})
 		if err != nil {
@@ -373,7 +382,7 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "partial-forward", k, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialForward(res.InSlack[ei], a.Opts.PartialDivisor)
 		})
 		if err != nil {
@@ -385,7 +394,7 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "partial-backward", k, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.PartialBackward(res.OutSlack[ei], a.Opts.PartialDivisor)
 		})
 		if err != nil {

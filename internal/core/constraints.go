@@ -97,7 +97,7 @@ func (a *Analyzer) generateConstraintsFrom(ctx context.Context, res *sta.Result)
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "snatch-backward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchBackward(res.InSlack[ei])
 		})
 		if err != nil {
@@ -120,7 +120,7 @@ func (a *Analyzer) generateConstraintsFrom(ctx context.Context, res *sta.Result)
 		start := a.sweepStart()
 		var moved, recomputed int
 		var err error
-		res, moved, recomputed, err = a.sweep(ctx, res, func(ei int, e *syncelem.Element) clock.Time {
+		res, moved, recomputed, err = a.sweep(ctx, "snatch-forward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
 			return e.SnatchForward(res.OutSlack[ei])
 		})
 		if err != nil {

@@ -15,6 +15,7 @@ package delaycalc
 
 import (
 	"fmt"
+	"time"
 
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
@@ -24,8 +25,12 @@ import (
 )
 
 // mEvals counts delay-expression evaluations (one per arc per call),
-// the unit the paper's estimation cost scales with.
-var mEvals = telemetry.NewCounter("delaycalc.evaluations")
+// the unit the paper's estimation cost scales with. tRefreshLoads times
+// the incremental engine's post-resize load recomputations.
+var (
+	mEvals        = telemetry.NewCounter("delaycalc.evaluations")
+	tRefreshLoads = telemetry.NewTimer("delaycalc.refresh_loads")
+)
 
 // Delays is one timing arc's evaluated propagation delays at its actual
 // load: the worst (max) and best (min) delay for each output transition
@@ -128,6 +133,9 @@ func New(lib *celllib.Library, design *netlist.Design, opts Options) (*Calc, err
 func (c *Calc) RefreshLoads(nets []string) {
 	if len(nets) == 0 {
 		return
+	}
+	if telemetry.Enabled() {
+		defer func(t0 time.Time) { tRefreshLoads.Observe(time.Since(t0)) }(time.Now())
 	}
 	want := make(map[string]bool, len(nets))
 	for _, n := range nets {

@@ -44,6 +44,7 @@ import (
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
 )
 
 // Edit-loop instruments, exposed in -metrics-out snapshots wherever the
@@ -259,7 +260,15 @@ func (e *Engine) ApplyContext(ctx context.Context, edits ...Edit) (*Outcome, err
 			return nil, err
 		}
 	}
+	_, csp := span.Start(ctx, "incr.classify")
+	csp.AnnotateInt("edits", len(edits))
 	delayOnly, err := e.classify(edits)
+	if delayOnly {
+		csp.Annotate("class", "delay-only")
+	} else {
+		csp.Annotate("class", "topology")
+	}
+	csp.End()
 	if err != nil {
 		return nil, err
 	}

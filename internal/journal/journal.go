@@ -31,6 +31,7 @@ package journal
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,9 +42,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hummingbird/internal/failpoint"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
 )
 
 var (
@@ -51,7 +55,20 @@ var (
 	mSyncs     = telemetry.NewCounter("journal.syncs")
 	mReplays   = telemetry.NewCounter("journal.replays")
 	mTornTails = telemetry.NewCounter("journal.torn_tails")
+	tFsync     = telemetry.NewTimer("journal.fsync")
 )
+
+// lastFsyncNs holds the duration of the most recent journal fsync in
+// nanoseconds (across all writers) — the fsync-lag gauge on the daemon's
+// metrics surface. Updated whenever telemetry is enabled or the fsync
+// happens inside a traced request.
+var lastFsyncNs atomic.Int64
+
+func init() {
+	telemetry.NewGaugeFunc("journal.fsync_last_ns", func() float64 {
+		return float64(lastFsyncNs.Load())
+	})
+}
 
 // castagnoli is the CRC-32C table (the polynomial used by modern storage
 // stacks; any fixed table would do, this one is hardware-accelerated).
@@ -270,6 +287,22 @@ func (m *Manager) Read(session string) ([]Record, error) {
 // Append returns nil; on a write or sync error the journal should be
 // treated as dead (the daemon quarantines the session).
 func (w *Writer) Append(kind string, body any) error {
+	return w.AppendContext(nil, kind, body)
+}
+
+// AppendContext is Append with request-span instrumentation: when ctx
+// carries a trace the write appears as a "journal.append" span with a
+// "journal.fsync" child covering the group-commit barrier. The context is
+// used only for tracing, never for cancellation — an append the caller
+// initiated must reach the disk regardless of deadlines, or the journal
+// would disagree with the acknowledged state.
+func (w *Writer) AppendContext(ctx context.Context, kind string, body any) error {
+	sctx, sp := span.Start(ctx, "journal.append")
+	defer sp.End()
+	return w.append(sctx, kind, body)
+}
+
+func (w *Writer) append(ctx context.Context, kind string, body any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("journal: encode body: %w", err)
@@ -295,12 +328,14 @@ func (w *Writer) Append(kind string, body any) error {
 	gen := w.writeGen
 	w.mu.Unlock()
 	mAppends.Inc()
-	return w.barrier(gen)
+	return w.barrier(ctx, gen)
 }
 
 // barrier is the group-commit fsync: returns once a sync covering write
-// generation gen has completed, issuing one itself only if needed.
-func (w *Writer) barrier(gen int64) error {
+// generation gen has completed, issuing one itself only if needed. The
+// sync it issues is timed (histogram + fsync-lag gauge) when telemetry is
+// on, and appears as a "journal.fsync" span when ctx carries a trace.
+func (w *Writer) barrier(ctx context.Context, gen int64) error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
 	if w.syncGen >= gen {
@@ -312,7 +347,20 @@ func (w *Writer) barrier(gen int64) error {
 	w.mu.Lock()
 	covered := w.writeGen
 	w.mu.Unlock()
-	if err := w.f.Sync(); err != nil {
+	_, sp := span.Start(ctx, "journal.fsync")
+	instrument := telemetry.Enabled() || sp != nil
+	var t0 time.Time
+	if instrument {
+		t0 = time.Now()
+	}
+	err := w.f.Sync()
+	if instrument {
+		d := time.Since(t0)
+		lastFsyncNs.Store(d.Nanoseconds())
+		tFsync.Observe(d)
+	}
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	mSyncs.Inc()
@@ -325,7 +373,7 @@ func (w *Writer) Sync() error {
 	w.mu.Lock()
 	gen := w.writeGen
 	w.mu.Unlock()
-	return w.barrier(gen)
+	return w.barrier(nil, gen)
 }
 
 // Close syncs and closes the file; the journal stays on disk for replay.

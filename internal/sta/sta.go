@@ -26,6 +26,7 @@ import (
 	"hummingbird/internal/cluster"
 	"hummingbird/internal/failpoint"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
 )
 
 // Hot-path instruments. Counters are atomic and lock-free; when
@@ -162,6 +163,9 @@ func interrupt(ctx context.Context) func() error {
 // analysis is never a valid block analysis.
 func AnalyzeContext(ctx context.Context, nw *cluster.Network) (*Result, error) {
 	mAnalyses.Inc()
+	_, sp := span.Start(ctx, "sta.analyze")
+	sp.AnnotateInt("clusters", len(nw.Clusters))
+	defer sp.End()
 	check := interrupt(ctx)
 	res := newResult(nw)
 	for _, cl := range nw.Clusters {
@@ -243,6 +247,9 @@ func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
 // discarded by the caller — slacks of the untouched clusters are intact
 // but the interrupted cluster's are reset to +Inf.
 func RecomputeContext(ctx context.Context, nw *cluster.Network, res *Result, clusterIDs []int) error {
+	_, sp := span.Start(ctx, "sta.recompute")
+	sp.AnnotateInt("dirtyClusters", len(clusterIDs))
+	defer sp.End()
 	return recompute(nw, res, clusterIDs, interrupt(ctx))
 }
 

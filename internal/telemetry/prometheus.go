@@ -1,0 +1,249 @@
+// Prometheus text exposition (format version 0.0.4) over the registry:
+// counters render as counters with a _total suffix, timers as classic
+// histograms in seconds, gauges as gauges. Instrument names map to the
+// metric namespace by prefixing "hb_" and replacing every character
+// outside [a-zA-Z0-9_] with '_' ("sta.clusters_analyzed" →
+// "hb_sta_clusters_analyzed_total"). CheckExposition is the shared
+// validator the unit and chaos tests scrape /metrics with.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitises an instrument name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 3)
+	b.WriteString("hb_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trippable decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format. Like Snapshot it iterates instruments in name
+// order and evaluates gauge callbacks outside the registry lock, so a
+// scrape never blocks the instrument fast paths.
+func WritePrometheus(w io.Writer) error {
+	type counterSample struct {
+		name string
+		v    int64
+	}
+	type timerSample struct {
+		name    string
+		count   int64
+		totalNs int64
+		buckets [timerBuckets + 1]int64
+	}
+	registry.mu.Lock()
+	sortRegistry()
+	counters := make([]counterSample, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		counters = append(counters, counterSample{c.name, c.v.Load()})
+	}
+	timers := make([]timerSample, 0, len(registry.timers))
+	for _, t := range registry.timers {
+		timers = append(timers, timerSample{t.name, t.count.Load(), t.total.Load(), t.counts()})
+	}
+	gaugeNames := make([]string, 0, len(registry.gauges))
+	gaugeFns := make(map[string]func() float64, len(registry.gauges))
+	for name, fn := range registry.gauges {
+		gaugeNames = append(gaugeNames, name)
+		gaugeFns[name] = fn
+	}
+	registry.mu.Unlock()
+	sort.Strings(gaugeNames)
+
+	bw := bufio.NewWriter(w)
+	enabledVal := 0
+	if enabled.Load() {
+		enabledVal = 1
+	}
+	fmt.Fprintf(bw, "# HELP hb_telemetry_enabled Whether metric collection is on (instruments only accumulate while 1).\n")
+	fmt.Fprintf(bw, "# TYPE hb_telemetry_enabled gauge\nhb_telemetry_enabled %d\n", enabledVal)
+	for _, c := range counters {
+		n := promName(c.name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Event count for %s.\n# TYPE %s counter\n%s %d\n", n, c.name, n, n, c.v)
+	}
+	for _, g := range gaugeNames {
+		n := promName(g)
+		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %s\n", n, g, n, n, formatFloat(gaugeFns[g]()))
+	}
+	for _, t := range timers {
+		n := promName(t.name) + "_seconds"
+		fmt.Fprintf(bw, "# HELP %s Duration histogram for %s.\n# TYPE %s histogram\n", n, t.name, n)
+		cum := int64(0)
+		for i := 0; i < timerBuckets; i++ {
+			cum += t.buckets[i]
+			le := formatFloat(float64(int64(1)<<(timerMinShift+i)) / 1e9)
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, t.count)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, formatFloat(float64(t.totalNs)/1e9))
+		fmt.Fprintf(bw, "%s_count %d\n", n, t.count)
+	}
+	return bw.Flush()
+}
+
+// CheckExposition validates a Prometheus text exposition: every sample
+// line must parse, belong to a # TYPE-declared family, histogram bucket
+// counts must be cumulative with a +Inf bucket equal to _count, and
+// every histogram must carry _sum and _count. It is deliberately strict
+// about the subset this package emits — the CI chaos job scrapes the
+// live daemon through it.
+func CheckExposition(r io.Reader) error {
+	type histState struct {
+		lastLe    float64
+		lastCount int64
+		infCount  int64
+		haveInf   bool
+		haveSum   bool
+		haveCount bool
+	}
+	types := map[string]string{} // family → type
+	hists := map[string]*histState{}
+	sawSample := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					types[fields[2]] = fields[3]
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		name, rest, labels := line, "", ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: malformed labels", lineNo)
+			}
+			name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name, rest = line[:i], strings.TrimSpace(line[i+1:])
+		} else {
+			return fmt.Errorf("line %d: no value on sample %q", lineNo, line)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		if rest == "" {
+			return fmt.Errorf("line %d: no value on sample %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, rest, err)
+		}
+		sawSample = true
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f := strings.TrimSuffix(name, suffix); f != name && types[f] == "histogram" {
+				family = f
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		h := hists[family]
+		if h == nil {
+			h = &histState{lastLe: -1}
+			hists[family] = h
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			leStr := ""
+			for _, kv := range strings.Split(labels, ",") {
+				if k, v, ok := strings.Cut(kv, "="); ok && k == "le" {
+					leStr = strings.Trim(v, `"`)
+				}
+			}
+			if leStr == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			count := int64(val)
+			if leStr == "+Inf" {
+				h.haveInf, h.infCount = true, count
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %v", lineNo, leStr, err)
+				}
+				if le <= h.lastLe {
+					return fmt.Errorf("line %d: %s le %g not increasing", lineNo, family, le)
+				}
+				h.lastLe = le
+			}
+			if count < h.lastCount {
+				return fmt.Errorf("line %d: %s bucket counts not cumulative", lineNo, family)
+			}
+			h.lastCount = count
+		case strings.HasSuffix(name, "_sum"):
+			h.haveSum = true
+		case strings.HasSuffix(name, "_count"):
+			h.haveCount = true
+			if h.haveInf && h.infCount != int64(val) {
+				return fmt.Errorf("%s: +Inf bucket %d != count %d", family, h.infCount, int64(val))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for f, h := range hists {
+		if !h.haveInf || !h.haveSum || !h.haveCount {
+			return fmt.Errorf("histogram %s missing +Inf bucket, _sum or _count", f)
+		}
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+// Package span is the request-scoped tracing layer of the telemetry
+// substrate: one Trace per served request, carried through the call
+// stack via context.Context, with nested Spans marking the phases the
+// request passes through (admission wait, journal append, edit
+// classification, dirty-cluster recompute, individual fixed-point
+// sweeps, response encoding, ...).
+//
+// The disabled path is designed for instrumentation that is always
+// compiled in: Start on a context with no trace attached costs one
+// context value lookup and returns a nil *Span, and every Span method
+// is nil-safe, so instrumented code calls Start/Annotate/End
+// unconditionally. A nil context is accepted everywhere (the CLI entry
+// points pass nil through the analysis layers) and behaves like a
+// context without a trace.
+//
+// Finished traces export three ways: a JSON span tree (WriteJSON, the
+// GET /v1/sessions/{id}/trace/last payload), the Chrome trace-event
+// format (WriteChrome; load the file at chrome://tracing or in
+// Perfetto), and an indented text rendering (WriteText, the daemon's
+// slow-request log).
+package span
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ctxKey carries the current *Span through a context chain.
+type ctxKey struct{}
+
+// Trace is one request's span tree. All mutation goes through the
+// trace mutex, so spans may be created and ended from any goroutine.
+type Trace struct {
+	id string
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed phase within a trace. The zero *Span (nil) is a
+// valid no-op receiver for every method.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// New starts a trace: the root span (named for the operation) begins
+// immediately.
+func New(id, name string) *Trace {
+	tr := &Trace{id: id}
+	tr.root = &Span{tr: tr, name: name, start: time.Now()}
+	return tr
+}
+
+// ID returns the trace id generated at admission.
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// NewContext returns a context carrying the trace, with the root span
+// current: Start calls on the returned context create children of the
+// root.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t.root)
+}
+
+// FromContext returns the trace attached to ctx, or nil. A nil ctx is
+// accepted.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	if sp, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		return sp.tr
+	}
+	return nil
+}
+
+// Active reports whether ctx carries a trace — for callers that want to
+// gate clock reads or other span-only work.
+func Active(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// Start opens a child span of ctx's current span and returns a context
+// in which the child is current. Without a trace (or with a nil ctx) it
+// returns its arguments' context unchanged and a nil span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return nil, nil
+	}
+	parent, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok {
+		return ctx, nil
+	}
+	child := &Span{tr: parent.tr, name: name, start: time.Now()}
+	parent.tr.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.tr.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, child), child
+}
+
+// Current returns ctx's current span (the one new Starts would nest
+// under), or nil.
+func Current(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// End closes the span, fixing its duration. Double-End keeps the first
+// duration; nil receivers no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute to the span; nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.tr.mu.Unlock()
+}
+
+// AnnotateInt is Annotate for integer values.
+func (s *Span) AnnotateInt(key string, value int) {
+	s.Annotate(key, strconv.Itoa(value))
+}
+
+// Attr returns the value of a previously attached attribute ("" if
+// absent); nil-safe.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Finish ends the root span — and, so every export is well-nested,
+// force-ends any still-open descendant at the same instant — and
+// returns the trace's total duration. Idempotent.
+func (t *Trace) Finish() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.endLocked(t.root)
+	return t.root.dur
+}
+
+func (t *Trace) endLocked(s *Span) {
+	for _, c := range s.children {
+		t.endLocked(c)
+	}
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+}
+
+// Duration returns the root span's duration (zero until Finish or the
+// root's End).
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.dur
+}
+
+// Node is the exported form of one span: offsets are nanoseconds since
+// the trace started, so child intervals can be checked against their
+// parent's without wall-clock arithmetic.
+type Node struct {
+	Name     string            `json:"name"`
+	OffsetNs int64             `json:"offsetNs"`
+	DurNs    int64             `json:"durNs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Node           `json:"children,omitempty"`
+}
+
+// Tree snapshots the span tree. Unfinished spans export with the
+// duration they have accumulated so far.
+func (t *Trace) Tree() *Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exportLocked(t.root)
+}
+
+func (t *Trace) exportLocked(s *Span) *Node {
+	n := &Node{
+		Name:     s.name,
+		OffsetNs: s.start.Sub(t.root.start).Nanoseconds(),
+		DurNs:    s.dur.Nanoseconds(),
+	}
+	if !s.ended {
+		n.DurNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, t.exportLocked(c))
+	}
+	return n
+}
+
+// jsonTrace is the WriteJSON schema.
+type jsonTrace struct {
+	ID   string `json:"id"`
+	Root *Node  `json:"root"`
+}
+
+// WriteJSON serialises the trace as an indented JSON span tree.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTrace{ID: t.id, Root: t.Tree()})
+}
+
+// chromeEvent is one complete ("ph":"X") Chrome trace event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // µs since trace start
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome serialises the trace in the Chrome trace-event format
+// (a JSON array of complete events), loadable in chrome://tracing and
+// Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	var events []chromeEvent
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		events = append(events, chromeEvent{
+			Name: n.Name, Ph: "X",
+			Ts:  float64(n.OffsetNs) / 1e3,
+			Dur: float64(n.DurNs) / 1e3,
+			Pid: 1, Tid: 1,
+			Args: n.Attrs,
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Tree())
+	return json.NewEncoder(w).Encode(events)
+}
+
+// WriteText renders the trace as an indented tree, one span per line —
+// the slow-request log format.
+func (t *Trace) WriteText(w io.Writer) {
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(w, "%*s%s %v", 2*depth, "", n.Name, time.Duration(n.DurNs))
+		if len(n.Attrs) > 0 {
+			b, _ := json.Marshal(n.Attrs)
+			fmt.Fprintf(w, " %s", b)
+		}
+		fmt.Fprintln(w)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	fmt.Fprintf(w, "trace %s\n", t.id)
+	walk(t.Tree(), 1)
+}
