@@ -175,8 +175,8 @@ func BenchmarkFigure1_Passes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		mid := a.NW.NetIdx["m"]
-		for _, cl := range a.NW.Clusters {
+		mid := a.CD.NetIdx["m"]
+		for _, cl := range a.CD.Clusters {
 			if cl.LocalIndex(mid) >= 0 && cl.Plan.Passes() != 2 {
 				b.Fatalf("passes = %d, want 2", cl.Plan.Passes())
 			}
@@ -247,12 +247,12 @@ func BenchmarkAblation_BlockVsEnum(b *testing.B) {
 	a := loadOnce(b, workload.SM1F())
 	b.Run("block", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sta.Analyze(a.NW)
+			sta.Analyze(a.CD, a.St)
 		}
 	})
 	b.Run("enumerate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			baseline.EnumerateSlacks(a.NW)
+			baseline.EnumerateSlacks(a.CD, a.St)
 		}
 	})
 }
@@ -396,7 +396,7 @@ func BenchmarkSTA_Sweep(b *testing.B) {
 	a := loadOnce(b, mustGen(workload.DES()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sta.Analyze(a.NW)
+		sta.Analyze(a.CD, a.St)
 	}
 }
 
@@ -448,7 +448,7 @@ func BenchmarkSTA_SweepParallel(b *testing.B) {
 	a := loadOnce(b, mustGen(workload.DES()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sta.AnalyzeParallel(a.NW, 4)
+		sta.AnalyzeParallel(a.CD, a.St, 4)
 	}
 }
 
@@ -478,7 +478,7 @@ func BenchmarkClusterBuild(b *testing.B) {
 // BenchmarkSimulator measures the dynamic-validation harness on the ALU
 // workload: one full 10-cycle worst-case simulation per iteration.
 func BenchmarkSimulator(b *testing.B) {
-	nwA := loadOnce(b, mustGen(workload.ALU())).NW
+	nwA := loadOnce(b, mustGen(workload.ALU())).CD.Network
 	s, err := sim.New(nwA)
 	if err != nil {
 		b.Fatal(err)

@@ -102,7 +102,7 @@ func analyzeTimed(lib *celllib.Library, d *netlist.Design) report.Row {
 	snap := telemetry.Snapshot()
 	return report.Row{
 		Name: d.Name, Cells: st.Cells, Nets: st.Nets, Latches: st.Latches,
-		Clusters: len(a.NW.Clusters), Passes: a.NW.TotalPasses(),
+		Clusters: len(a.CD.Clusters), Passes: a.CD.TotalPasses(),
 		PreProcess: pre, Analysis: ana,
 		Sweeps:     rep.ForwardSweeps + rep.BackwardSweeps,
 		Recomputes: snap.Counters["sta.clusters_analyzed"],
@@ -116,7 +116,37 @@ func analyzeTimed(lib *celllib.Library, d *netlist.Design) report.Row {
 func table1Row(lib *celllib.Library, d *netlist.Design) report.Row {
 	row := analyzeTimed(lib, d)
 	row.IncrEdit, row.FullEdit = editSpeedup(lib, d)
+	row.OpenCold, row.OpenShared = sessionOpen(lib, d)
 	return row
+}
+
+// sessionOpen measures the two ways a viewing session comes up: cold
+// (elaborate + compile + first analysis) and against an already compiled
+// design (a fresh AnalysisState over a shared immutable CompiledDesign, as
+// hummingbirdd's compile cache does for concurrent sessions on the same
+// design), best of three each.
+func sessionOpen(lib *celllib.Library, d *netlist.Design) (cold, shared time.Duration) {
+	publisher, err := incremental.Open(lib, d, core.DefaultOptions())
+	must(err)
+	cd := publisher.CompiledDesign()
+	opts := publisher.Options()
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		_, err := incremental.Open(lib, d, opts)
+		must(err)
+		if e := time.Since(t0); cold == 0 || e < cold {
+			cold = e
+		}
+	}
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		_, err := incremental.OpenShared(lib, d, opts, cd, nil)
+		must(err)
+		if e := time.Since(t0); shared == 0 || e < shared {
+			shared = e
+		}
+	}
+	return cold, shared
 }
 
 // editSpeedup measures the cost of re-analysing after a single-gate delay
@@ -203,8 +233,8 @@ func runFig1(w io.Writer) {
 	must(err)
 	rep, err := a.IdentifySlowPaths()
 	must(err)
-	mid := a.NW.NetIdx["m"]
-	for _, cl := range a.NW.Clusters {
+	mid := a.CD.NetIdx["m"]
+	for _, cl := range a.CD.Clusters {
 		if cl.LocalIndex(mid) < 0 {
 			continue
 		}
@@ -215,7 +245,7 @@ func runFig1(w io.Writer) {
 		}
 	}
 	fmt.Fprintf(w, "total passes across all clusters: %d (clusters: %d)\n",
-		a.NW.TotalPasses(), len(a.NW.Clusters))
+		a.CD.TotalPasses(), len(a.CD.Clusters))
 	fmt.Fprintf(w, "timing verdict: ok=%v worst slack %v\n\n", rep.OK, rep.WorstSlack())
 }
 
@@ -286,10 +316,10 @@ func runAblations(w io.Writer) {
 		a, err := core.Load(lib, d, core.DefaultOptions())
 		must(err)
 		t0 := time.Now()
-		res := sta.Analyze(a.NW)
+		res := sta.Analyze(a.CD, a.St)
 		blockT := time.Since(t0)
 		t1 := time.Now()
-		enum := baseline.EnumerateSlacks(a.NW)
+		enum := baseline.EnumerateSlacks(a.CD, a.St)
 		enumT := time.Since(t1)
 		mism := baseline.CountMismatches(res, enum)
 		fmt.Fprintf(w, "sm1f: block %v, enumeration %v over %d transition-paths; mismatching nets: %d\n",
@@ -309,13 +339,13 @@ func runAblations(w io.Writer) {
 		a, err := core.Load(lib, d, core.DefaultOptions())
 		must(err)
 		exhaust, greedy := 0, 0
-		for _, cl := range a.NW.Clusters {
+		for _, cl := range a.CD.Clusters {
 			exhaust += cl.Plan.Passes()
 		}
 		// Rerun each cluster's plan greedily.
-		for _, cl := range a.NW.Clusters {
+		for _, cl := range a.CD.Clusters {
 			outs := clusterOutputs(a, cl.ID)
-			p, err := breakopen.SolveGreedy(a.NW.Clocks.Overall(), a.NW.EdgeTimes, outs)
+			p, err := breakopen.SolveGreedy(a.CD.Clocks.Overall(), a.CD.EdgeTimes, outs)
 			must(err)
 			greedy += p.Passes()
 		}
@@ -343,13 +373,13 @@ func runAblations(w io.Writer) {
 // clusterOutputs rebuilds the breakopen inputs of one cluster (for the A3
 // greedy re-solve).
 func clusterOutputs(a *core.Analyzer, clusterID int) []breakopen.Output {
-	cl := a.NW.Clusters[clusterID]
+	cl := a.CD.Clusters[clusterID]
 	outs := make([]breakopen.Output, len(cl.Outputs))
 	for oi, out := range cl.Outputs {
-		o := breakopen.Output{ID: oi, Close: a.NW.Elems[out.Elem].IdealClose}
+		o := breakopen.Output{ID: oi, Close: a.CD.Elems[out.Elem].IdealClose}
 		for ii := range cl.Inputs {
 			if cl.Reach[ii][oi] {
-				o.Asserts = append(o.Asserts, a.NW.Elems[cl.Inputs[ii].Elem].IdealAssert)
+				o.Asserts = append(o.Asserts, a.CD.Elems[cl.Inputs[ii].Elem].IdealAssert)
 			}
 		}
 		outs[oi] = o

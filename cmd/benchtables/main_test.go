@@ -108,7 +108,7 @@ func TestClusterOutputsMatchPlanInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		outs := clusterOutputs(a, cl.ID)
 		if len(outs) != len(cl.Outputs) {
 			t.Fatalf("cluster %d: %d vs %d outputs", cl.ID, len(outs), len(cl.Outputs))

@@ -322,7 +322,7 @@ func printSupplementary(w io.Writer, s *session) {
 	}
 	for _, x := range v {
 		fmt.Fprintf(w, "supplementary violation: %s -> %s (min delay %v, must exceed %v)\n",
-			s.analyzer.NW.Elems[x.FromElem].Name(), s.analyzer.NW.Elems[x.ToElem].Name(),
+			s.analyzer.CD.Elems[x.FromElem].Name(), s.analyzer.CD.Elems[x.ToElem].Name(),
 			x.MinDelay, x.Bound)
 	}
 }

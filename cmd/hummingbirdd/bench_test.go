@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/workload"
+)
+
+// benchDesign serialises the ALU workload back to netlist text so the
+// session-open benchmarks exercise a realistically sized design rather
+// than the toy pipe fixture.
+func benchDesign(b *testing.B) string {
+	b.Helper()
+	d, err := workload.ALU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := netlist.Write(&sb, d); err != nil {
+		b.Fatal(err)
+	}
+	return sb.String()
+}
+
+// do drives a handler directly (no TCP) and fails the benchmark on an
+// unexpected status.
+func do(b *testing.B, h http.Handler, method, path, body string, want int) map[string]any {
+	b.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != want {
+		b.Fatalf("%s %s: status %d, want %d: %s", method, path, rec.Code, want, rec.Body.String())
+	}
+	m := map[string]any{}
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			b.Fatalf("decode %s: %v", rec.Body.Bytes(), err)
+		}
+	}
+	return m
+}
+
+func openBody(b *testing.B, design string) string {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{"design": design})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(body)
+}
+
+// BenchmarkSessionOpen_Cold is the pre-sharing baseline: every open pays a
+// full parse + elaboration + compile + first analysis. cacheSize 0 keeps
+// closed sessions out of the LRU; closing the session also drops the last
+// compile-cache reference, so the next open is cold again.
+func BenchmarkSessionOpen_Cold(b *testing.B) {
+	srv := newServer(celllib.Default(), serverConfig{maxSessions: 4, cacheSize: 0})
+	h := srv.handler()
+	body := openBody(b, benchDesign(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := do(b, h, "POST", "/v1/sessions", body, http.StatusCreated)
+		do(b, h, "DELETE", "/v1/sessions/"+m["session"].(string), "", http.StatusOK)
+	}
+}
+
+// BenchmarkSessionOpen_SharedDesign holds one publisher session open so
+// every benchmarked open acquires the shared CompiledDesign from the
+// compile cache: it pays parsing and a fresh AnalysisState + first
+// analysis, but no elaboration or compile.
+func BenchmarkSessionOpen_SharedDesign(b *testing.B) {
+	srv := newServer(celllib.Default(), serverConfig{maxSessions: 4, cacheSize: 0})
+	h := srv.handler()
+	body := openBody(b, benchDesign(b))
+	do(b, h, "POST", "/v1/sessions", body, http.StatusCreated) // publisher stays open
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := do(b, h, "POST", "/v1/sessions", body, http.StatusCreated)
+		if i == 0 && m["shared_design"] != true {
+			b.Fatalf("open did not share the compiled design: %v", m)
+		}
+		do(b, h, "DELETE", "/v1/sessions/"+m["session"].(string), "", http.StatusOK)
+	}
+}
+
+// BenchmarkSessionOpen_ParkResume closes into the LRU and re-opens: the
+// whole engine (compiled design + analysis state + report) is parked, so a
+// resume is a cache probe plus summary serialisation.
+func BenchmarkSessionOpen_ParkResume(b *testing.B) {
+	srv := newServer(celllib.Default(), serverConfig{maxSessions: 4, cacheSize: 4})
+	h := srv.handler()
+	body := openBody(b, benchDesign(b))
+	m := do(b, h, "POST", "/v1/sessions", body, http.StatusCreated)
+	do(b, h, "DELETE", "/v1/sessions/"+m["session"].(string), "", http.StatusOK) // park
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := do(b, h, "POST", "/v1/sessions", body, http.StatusCreated)
+		if i == 0 && m["cached"] != true {
+			b.Fatalf("open did not resume the parked state: %v", m)
+		}
+		do(b, h, "DELETE", "/v1/sessions/"+m["session"].(string), "", http.StatusOK)
+	}
+}

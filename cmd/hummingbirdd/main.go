@@ -76,6 +76,7 @@ import (
 	"hummingbird/internal/buildinfo"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
 	"hummingbird/internal/core"
 	"hummingbird/internal/failpoint"
 	"hummingbird/internal/incremental"
@@ -302,6 +303,11 @@ type server struct {
 	quarantined map[string]string // id → diagnostic of the fault
 	nextID      int
 	cache       *lruCache
+
+	// compile refcounts CompiledDesigns by state key, its own lock —
+	// independent of s.mu so engine release callbacks (fired under a
+	// session's mutex) can never deadlock against the session table.
+	compile *compileCache
 }
 
 func newServer(lib *celllib.Library, cfg serverConfig) *server {
@@ -317,6 +323,7 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 		sessions:    make(map[string]*sess),
 		quarantined: make(map[string]string),
 		cache:       newLRU(cfg.cacheSize),
+		compile:     newCompileCache(),
 	}
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
@@ -343,6 +350,15 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(s.cache.len())
+	})
+	// Compile-cache gauges (rendered as hb_compile_cache_designs and
+	// hb_compile_cache_refs on /metrics): distinct shared CompiledDesigns
+	// and the total session references on them.
+	telemetry.NewGaugeFunc("compile_cache.designs", func() float64 {
+		return float64(s.compile.designs())
+	})
+	telemetry.NewGaugeFunc("compile_cache.refs", func() float64 {
+		return float64(s.compile.totalRefs())
 	})
 	return s
 }
@@ -663,8 +679,12 @@ func (s *server) shutdown() {
 	for _, ss := range s.sessions {
 		sessions = append(sessions, ss)
 	}
+	parked := s.cache.drain()
 	s.cache = newLRU(0)
 	s.mu.Unlock()
+	for _, eng := range parked {
+		eng.ReleaseShared()
+	}
 	for _, ss := range sessions {
 		ss.mu.Lock()
 		if ss.jw != nil {
@@ -736,12 +756,29 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	cached := eng != nil
+	sharedDesign := false
 	if cached {
 		mCacheHits.Inc()
 	} else {
 		mCacheMisses.Inc()
 		var err error
-		eng, err = incremental.OpenContext(r.Context(), s.lib, design, opts)
+		if cd, release := s.compile.acquire(key); cd != nil {
+			// Another session already compiled this exact design+adjustments:
+			// share its CompiledDesign read-only and skip elaboration. The
+			// engine gets only a private AnalysisState.
+			sharedDesign = true
+			eng, err = incremental.OpenSharedContext(r.Context(), s.lib, design, opts, cd, release)
+		} else {
+			eng, err = incremental.OpenContext(r.Context(), s.lib, design, opts)
+			if err == nil {
+				// Publish the freshly compiled design so the next same-key
+				// open shares it. If a racing open published first, this
+				// engine simply stays private.
+				if release, ok := s.compile.publish(key, eng.CompiledDesign()); ok {
+					eng.ShareCompiled(release)
+				}
+			}
+		}
 		if err != nil {
 			writeAnalysisError(w, "open design", err)
 			return
@@ -768,8 +805,9 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	span.Current(r.Context()).Annotate("session", id)
 
 	resp := map[string]any{
-		"session": id,
-		"cached":  cached,
+		"session":       id,
+		"cached":        cached,
+		"shared_design": sharedDesign,
 	}
 	ss.mu.Lock()
 	addSummary(resp, ss)
@@ -935,8 +973,8 @@ func addSummary(m map[string]any, ss *sess) {
 	}
 	a := eng.Analyzer()
 	m["cells"] = len(d.Instances)
-	m["nets"] = len(a.NW.Nets)
-	m["clusters"] = len(a.NW.Clusters)
+	m["nets"] = len(a.CD.Nets)
+	m["clusters"] = len(a.CD.Clusters)
 }
 
 type editJSON struct {
@@ -1133,7 +1171,7 @@ func (ss *sess) rememberSlacks() {
 		ss.prevSlack = nil
 		return
 	}
-	nw := ss.eng.Analyzer().NW
+	nw := ss.eng.Analyzer().CD.Network
 	m := make(map[string]clock.Time, len(nw.Nets))
 	for i, name := range nw.Nets {
 		m[name] = rep.Result.NetSlack[i]
@@ -1148,7 +1186,7 @@ func (ss *sess) slackDeltas() []map[string]any {
 	if rep == nil {
 		return nil
 	}
-	nw := ss.eng.Analyzer().NW
+	nw := ss.eng.Analyzer().CD.Network
 	type delta struct {
 		net      string
 		now, was clock.Time
@@ -1235,7 +1273,7 @@ func (s *server) handleConstraints(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query()["net"]; len(q) > 0 {
 		names = q
 	} else {
-		names = append(names, a.NW.Nets...)
+		names = append(names, a.CD.Nets...)
 	}
 	type netTimes struct {
 		Net      string `json:"net"`
@@ -1246,7 +1284,7 @@ func (s *server) handleConstraints(w http.ResponseWriter, r *http.Request) {
 	}
 	var out []netTimes
 	for _, name := range names {
-		id, ok := a.NW.NetIdx[name]
+		id, ok := a.CD.NetIdx[name]
 		if !ok {
 			httpError(w, http.StatusUnprocessableEntity, "unknown net %q", name)
 			return
@@ -1298,11 +1336,21 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 	parked := false
 	if eng != nil && eng.Report() != nil {
 		s.mu.Lock()
-		if evicted := s.cache.put(eng.StateHash(), eng); evicted {
-			mCacheEvictions.Inc()
-		}
+		evicted, stored := s.cache.put(eng.StateHash(), eng)
 		s.mu.Unlock()
-		parked = true
+		parked = stored
+		// A parked engine keeps its reference on the shared compiled
+		// design; engines the cache would not hold (duplicate key, zero
+		// capacity) and evicted ones drop theirs.
+		if !stored {
+			eng.ReleaseShared()
+		}
+		if evicted != nil {
+			mCacheEvictions.Inc()
+			evicted.ReleaseShared()
+		}
+	} else if eng != nil {
+		eng.ReleaseShared()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"session": id, "closed": true, "parked": parked})
 }
@@ -1363,21 +1411,117 @@ func (c *lruCache) take(key string) *incremental.Engine {
 	return el.Value.(*lruEntry).eng
 }
 
-func (c *lruCache) put(key string, eng *incremental.Engine) (evicted bool) {
+// put parks an engine. stored reports whether the cache kept it (false at
+// zero capacity or when the key is already parked); evicted is the engine
+// pushed out to make room, if any. The caller owns whatever the cache did
+// not keep.
+func (c *lruCache) put(key string, eng *incremental.Engine) (evicted *incremental.Engine, stored bool) {
 	if c.max <= 0 {
-		return false
+		return nil, false
 	}
 	if el, ok := c.m[key]; ok {
 		// Same state already parked; keep the existing one fresh.
 		c.ll.MoveToFront(el)
-		return false
+		return nil, false
 	}
 	c.m[key] = c.ll.PushFront(&lruEntry{key: key, eng: eng})
 	if c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*lruEntry).key)
-		return true
+		return oldest.Value.(*lruEntry).eng, true
 	}
-	return false
+	return nil, true
+}
+
+// drain empties the cache, returning every parked engine.
+func (c *lruCache) drain() []*incremental.Engine {
+	var out []*incremental.Engine
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).eng)
+	}
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+	return out
+}
+
+// compileCache refcounts immutable CompiledDesigns by state key so that
+// every session opened on the same design hash shares one compiled design,
+// cutting steady-state memory by ~N× for N same-design sessions. It has
+// its own mutex: engine release callbacks fire from arbitrary goroutines
+// (often under a session's lock) and must never contend on s.mu.
+type compileCache struct {
+	mu sync.Mutex
+	m  map[string]*compileEntry
+}
+
+type compileEntry struct {
+	cd   *cluster.CompiledDesign
+	refs int
+}
+
+func newCompileCache() *compileCache {
+	return &compileCache{m: make(map[string]*compileEntry)}
+}
+
+// acquire returns the cached design for key with its reference count
+// bumped, plus the matching release callback — or (nil, nil) on a miss.
+func (c *compileCache) acquire(key string) (*cluster.CompiledDesign, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.m[key]
+	if !ok {
+		return nil, nil
+	}
+	ent.refs++
+	return ent.cd, c.releaseFunc(key)
+}
+
+// publish installs a freshly compiled design under key with one reference
+// and returns its release callback. If the key is already present (a
+// racing open published first), nothing is stored and ok is false — the
+// caller's design stays private.
+func (c *compileCache) publish(key string, cd *cluster.CompiledDesign) (release func(), ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; exists {
+		return nil, false
+	}
+	c.m[key] = &compileEntry{cd: cd, refs: 1}
+	return c.releaseFunc(key), true
+}
+
+// releaseFunc builds the once-per-reference drop callback for key; the
+// entry is evicted when its last reference goes.
+func (c *compileCache) releaseFunc(key string) func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ent, ok := c.m[key]
+		if !ok {
+			return
+		}
+		ent.refs--
+		if ent.refs <= 0 {
+			delete(c.m, key)
+		}
+	}
+}
+
+// designs counts the distinct shared compiled designs.
+func (c *compileCache) designs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// totalRefs sums the session references across all shared designs.
+func (c *compileCache) totalRefs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ent := range c.m {
+		n += ent.refs
+	}
+	return n
 }

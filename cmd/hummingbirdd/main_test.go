@@ -396,13 +396,13 @@ func TestLRUCacheEviction(t *testing.T) {
 	c := newLRU(2)
 	d, _ := netlist.ParseString(pipeSrc)
 	e1, _ := incremental.Open(celllib.Default(), d, core.DefaultOptions())
-	if c.put("a", e1) {
-		t.Fatal("first put evicted")
+	if ev, stored := c.put("a", e1); ev != nil || !stored {
+		t.Fatal("first put evicted or was rejected")
 	}
-	if c.put("b", e1) {
-		t.Fatal("second put evicted")
+	if ev, stored := c.put("b", e1); ev != nil || !stored {
+		t.Fatal("second put evicted or was rejected")
 	}
-	if !c.put("c", e1) {
+	if ev, stored := c.put("c", e1); ev == nil || !stored {
 		t.Fatal("third put into cap-2 cache did not evict")
 	}
 	if c.take("a") != nil {
@@ -411,7 +411,128 @@ func TestLRUCacheEviction(t *testing.T) {
 	if c.take("b") == nil || c.take("b") != nil {
 		t.Fatal("take should transfer ownership exactly once")
 	}
-	if c.put("dup", e1) || c.put("dup", e1) {
+	if ev, _ := c.put("dup", e1); ev != nil {
 		t.Fatal("duplicate key put should not evict")
+	}
+	if ev, _ := c.put("dup", e1); ev != nil {
+		t.Fatal("duplicate key re-put should not evict")
+	}
+}
+
+// readBody fetches a path and returns the raw response bytes.
+func readBody(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestSharedCompiledDesignConcurrency: two sessions opened on the same
+// design hash must share one CompiledDesign through the compile cache, stay
+// correct while analyzing and editing concurrently (the -race build guards
+// the read-only sharing), and produce reports byte-identical to sessions
+// that never shared anything.
+func TestSharedCompiledDesignConcurrency(t *testing.T) {
+	srv := newServer(celllib.Default(), serverConfig{maxSessions: 8, cacheSize: 0})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	idA, mA := openSession(t, ts, pipeSrc)
+	if shared, _ := mA["shared_design"].(bool); shared {
+		t.Fatalf("first open must publish, not share: %v", mA)
+	}
+	idB, mB := openSession(t, ts, pipeSrc)
+	if shared, _ := mB["shared_design"].(bool); !shared {
+		t.Fatalf("second open on the same design hash did not share: %v", mB)
+	}
+
+	// One compiled design, two session references — via the cache itself
+	// and via the hb_compile_cache_* gauges a fleet would scrape.
+	if d, r := srv.compile.designs(), srv.compile.totalRefs(); d != 1 || r != 2 {
+		t.Fatalf("compile cache holds %d designs / %d refs, want 1 / 2", d, r)
+	}
+	metrics := string(readBody(t, ts, "/metrics"))
+	for _, want := range []string{"hb_compile_cache_designs 1", "hb_compile_cache_refs 2"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Deterministic per-session edit scripts, run concurrently. The first
+	// delay edit in each session triggers the copy-on-write unshare of the
+	// shared compiled design while the other session keeps analyzing it.
+	scripts := map[string][]map[string]any{
+		idA: {
+			{"op": "adjust", "inst": "g2", "delta": "50ps"},
+			{"op": "adjust", "inst": "g3", "delta": "-25ps"},
+			{"op": "adjust", "inst": "g2", "delta": "75ps"},
+		},
+		idB: {
+			{"op": "adjust", "inst": "g3", "delta": "100ps"},
+			{"op": "resize", "inst": "g2", "to": "INV_X4"},
+			{"op": "adjust", "inst": "g4", "delta": "-10ps"},
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for id, script := range scripts {
+		wg.Add(1)
+		go func(id string, script []map[string]any) {
+			defer wg.Done()
+			for i, ed := range script {
+				status, em := call(t, ts, "POST", "/v1/sessions/"+id+"/edits",
+					map[string]any{"edits": []map[string]any{ed}})
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("session %s edit %d: %d %v", id, i, status, em)
+					return
+				}
+				// Interleave reads of the (possibly still shared) design.
+				if _, sum := call(t, ts, "GET", "/v1/sessions/"+id, nil); sum["session"] != id {
+					errs <- fmt.Errorf("session %s: bad summary %v", id, sum)
+					return
+				}
+			}
+		}(id, script)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Both sessions made delay edits, so both unshared their copy-on-write
+	// clones and dropped their cache references.
+	if d, r := srv.compile.designs(), srv.compile.totalRefs(); d != 0 || r != 0 {
+		t.Fatalf("after unshare, compile cache holds %d designs / %d refs, want 0 / 0", d, r)
+	}
+
+	// Byte-identical reports versus sessions that never shared: replay each
+	// script serially on a fresh server (fresh compile cache, no second
+	// session, no sharing) and compare the raw report bodies.
+	for id, script := range scripts {
+		iso := newTestServer(t, 2, 0)
+		isoID, _ := openSession(t, iso, pipeSrc)
+		for i, ed := range script {
+			status, em := call(t, iso, "POST", "/v1/sessions/"+isoID+"/edits",
+				map[string]any{"edits": []map[string]any{ed}})
+			if status != http.StatusOK {
+				t.Fatalf("isolated session edit %d: %d %v", i, status, em)
+			}
+		}
+		got := readBody(t, ts, "/v1/sessions/"+id+"/report")
+		want := readBody(t, iso, "/v1/sessions/"+isoID+"/report")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("session %s report diverges from isolated session:\n got: %s\nwant: %s", id, got, want)
+		}
 	}
 }

@@ -90,10 +90,11 @@ func main() {
 	if _, err := a.IdentifySlowPaths(); err != nil {
 		log.Fatal(err)
 	}
-	for _, ei := range a.NW.ElemsOf("l1") {
-		e := a.NW.Elems[ei]
+	for _, ei := range a.CD.ElemsOf("l1") {
+		e := a.CD.Elems[ei]
+		odz := a.St.Odz[ei]
 		fmt.Printf("latch l1: Odz settled at %v (legal range [%v, %v]); output asserts at %v\n",
-			e.Odz, e.OdzMin(), e.OdzMax(), e.OutputAssert())
+			odz, e.OdzMin(), e.OdzMax(), e.OutputAssertAt(odz))
 	}
 
 	fmt.Println("\n== combinational cycle traversing two transparent latches ==")
@@ -110,6 +111,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("latch loop: ok=%v, worst slack %v, %d clusters\n",
-		rep2.OK, rep2.WorstSlack(), len(a2.NW.Clusters))
+		rep2.OK, rep2.WorstSlack(), len(a2.CD.Clusters))
 	fmt.Println("(the loop is legal: only portions of combinational logic must be acyclic, §3)")
 }

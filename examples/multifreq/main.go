@@ -46,14 +46,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("overall clock period: %v (lcm of 100ns and 50ns)\n", a.NW.Clocks.Overall())
+	fmt.Printf("overall clock period: %v (lcm of 100ns and 50ns)\n", a.CD.Clocks.Overall())
 
 	// Element replication.
 	for _, name := range []string{"f1", "f2", "f3"} {
-		ids := a.NW.ElemsOf(name)
+		ids := a.CD.ElemsOf(name)
 		fmt.Printf("%s: %d generic element(s):", name, len(ids))
 		for _, ei := range ids {
-			e := a.NW.Elems[ei]
+			e := a.CD.Elems[ei]
 			fmt.Printf("  [capture %v]", e.IdealClose)
 		}
 		fmt.Println()
@@ -75,7 +75,7 @@ func main() {
 	}
 	for _, v := range viol {
 		fmt.Printf("  VIOLATION %s -> %s: min path delay %v must exceed %v\n",
-			a.NW.Elems[v.FromElem].Name(), a.NW.Elems[v.ToElem].Name(), v.MinDelay, v.Bound)
+			a.CD.Elems[v.FromElem].Name(), a.CD.Elems[v.ToElem].Name(), v.MinDelay, v.Bound)
 	}
 
 	// How fast could this design be clocked?

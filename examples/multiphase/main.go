@@ -37,19 +37,19 @@ func main() {
 	fmt.Println()
 
 	// Locate the cluster owning the shared gate's output net "m".
-	mid := a.NW.NetIdx["m"]
-	for _, cl := range a.NW.Clusters {
+	mid := a.CD.NetIdx["m"]
+	for _, cl := range a.CD.Clusters {
 		if cl.LocalIndex(mid) < 0 {
 			continue
 		}
 		fmt.Printf("cluster %d holds the shared gate; minimum analysis passes: %d\n",
 			cl.ID, cl.Plan.Passes())
-		T := a.NW.Clocks.Overall()
+		T := a.CD.Clocks.Overall()
 		for pi, beta := range cl.Plan.Breaks {
 			fmt.Printf("  pass %d: period broken open at %v\n", pi, beta)
 			for oi, out := range cl.Outputs {
 				if p, ok := cl.Plan.Assign[oi]; ok && p == pi {
-					e := a.NW.Elems[out.Elem]
+					e := a.CD.Elems[out.Elem]
 					fmt.Printf("    capture %-4s closure at window position %v\n",
 						e.Name(), breakopen.ClosePos(e.IdealClose, beta, T))
 				}

@@ -72,6 +72,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	n2, n3 := a.NW.NetIdx["n2"], a.NW.NetIdx["n3"]
+	n2, n3 := a.CD.NetIdx["n2"], a.CD.NetIdx["n3"]
 	fmt.Printf("\nallowed delay budget n2 -> n3: %v\n", c.Allowed(n2, n3))
 }

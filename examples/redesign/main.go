@@ -65,7 +65,7 @@ func main() {
 	if len(rep.SlowPaths) > 0 {
 		p := rep.SlowPaths[0]
 		fmt.Printf("worst path: %s -> %s, delay %v, slack %v\n",
-			a.NW.Elems[p.FromElem].Name(), a.NW.Elems[p.ToElem].Name(), p.Delay, p.Slack)
+			a.CD.Elems[p.FromElem].Name(), a.CD.Elems[p.ToElem].Name(), p.Delay, p.Slack)
 	}
 
 	// Algorithm 3.

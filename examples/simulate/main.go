@@ -56,7 +56,7 @@ func run(periodPs int) {
 	fmt.Printf("== period %dps: static verdict ok=%v (worst slack %v) ==\n",
 		periodPs, rep.OK, rep.WorstSlack())
 
-	s, err := sim.New(a.NW)
+	s, err := sim.New(a.CD.Network)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func run(periodPs int) {
 	tr := s.Run(12, func(cycle int, port string) logic.Value {
 		return logic.FromBool(r.Intn(2) == 0)
 	})
-	warm := clock.Time(4) * a.NW.Clocks.Overall()
+	warm := clock.Time(4) * a.CD.Clocks.Overall()
 	fmt.Println("capture log (after warm-up):")
 	for _, c := range tr.Captures {
 		if c.At < warm || c.Inst != "l2" {
@@ -72,7 +72,7 @@ func run(periodPs int) {
 		}
 		fmt.Printf("  %-4s captured %v at %v\n", c.Inst, c.V, c.At)
 	}
-	viol := sim.CheckSetup(a.NW, tr, warm)
+	viol := sim.CheckSetup(a.CD.Network, tr, warm)
 	if len(viol) == 0 {
 		fmt.Println("dynamic check: no setup violations, no X captures")
 	}

@@ -73,14 +73,14 @@ func TestKitchenSinkEndToEnd(t *testing.T) {
 		t.Fatal("module DP not rolled up")
 	}
 	// phi2-controlled elements replicate (2 pulses per overall 100ns).
-	if got := len(a.NW.ElemsOf("f1")); got != 2 {
+	if got := len(a.CD.ElemsOf("f1")); got != 2 {
 		t.Fatalf("f1 elements = %d, want 2", got)
 	}
-	if got := len(a.NW.ElemsOf("t2")); got != 2 {
+	if got := len(a.CD.ElemsOf("t2")); got != 2 {
 		t.Fatalf("t2 elements = %d, want 2", got)
 	}
 	// Inverted control detected on l2.
-	for _, s := range a.NW.Sites {
+	for _, s := range a.CD.Sites {
 		if s.Name == "l2" && !s.Inverted {
 			t.Fatal("l2 control inversion missed")
 		}
@@ -100,7 +100,7 @@ func TestKitchenSinkEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		for _, arc := range cl.Arcs {
 			if b := c.Allowed(arc.From, arc.To); b < arc.D.Max() {
 				t.Fatalf("budget %v below arc delay %v on %s", b, arc.D.Max(), arc.Inst)
@@ -169,8 +169,8 @@ func TestNetlistRoundTripPreservesAnalysis(t *testing.T) {
 	}
 	// Per-net slacks identical.
 	for net, s := range r1.Result.NetSlack {
-		name := a1.NW.Nets[net]
-		id2, ok := a2.NW.NetIdx[name]
+		name := a1.CD.Nets[net]
+		id2, ok := a2.CD.NetIdx[name]
 		if !ok {
 			t.Fatalf("net %s lost in round trip", name)
 		}
@@ -237,7 +237,7 @@ func TestWorkloadAnalysisDeterministic(t *testing.T) {
 	}
 	for i := range r1.Result.InSlack {
 		if r1.Result.InSlack[i] != r2.Result.InSlack[i] || r1.Result.OutSlack[i] != r2.Result.OutSlack[i] {
-			t.Fatalf("element %s slacks differ across runs", a1.NW.Elems[i].Name())
+			t.Fatalf("element %s slacks differ across runs", a1.CD.Elems[i].Name())
 		}
 	}
 	_ = a2

@@ -65,7 +65,7 @@ func AnalyzeOpaque(lib *celllib.Library, design *netlist.Design, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range a.NW.Elems {
+	for _, e := range a.CD.Elems {
 		if e.HasDOF() {
 			return nil, fmt.Errorf("baseline: opaque model left a degree of freedom on %s", e.Name())
 		}
@@ -89,7 +89,8 @@ type EnumerationResult struct {
 // net-for-net (the equivalence property the A1 ablation relies on), at a
 // cost exponential in the worst case — usable on test- and example-scale
 // designs only, which is the paper's point about the block method.
-func EnumerateSlacks(nw *cluster.Network) *EnumerationResult {
+func EnumerateSlacks(cd *cluster.CompiledDesign, st *sta.AnalysisState) *EnumerationResult {
+	nw := cd.Network
 	res := &EnumerationResult{NetSlack: make([]clock.Time, len(nw.Nets))}
 	for i := range res.NetSlack {
 		res.NetSlack[i] = clock.Inf
@@ -103,14 +104,14 @@ func EnumerateSlacks(nw *cluster.Network) *EnumerationResult {
 					continue
 				}
 				e := nw.Elems[out.Elem]
-				c := breakopen.ClosePos(e.IdealClose, beta, T) + e.InputOffset()
+				c := breakopen.ClosePos(e.IdealClose, beta, T) + e.InputOffsetAt(st.Odz[out.Elem])
 				if prev, ok := closures[out.Net]; !ok || c < prev {
 					closures[out.Net] = c
 				}
 			}
 			for _, in := range cl.Inputs {
 				e := nw.Elems[in.Elem]
-				assert := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffset()
+				assert := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffsetAt(st.Odz[in.Elem])
 				var walk func(net int, rise bool, delay clock.Time, trail []int)
 				walk = func(net int, rise bool, delay clock.Time, trail []int) {
 					trail = append(trail, net)
@@ -191,9 +192,9 @@ func CompareBorrowing(lib *celllib.Library, design *netlist.Design, opts core.Op
 // the network's current offsets; it returns the number of nets whose
 // slacks disagree (expected zero — the transition-space enumeration is
 // exact) and the enumerated path count.
-func BlockVsEnum(nw *cluster.Network) (mismatches, paths int) {
-	block := sta.Analyze(nw)
-	enum := EnumerateSlacks(nw)
+func BlockVsEnum(cd *cluster.CompiledDesign, st *sta.AnalysisState) (mismatches, paths int) {
+	block := sta.Analyze(cd, st)
+	enum := EnumerateSlacks(cd, st)
 	return CountMismatches(block, enum), enum.Paths
 }
 

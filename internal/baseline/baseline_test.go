@@ -6,10 +6,18 @@ import (
 	"testing"
 
 	"hummingbird/internal/celllib"
+	"hummingbird/internal/cluster"
 	"hummingbird/internal/core"
 	"hummingbird/internal/netlist"
+	"hummingbird/internal/sta"
 	"hummingbird/internal/testlib"
 )
+
+// blockVsEnum compiles the network and runs BlockVsEnum on a fresh state.
+func blockVsEnum(nw *cluster.Network) (int, int) {
+	cd := cluster.Compile(nw)
+	return BlockVsEnum(cd, sta.NewState(cd))
+}
 
 func parse(t *testing.T, text string) *netlist.Design {
 	t.Helper()
@@ -149,7 +157,7 @@ inst f4 FFD D=OUT2x CK=phi2 Q=q4
 inst gz BUFD A=q3 Y=OUT
 end
 `)
-	mismatches, paths := BlockVsEnum(nw)
+	mismatches, paths := blockVsEnum(nw)
 	if mismatches != 0 {
 		t.Fatalf("block vs enumeration: %d mismatching nets", mismatches)
 	}
@@ -199,7 +207,7 @@ output OUT clock phi2 edge fall offset 0
 		sb.WriteString("inst fcap FFD D=" + last[len(last)-1] + " CK=phi2 Q=qc\n")
 		sb.WriteString("inst gout BUFD A=qc Y=OUT\nend\n")
 		nw := testlib.Network(t, sb.String())
-		if mism, _ := BlockVsEnum(nw); mism != 0 {
+		if mism, _ := blockVsEnum(nw); mism != 0 {
 			t.Fatalf("seed %d: %d mismatches", seed, mism)
 		}
 	}
@@ -228,7 +236,8 @@ inst f1 FFD D=d CK=phi2 Q=q
 inst go BUFD A=q Y=OUT
 end
 `)
-	enum := EnumerateSlacks(nw)
+	cd := cluster.Compile(nw)
+	enum := EnumerateSlacks(cd, sta.NewState(cd))
 	// Transition-space paths IN→d: 2 launch transitions × 2 diamond arms
 	// × 2 XOR output transitions × 2 arms × 2 XOR transitions = 32; the
 	// q→OUT cluster adds one path per launch transition. Total 34.

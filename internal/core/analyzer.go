@@ -15,7 +15,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"math/bits"
 	"time"
 
 	"hummingbird/internal/celllib"
@@ -75,18 +75,21 @@ func defaultMaxSweeps(elems int) int {
 	return 64
 }
 
-// Analyzer binds a design to its elaborated network and drives the timing
-// algorithms.
+// Analyzer binds a design to its compiled timing view and drives the
+// timing algorithms. The compiled design (CD) is immutable and may be
+// shared with other analyzers; everything the algorithms move — the
+// element offsets and scratch — lives in the private analysis state (St).
 type Analyzer struct {
 	Lib    *celllib.Library // resolved library (base + rolled-up modules)
 	Design *netlist.Design
-	NW     *cluster.Network
+	CD     *cluster.CompiledDesign
+	St     *sta.AnalysisState
 	Opts   Options
 
-	// elemClusters[e] lists the cluster ids owning element e's terminals
-	// (its data-input endpoint and its output endpoint), for incremental
-	// re-analysis.
-	elemClusters [][]int
+	// dirty/dirtyIDs are sweep's reusable dirty-cluster bitset and sorted
+	// id scratch, so fixed-point sweeps stop allocating on the hot path.
+	dirty    []uint64
+	dirtyIDs []int
 
 	// conv is the convergence trail of the current fixed-point run (see
 	// trace.go); reset at the top of IdentifySlowPaths and
@@ -94,24 +97,13 @@ type Analyzer struct {
 	conv convTrail
 }
 
-// buildElemClusters indexes which clusters each element's terminals live in.
-func (a *Analyzer) buildElemClusters() {
-	a.elemClusters = make([][]int, len(a.NW.Elems))
-	add := func(e, cl int) {
-		for _, have := range a.elemClusters[e] {
-			if have == cl {
-				return
-			}
-		}
-		a.elemClusters[e] = append(a.elemClusters[e], cl)
-	}
-	for _, cl := range a.NW.Clusters {
-		for _, in := range cl.Inputs {
-			add(in.Elem, cl.ID)
-		}
-		for _, out := range cl.Outputs {
-			add(out.Elem, cl.ID)
-		}
+// newAnalyzer wires an analyzer onto a compiled design with a fresh state.
+func newAnalyzer(lib *celllib.Library, design *netlist.Design, cd *cluster.CompiledDesign, opts Options) *Analyzer {
+	return &Analyzer{
+		Lib: lib, Design: design, CD: cd,
+		St:    sta.NewState(cd),
+		Opts:  opts,
+		dirty: make([]uint64, (len(cd.Network.Clusters)+63)/64),
 	}
 }
 
@@ -131,13 +123,18 @@ func (a *Analyzer) sweep(ctx context.Context, iter string, k int, res *sta.Resul
 	sp.Annotate("iteration", iter)
 	sp.AnnotateInt("sweep", k)
 	defer sp.End()
-	dirty := map[int]bool{}
+	// The dirty-cluster set is a reusable bitset on the analyzer: one
+	// sweep runs per fixed-point step, so a per-call map is hot-path
+	// garbage.
+	for i := range a.dirty {
+		a.dirty[i] = 0
+	}
 	moved := 0
-	for ei, e := range a.NW.Elems {
+	for ei, e := range a.CD.Elems {
 		if op(ei, e) > 0 {
 			moved++
-			for _, cl := range a.elemClusters[ei] {
-				dirty[cl] = true
+			for _, cl := range a.CD.ElemClusters[ei] {
+				a.dirty[cl>>6] |= 1 << (uint(cl) & 63)
 			}
 		}
 	}
@@ -149,25 +146,27 @@ func (a *Analyzer) sweep(ctx context.Context, iter string, k int, res *sta.Resul
 	if a.Opts.FullSweeps {
 		mFullSweeps.Inc()
 		if ctx != nil {
-			r, err := sta.AnalyzeContext(sctx, a.NW)
-			return r, moved, len(a.NW.Clusters), err
+			r, err := sta.AnalyzeContext(sctx, a.CD, a.St)
+			return r, moved, len(a.CD.CC), err
 		}
-		return sta.Analyze(a.NW), moved, len(a.NW.Clusters), nil
+		return sta.Analyze(a.CD, a.St), moved, len(a.CD.CC), nil
 	}
-	ids := make([]int, 0, len(dirty))
-	for id := range dirty {
-		ids = append(ids, id)
+	ids := a.dirtyIDs[:0]
+	for w, word := range a.dirty {
+		for ; word != 0; word &= word - 1 {
+			ids = append(ids, w*64+bits.TrailingZeros64(word))
+		}
 	}
-	sort.Ints(ids)
+	a.dirtyIDs = ids
 	mIncrClusters.Add(int64(len(ids)))
-	mIncrSkipped.Add(int64(len(a.NW.Clusters) - len(ids)))
+	mIncrSkipped.Add(int64(len(a.CD.CC) - len(ids)))
 	if ctx != nil {
-		if err := sta.RecomputeContext(sctx, a.NW, res, ids); err != nil {
+		if err := sta.RecomputeContext(sctx, a.CD, a.St, res, ids); err != nil {
 			return nil, moved, len(ids), err
 		}
 		return res, moved, len(ids), nil
 	}
-	sta.Recompute(a.NW, res, ids)
+	sta.Recompute(a.CD, a.St, res, ids)
 	return res, moved, len(ids), nil
 }
 
@@ -210,23 +209,31 @@ func Load(lib *celllib.Library, design *netlist.Design, opts Options) (*Analyzer
 	if opts.MaxSweeps <= 0 {
 		opts.MaxSweeps = defaultMaxSweeps(len(nw.Elems))
 	}
-	a := &Analyzer{Lib: resolved, Design: design, NW: nw, Opts: opts}
-	a.buildElemClusters()
-	return a, nil
+	return newAnalyzer(resolved, design, cluster.Compile(nw), opts), nil
 }
 
 // LoadFlat is Load for an already-resolved (flat) design with a prebuilt
-// network — used by tests that construct networks directly.
+// network — used by tests that construct networks directly. The network is
+// compiled (frozen) here; it must not be mutated afterwards.
 func LoadFlat(nw *cluster.Network, opts Options) *Analyzer {
+	return LoadCompiled(cluster.Compile(nw), nw.Design, opts)
+}
+
+// LoadCompiled binds a new analyzer — with its own fresh AnalysisState —
+// onto an existing compiled design, sharing it read-only with whoever else
+// holds it. This is how same-design sessions avoid re-elaborating: compile
+// once, open many.
+func LoadCompiled(cd *cluster.CompiledDesign, design *netlist.Design, opts Options) *Analyzer {
 	if opts.PartialDivisor <= 1 {
 		opts.PartialDivisor = 2
 	}
 	if opts.MaxSweeps <= 0 {
-		opts.MaxSweeps = defaultMaxSweeps(len(nw.Elems))
+		opts.MaxSweeps = defaultMaxSweeps(len(cd.Elems))
 	}
-	a := &Analyzer{Lib: nw.Lib, Design: nw.Design, NW: nw, Opts: opts}
-	a.buildElemClusters()
-	return a
+	if design == nil {
+		design = cd.Design
+	}
+	return newAnalyzer(cd.Lib, design, cd, opts)
 }
 
 // Report is the outcome of Algorithm 1.
@@ -266,13 +273,7 @@ func allPositive(res *sta.Result) bool {
 // ResetOffsets restores every element's initial offsets (Algorithm 1's
 // "select any set of offsets satisfying the synchronising element
 // constraints" uses the latest-closure initialisation of syncelem.Build).
-func (a *Analyzer) ResetOffsets() {
-	for _, e := range a.NW.Elems {
-		if e.HasDOF() {
-			e.Odz = e.OdzMax()
-		}
-	}
-}
+func (a *Analyzer) ResetOffsets() { a.St.Reset() }
 
 // IdentifySlowPaths runs Algorithm 1 and returns the report. It cannot be
 // interrupted; servers and other callers with deadlines use
@@ -280,7 +281,7 @@ func (a *Analyzer) ResetOffsets() {
 func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	return a.identifySlowPathsFrom(nil, sta.Analyze(a.NW))
+	return a.identifySlowPathsFrom(nil, sta.Analyze(a.CD, a.St))
 }
 
 // IdentifySlowPathsCtx is IdentifySlowPaths with cancellation: the context
@@ -291,7 +292,7 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 func (a *Analyzer) IdentifySlowPathsCtx(ctx context.Context) (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	res, err := sta.AnalyzeContext(ctx, a.NW)
+	res, err := sta.AnalyzeContext(ctx, a.CD, a.St)
 	if err != nil {
 		a.conv.reset(a.Opts.Trace != nil)
 		return nil, a.cancelled("", 0, err)
@@ -339,7 +340,9 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "forward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.CompleteForward(res.InSlack[ei])
+			odz, amt := e.CompleteForwardAt(a.St.Odz[ei], res.InSlack[ei])
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("forward", sweep, err)
@@ -363,7 +366,9 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "backward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.CompleteBackward(res.OutSlack[ei])
+			odz, amt := e.CompleteBackwardAt(a.St.Odz[ei], res.OutSlack[ei])
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("backward", sweep, err)
@@ -383,7 +388,9 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "partial-forward", k, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.PartialForward(res.InSlack[ei], a.Opts.PartialDivisor)
+			odz, amt := e.PartialForwardAt(a.St.Odz[ei], res.InSlack[ei], a.Opts.PartialDivisor)
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("partial-forward", k, err)
@@ -395,7 +402,9 @@ func (a *Analyzer) identifySlowPathsFrom(ctx context.Context, res *sta.Result) (
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "partial-backward", k, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.PartialBackward(res.OutSlack[ei], a.Opts.PartialDivisor)
+			odz, amt := e.PartialBackwardAt(a.St.Odz[ei], res.OutSlack[ei], a.Opts.PartialDivisor)
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("partial-backward", k, err)
@@ -413,7 +422,7 @@ func (a *Analyzer) finish(rep *Report, res *sta.Result) (*Report, error) {
 	rep.OK = allPositive(res)
 	rep.Trajectory = a.conv.full
 	if !rep.OK {
-		for ei := range a.NW.Elems {
+		for ei := range a.CD.Elems {
 			if res.InSlack[ei] <= 0 || res.OutSlack[ei] <= 0 {
 				rep.SlowElems = append(rep.SlowElems, ei)
 			}
@@ -429,7 +438,7 @@ func (a *Analyzer) SlowNets(res *sta.Result) []string {
 	var out []string
 	for n, s := range res.NetSlack {
 		if s <= 0 {
-			out = append(out, a.NW.Nets[n])
+			out = append(out, a.CD.Nets[n])
 		}
 	}
 	return out

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/testlib"
 )
@@ -21,6 +22,8 @@ import (
 // whether any assignment leaves every terminal slack strictly positive.
 func gridFeasible(t *testing.T, text string, step clock.Time) bool {
 	net := testlib.Network(t, text)
+	cd := cluster.Compile(net)
+	st := sta.NewState(cd)
 	var dofs []int
 	for ei, e := range net.Elems {
 		if e.HasDOF() {
@@ -30,7 +33,7 @@ func gridFeasible(t *testing.T, text string, step clock.Time) bool {
 	var scan func(k int) bool
 	scan = func(k int) bool {
 		if k == len(dofs) {
-			res := sta.Analyze(net)
+			res := sta.Analyze(cd, st)
 			for i := range res.InSlack {
 				if res.InSlack[i] <= 0 || res.OutSlack[i] <= 0 {
 					return false
@@ -40,13 +43,13 @@ func gridFeasible(t *testing.T, text string, step clock.Time) bool {
 		}
 		e := net.Elems[dofs[k]]
 		for v := e.OdzMin(); v <= e.OdzMax(); v += step {
-			e.Odz = v
+			st.Odz[dofs[k]] = v
 			if scan(k + 1) {
 				return true
 			}
 		}
 		// Include the exact upper bound.
-		e.Odz = e.OdzMax()
+		st.Odz[dofs[k]] = e.OdzMax()
 		return scan(k + 1)
 	}
 	return scan(0)
@@ -101,8 +104,8 @@ end
 		// Soundness spot-check: when Algorithm 1 says OK, its final
 		// offsets satisfy the element constraints.
 		if rep.OK {
-			for _, e := range a.NW.Elems {
-				if err := e.Validate(); err != nil {
+			for ei, e := range a.CD.Elems {
+				if err := e.ValidateAt(a.St.Odz[ei]); err != nil {
 					t.Fatalf("trial %d: fixed point violates element constraints: %v", trial, err)
 				}
 			}

@@ -41,7 +41,7 @@ type Constraints struct {
 func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 	t0 := time.Now()
 	defer func() { tConstraints.Observe(time.Since(t0)) }()
-	return a.generateConstraintsFrom(nil, sta.Analyze(a.NW))
+	return a.generateConstraintsFrom(nil, sta.Analyze(a.CD, a.St))
 }
 
 // GenerateConstraintsCtx is GenerateConstraints with cancellation, checked
@@ -51,7 +51,7 @@ func (a *Analyzer) GenerateConstraints() (*Constraints, error) {
 func (a *Analyzer) GenerateConstraintsCtx(ctx context.Context) (*Constraints, error) {
 	t0 := time.Now()
 	defer func() { tConstraints.Observe(time.Since(t0)) }()
-	res, err := sta.AnalyzeContext(ctx, a.NW)
+	res, err := sta.AnalyzeContext(ctx, a.CD, a.St)
 	if err != nil {
 		a.conv.reset(a.Opts.Trace != nil)
 		return nil, a.cancelled("", 0, err)
@@ -98,7 +98,9 @@ func (a *Analyzer) generateConstraintsFrom(ctx context.Context, res *sta.Result)
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "snatch-backward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.SnatchBackward(res.InSlack[ei])
+			odz, amt := e.SnatchBackwardAt(a.St.Odz[ei], res.InSlack[ei])
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("snatch-backward", sweep, err)
@@ -121,7 +123,9 @@ func (a *Analyzer) generateConstraintsFrom(ctx context.Context, res *sta.Result)
 		var moved, recomputed int
 		var err error
 		res, moved, recomputed, err = a.sweep(ctx, "snatch-forward", sweep, res, func(ei int, e *syncelem.Element) clock.Time {
-			return e.SnatchForward(res.OutSlack[ei])
+			odz, amt := e.SnatchForwardAt(a.St.Odz[ei], res.OutSlack[ei])
+			a.St.Odz[ei] = odz
+			return amt
 		})
 		if err != nil {
 			return nil, a.cancelled("snatch-forward", sweep, err)

@@ -10,6 +10,7 @@ import (
 
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/sta"
 	"hummingbird/internal/testlib"
@@ -72,8 +73,8 @@ inst g3 D1NS A=q2 Y=OUT
 end
 `)
 	// Verify the premise: the initial offsets do violate.
-	pre := sta.Analyze(a.NW)
-	f2 := testlib.Elem(t, a.NW, "f2")
+	pre := sta.Analyze(a.CD, a.St)
+	f2 := testlib.Elem(t, a.CD.Network, "f2")
 	if pre.InSlack[f2] > 0 {
 		t.Fatalf("premise broken: initial InSlack(f2) = %v", pre.InSlack[f2])
 	}
@@ -85,9 +86,9 @@ end
 		t.Fatalf("borrowing failed: worst=%v", rep.WorstSlack())
 	}
 	// The latch DOF must actually have moved.
-	l1 := a.NW.Elems[testlib.Elem(t, a.NW, "l1")]
-	if l1.Odz >= l1.OdzMax() {
-		t.Fatalf("no borrowing happened: Odz=%v", l1.Odz)
+	li := testlib.Elem(t, a.CD.Network, "l1")
+	if a.St.Odz[li] >= a.CD.Elems[li].OdzMax() {
+		t.Fatalf("no borrowing happened: Odz=%v", a.St.Odz[li])
 	}
 }
 
@@ -227,14 +228,14 @@ inst l3 LAT D=n3 G=phi1 Q=q3
 inst g5 D10NS A=q3 Y=OUT
 end
 `)
+		a := LoadFlat(nw, Options{})
 		r := rand.New(rand.NewSource(seed))
-		for _, e := range nw.Elems {
+		for ei, e := range nw.Elems {
 			if e.HasDOF() {
 				span := int64(e.OdzMax() - e.OdzMin())
-				e.Odz = e.OdzMin() + clock.Time(r.Int63n(span+1))
+				a.St.Odz[ei] = e.OdzMin() + clock.Time(r.Int63n(span+1))
 			}
 		}
-		a := LoadFlat(nw, Options{})
 		rep, err := a.IdentifySlowPaths()
 		if err != nil {
 			t.Fatal(err)
@@ -298,18 +299,18 @@ end
 			t.Fatalf("design %d: verdicts differ: %v/%v vs %v/%v",
 				di, rInc.OK, rInc.WorstSlack(), rFull.OK, rFull.WorstSlack())
 		}
-		for ei := range aInc.NW.Elems {
+		for ei := range aInc.CD.Elems {
 			if rInc.Result.InSlack[ei] != rFull.Result.InSlack[ei] ||
 				rInc.Result.OutSlack[ei] != rFull.Result.OutSlack[ei] {
 				t.Fatalf("design %d: element %s slacks differ (%v/%v vs %v/%v)",
-					di, aInc.NW.Elems[ei].Name(),
+					di, aInc.CD.Elems[ei].Name(),
 					rInc.Result.InSlack[ei], rInc.Result.OutSlack[ei],
 					rFull.Result.InSlack[ei], rFull.Result.OutSlack[ei])
 			}
 		}
 		for n := range rInc.Result.NetSlack {
 			if rInc.Result.NetSlack[n] != rFull.Result.NetSlack[n] {
-				t.Fatalf("design %d: net %s slack differs", di, aInc.NW.Nets[n])
+				t.Fatalf("design %d: net %s slack differs", di, aInc.CD.Nets[n])
 			}
 		}
 		_ = aFull
@@ -329,9 +330,9 @@ func TestIncrementalConstraintsMatch(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := map[[2]string]clock.Time{}
-		for _, cl := range a.NW.Clusters {
+		for _, cl := range a.CD.Clusters {
 			for _, arc := range cl.Arcs {
-				out[[2]string{a.NW.Nets[arc.From], a.NW.Nets[arc.To]}] = c.Allowed(arc.From, arc.To)
+				out[[2]string{a.CD.Nets[arc.From], a.CD.Nets[arc.To]}] = c.Allowed(arc.From, arc.To)
 			}
 		}
 		return out, a
@@ -371,28 +372,30 @@ end
 	r := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 30; trial++ {
 		nw := testlib.Network(t, text)
+		cd := cluster.Compile(nw)
+		st := sta.NewState(cd)
 		// Random valid starting offsets.
-		for _, e := range nw.Elems {
+		for ei, e := range nw.Elems {
 			if e.HasDOF() {
 				span := int64(e.OdzMax() - e.OdzMin())
-				e.Odz = e.OdzMin() + clock.Time(r.Int63n(span+1))
+				st.Odz[ei] = e.OdzMin() + clock.Time(r.Int63n(span+1))
 			}
 		}
-		before := sta.Analyze(nw)
+		before := sta.Analyze(cd, st)
 		// One random legal transfer on one random element.
 		ei := r.Intn(len(nw.Elems))
 		e := nw.Elems[ei]
 		switch r.Intn(4) {
 		case 0:
-			e.CompleteForward(before.InSlack[ei])
+			st.Odz[ei], _ = e.CompleteForwardAt(st.Odz[ei], before.InSlack[ei])
 		case 1:
-			e.CompleteBackward(before.OutSlack[ei])
+			st.Odz[ei], _ = e.CompleteBackwardAt(st.Odz[ei], before.OutSlack[ei])
 		case 2:
-			e.PartialForward(before.InSlack[ei], int64(2+r.Intn(3)))
+			st.Odz[ei], _ = e.PartialForwardAt(st.Odz[ei], before.InSlack[ei], int64(2+r.Intn(3)))
 		case 3:
-			e.PartialBackward(before.OutSlack[ei], int64(2+r.Intn(3)))
+			st.Odz[ei], _ = e.PartialBackwardAt(st.Odz[ei], before.OutSlack[ei], int64(2+r.Intn(3)))
 		}
-		after := sta.Analyze(nw)
+		after := sta.Analyze(cd, st)
 		for i := range before.InSlack {
 			if before.InSlack[i] >= 0 && after.InSlack[i] < 0 {
 				t.Fatalf("trial %d: input terminal %s lost satisfaction (%v -> %v)",
@@ -408,10 +411,10 @@ end
 
 func TestResetOffsets(t *testing.T) {
 	a := analyzer(t, fastPipe)
-	l1 := a.NW.Elems[testlib.Elem(t, a.NW, "l1")]
-	l1.Odz = l1.OdzMin()
+	li := testlib.Elem(t, a.CD.Network, "l1")
+	a.St.Odz[li] = a.CD.Elems[li].OdzMin()
 	a.ResetOffsets()
-	if l1.Odz != l1.OdzMax() {
+	if a.St.Odz[li] != a.CD.Elems[li].OdzMax() {
 		t.Fatal("ResetOffsets did not restore")
 	}
 }
@@ -427,20 +430,20 @@ func TestGenerateConstraintsFastDesign(t *testing.T) {
 	}
 	// §3 guarantee on fast designs: for every arc, required(to) − ready(from)
 	// exceeds the arc delay.
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		for _, arc := range cl.Arcs {
 			budget := c.Allowed(arc.From, arc.To)
 			if budget < arc.D.Max() {
 				t.Fatalf("arc %s %s->%s: budget %v < delay %v",
-					arc.Inst, a.NW.Nets[arc.From], a.NW.Nets[arc.To], budget, arc.D.Max())
+					arc.Inst, a.CD.Nets[arc.From], a.CD.Nets[arc.To], budget, arc.D.Max())
 			}
 		}
 	}
 	// Ready < required everywhere analyzed on a fast design.
-	for n := range a.NW.Nets {
+	for n := range a.CD.Nets {
 		for _, nt := range c.NetTimes(n) {
 			if nt.Ready() != -clock.Inf && nt.Required() != clock.Inf && nt.Ready() >= nt.Required() {
-				t.Fatalf("net %s: ready %v >= required %v", a.NW.Nets[n], nt.Ready(), nt.Required())
+				t.Fatalf("net %s: ready %v >= required %v", a.CD.Nets[n], nt.Ready(), nt.Required())
 			}
 		}
 	}
@@ -473,11 +476,11 @@ end
 	}
 	// On the slow arcs, the budget is less than the actual delay: the gap
 	// is the speed-up required to make the path just fast enough.
-	in, n2 := a.NW.NetIdx["IN"], a.NW.NetIdx["n2"]
-	q1 := a.NW.NetIdx["q1"]
+	in, n2 := a.CD.NetIdx["IN"], a.CD.NetIdx["n2"]
+	q1 := a.CD.NetIdx["q1"]
 	// Total path IN→n1 budget + q1→n2 budget must be less than the actual
 	// 115ns (the design is infeasible by 115 − available).
-	b1 := c.Allowed(in, a.NW.NetIdx["n1"])
+	b1 := c.Allowed(in, a.CD.NetIdx["n1"])
 	b2 := c.Allowed(q1, n2)
 	if b1 >= 60*clock.Ns && b2 >= 55*clock.Ns {
 		t.Fatalf("no speed-up demanded: budgets %v / %v", b1, b2)
@@ -572,14 +575,14 @@ func TestConstraintsSlowdownBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q1, n2 := a.NW.NetIdx["q1"], a.NW.NetIdx["n2"]
+	q1, n2 := a.CD.NetIdx["q1"], a.CD.NetIdx["n2"]
 	budget := c.Allowed(q1, n2) // currently a 10ns stage
 	if budget <= 10*clock.Ns {
 		t.Fatalf("budget %v not above current delay", budget)
 	}
 	patch := func(target clock.Time) *Analyzer {
 		a2 := build()
-		for _, cl := range a2.NW.Clusters {
+		for _, cl := range a2.CD.Clusters {
 			for ai := range cl.Arcs {
 				if cl.Arcs[ai].Inst == "g2" {
 					cl.Arcs[ai].D.MaxRise, cl.Arcs[ai].D.MaxFall = target, target
@@ -637,8 +640,8 @@ end
 	}
 	found := false
 	for _, x := range v {
-		from := a.NW.Elems[x.FromElem]
-		to := a.NW.Elems[x.ToElem]
+		from := a.CD.Elems[x.FromElem]
+		to := a.CD.Elems[x.ToElem]
 		if from.Inst == "f1" && to.Inst == "f2" && x.MinDelay <= x.Bound {
 			found = true
 		}
@@ -731,18 +734,18 @@ end
 	}
 	// Both drivers appear as elements with transparent-latch freedom.
 	for _, name := range []string{"t1", "t2"} {
-		ids := a.NW.ElemsOf(name)
+		ids := a.CD.ElemsOf(name)
 		if len(ids) != 1 {
 			t.Fatalf("%s elements = %d", name, len(ids))
 		}
-		if !a.NW.Elems[ids[0]].HasDOF() {
+		if !a.CD.Elems[ids[0]].HasDOF() {
 			t.Fatalf("%s lacks the transparent DOF", name)
 		}
 	}
 	// The bus cluster holds both launch occurrences.
-	busNet := a.NW.NetIdx["bus"]
+	busNet := a.CD.NetIdx["bus"]
 	var busCl bool
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		if cl.LocalIndex(busNet) < 0 {
 			continue
 		}
@@ -894,7 +897,7 @@ end
 	if !rep.OK {
 		t.Fatalf("fast gated design slow: %v", rep.WorstSlack())
 	}
-	ids := a.NW.ElemsOf("l1.en0")
+	ids := a.CD.ElemsOf("l1.en0")
 	if len(ids) != 1 {
 		t.Fatalf("enable endpoints = %d", len(ids))
 	}
@@ -921,7 +924,7 @@ end
 	if rep2.OK {
 		t.Fatal("slow enable path not flagged")
 	}
-	ids2 := slow.NW.ElemsOf("l1.en0")
+	ids2 := slow.CD.ElemsOf("l1.en0")
 	if rep2.Result.InSlack[ids2[0]] > 0 {
 		t.Fatalf("enable endpoint slack = %v, want <= 0", rep2.Result.InSlack[ids2[0]])
 	}

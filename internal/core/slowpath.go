@@ -55,7 +55,7 @@ func (a *Analyzer) WorstPaths(res *sta.Result, n int) []SlowPath {
 
 // tracePaths walks every capture terminal whose slack the filter selects.
 func (a *Analyzer) tracePaths(res *sta.Result, want func(clock.Time) bool) []SlowPath {
-	nw := a.NW
+	nw := a.CD.Network
 	var paths []SlowPath
 	for _, cl := range nw.Clusters {
 		// Reverse adjacency within the cluster.
@@ -95,7 +95,7 @@ func findPass(res *sta.Result, clusterID, pass int) *sta.PassDetail {
 // traceOne walks back from the violated output along the arcs that
 // determined the critical ready time.
 func (a *Analyzer) traceOne(cl *cluster.Cluster, d *sta.PassDetail, inArcs map[int][]int, out cluster.Out, slack clock.Time) (SlowPath, bool) {
-	nw := a.NW
+	nw := a.CD.Network
 	T := nw.Clocks.Overall()
 	local := func(net int) int { return cl.LocalIndex(net) }
 
@@ -161,7 +161,7 @@ func (a *Analyzer) traceOne(cl *cluster.Cluster, d *sta.PassDetail, inArcs map[i
 			continue
 		}
 		e := nw.Elems[in.Elem]
-		assert := breakopen.AssertPos(e.IdealAssert, d.Beta, T) + e.OutputOffset()
+		assert := breakopen.AssertPos(e.IdealAssert, d.Beta, T) + e.OutputOffsetAt(a.St.Odz[in.Elem])
 		if assert == endReady {
 			fromElem = in.Elem
 			break

@@ -28,7 +28,7 @@ type SupplementaryViolation struct {
 // checked in the capture occurrence's assigned pass window, where
 // (D_p − O_x + O_y) is exactly closure position − assertion position.
 func (a *Analyzer) CheckSupplementary() []SupplementaryViolation {
-	nw := a.NW
+	nw := a.CD.Network
 	T := nw.Clocks.Overall()
 	var out []SupplementaryViolation
 	for _, cl := range nw.Clusters {
@@ -40,13 +40,13 @@ func (a *Analyzer) CheckSupplementary() []SupplementaryViolation {
 			beta := cl.Plan.Breaks[pi]
 			capt := nw.Elems[o.Elem]
 			period := nw.Clocks.Signal(capt.Sig).Period
-			cpos := breakopen.ClosePos(capt.IdealClose, beta, T) + capt.InputOffset()
+			cpos := breakopen.ClosePos(capt.IdealClose, beta, T) + capt.InputOffsetAt(a.St.Odz[o.Elem])
 			for ii, in := range cl.Inputs {
 				if !cl.Reach[ii][oi] {
 					continue
 				}
 				launch := nw.Elems[in.Elem]
-				apos := breakopen.AssertPos(launch.IdealAssert, beta, T) + launch.OutputOffset()
+				apos := breakopen.AssertPos(launch.IdealAssert, beta, T) + launch.OutputOffsetAt(a.St.Odz[in.Elem])
 				bound := cpos - apos - period
 				if bound < 0 {
 					continue // trivially satisfied: dmin >= 0 > bound

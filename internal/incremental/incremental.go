@@ -39,7 +39,9 @@ import (
 
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
 	"hummingbird/internal/core"
+	"hummingbird/internal/delaycalc"
 	"hummingbird/internal/failpoint"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/sta"
@@ -149,8 +151,19 @@ type Engine struct {
 	// delay-only edits bring up to date with sta.Recompute instead of
 	// re-running every cluster.
 	base *sta.Result
-	rep  *core.Report
-	cons *core.Constraints
+	// spare is a retired base buffer recycled by the next rebase: the
+	// delay-only path double-buffers e.base through sta.(*Result).CloneInto
+	// so steady-state edits rebase without allocating.
+	spare *sta.Result
+	// Reusable applyDelayOnly scratch (cleared, never reallocated, so
+	// steady-state delay edits stay off the allocator).
+	scrArcs  map[arcRef]bool
+	scrNets  map[string]bool
+	scrUndo  []undoStep
+	scrIDs   []int
+	scrNames []string
+	rep      *core.Report
+	cons     *core.Constraints
 	// odz snapshots the Algorithm-1 fixed-point offsets so Constraints()
 	// (whose snatch sweeps move the offsets) can restore them.
 	odz  []clock.Time
@@ -159,6 +172,14 @@ type Engine struct {
 	instIdx    map[string]int
 	arcsByInst map[string][]arcRef
 	arcsByTo   map[int][]arcRef
+
+	// sharedCD marks that the analyzer's CompiledDesign is shared read-only
+	// with other engines (opened through OpenShared or published to a
+	// compile cache). The first mutation of arc delays unshares it via a
+	// copy-on-write clone; release is then invoked exactly once to drop the
+	// engine's reference on the shared design.
+	sharedCD bool
+	release  func()
 }
 
 // Open elaborates the design and runs the first full analysis. The design
@@ -180,8 +201,85 @@ func OpenContext(ctx context.Context, lib *celllib.Library, design *netlist.Desi
 	return e, nil
 }
 
+// OpenShared opens an engine directly on an already-compiled design,
+// skipping elaboration: the first full analysis runs against cd with a
+// fresh AnalysisState. design must be equivalent to the one cd was
+// compiled from at the same cumulative options (callers key their compile
+// caches by StateKey to guarantee this). release, if non-nil, is called
+// exactly once when the engine stops referencing cd — on its first
+// structural or delay mutation (which unshares onto a private copy), or
+// through ReleaseShared.
+func OpenShared(lib *celllib.Library, design *netlist.Design, opts core.Options, cd *cluster.CompiledDesign, release func()) (*Engine, error) {
+	return OpenSharedContext(nil, lib, design, opts, cd, release)
+}
+
+// OpenSharedContext is OpenShared with cancellation of the initial
+// analysis. On error the shared reference is released before returning.
+func OpenSharedContext(ctx context.Context, lib *celllib.Library, design *netlist.Design, opts core.Options, cd *cluster.CompiledDesign, release func()) (*Engine, error) {
+	opts.Adjustments = cloneAdjust(opts.Adjustments)
+	e := &Engine{lib: lib, opts: opts, design: design, sharedCD: true, release: release}
+	mFullAnalyses.Inc()
+	mCacheMisses.Inc()
+	an := core.LoadCompiled(cd, design, e.opts)
+	if err := e.analyzeFresh(ctx, an); err != nil {
+		e.ReleaseShared()
+		return nil, err
+	}
+	return e, nil
+}
+
 // Design returns the engine's current design.
 func (e *Engine) Design() *netlist.Design { return e.design }
+
+// CompiledDesign returns the analyzer's current compiled design.
+func (e *Engine) CompiledDesign() *cluster.CompiledDesign { return e.an.CD }
+
+// SharedCompiled reports whether the compiled design is still shared.
+func (e *Engine) SharedCompiled() bool { return e.sharedCD }
+
+// ShareCompiled marks the engine's compiled design as shared and installs
+// the reference-drop callback — the cold-open half of a compile cache:
+// open privately, publish the compiled design, then mark it shared so a
+// later mutation unshares instead of corrupting other sessions.
+func (e *Engine) ShareCompiled(release func()) {
+	e.sharedCD = true
+	e.release = release
+}
+
+// ReleaseShared drops the engine's reference on a shared compiled design,
+// if any, without unsharing. Idempotent. Owners (session servers) call it
+// when discarding an engine.
+func (e *Engine) ReleaseShared() {
+	e.sharedCD = false
+	if e.release != nil {
+		e.release()
+		e.release = nil
+	}
+}
+
+// unshare gives the engine a private copy-on-write twin of a shared
+// compiled design before the first delay mutation: the flat arc backing is
+// copied, and a private delay calculator is rebuilt at the engine's
+// cumulative adjustments (delay evaluation is deterministic, so the clone's
+// delays are bit-identical to the shared ones). No-op on private designs.
+func (e *Engine) unshare() error {
+	if !e.sharedCD {
+		return nil
+	}
+	cd2 := e.an.CD.CloneArcs()
+	calc, err := delaycalc.New(e.an.Lib, e.design, e.opts.Delay)
+	if err != nil {
+		return err
+	}
+	for inst, delta := range e.opts.Adjustments {
+		calc.Adjust(inst, delta)
+	}
+	cd2.Network.Calc = calc
+	e.an.CD = cd2
+	e.an.St.Rebind(cd2)
+	e.ReleaseShared()
+	return nil
+}
 
 // Analyzer returns the live analyzer (elaborated network, resolved
 // library). It is replaced by topology edits — re-fetch after Apply.
@@ -355,7 +453,7 @@ func (e *Engine) delayLocal(name string) bool {
 		return false
 	}
 	for _, net := range inst.Conns {
-		if id, ok := e.an.NW.NetIdx[net]; ok && e.an.NW.IsControlNet(id) {
+		if id, ok := e.an.CD.NetIdx[net]; ok && e.an.CD.IsControlNet(id) {
 			return false
 		}
 	}
@@ -425,11 +523,22 @@ type undoStep struct {
 // checksum-fallback rebuild) leaves the engine bit-identical to its state
 // before the call — including the still-valid previous report.
 func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, error) {
-	affectedNets := map[string]bool{}
-	dirtyArcs := map[arcRef]bool{}
+	// Delay-only edits mutate arc delays and the delay calculator — never
+	// a shared compiled design. Unshare (copy-on-write) first.
+	if err := e.unshare(); err != nil {
+		return nil, err
+	}
+	if e.scrArcs == nil {
+		e.scrArcs = map[arcRef]bool{}
+		e.scrNets = map[string]bool{}
+	}
+	clear(e.scrArcs)
+	clear(e.scrNets)
+	affectedNets := e.scrNets
+	dirtyArcs := e.scrArcs
 	oldBase := e.base
-	var undo []undoStep
-	var nets []string
+	undo := e.scrUndo[:0]
+	nets := e.scrNames[:0]
 	rollback := func() {
 		for i := len(undo) - 1; i >= 0; i-- {
 			u := undo[i]
@@ -438,12 +547,12 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 				if e.opts.Adjustments[u.inst] == 0 {
 					delete(e.opts.Adjustments, u.inst)
 				}
-				e.an.NW.Calc.Adjust(u.inst, -u.delta)
+				e.an.CD.Calc.Adjust(u.inst, -u.delta)
 			} else {
 				e.design.Instances[u.instIdx].Ref = u.oldRef
 			}
 		}
-		e.an.NW.Calc.RefreshLoads(nets)
+		e.an.CD.Calc.RefreshLoads(nets)
 		for r := range dirtyArcs {
 			e.reevalArc(r)
 		}
@@ -465,7 +574,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 			if e.opts.Adjustments[inst.Name] == 0 {
 				delete(e.opts.Adjustments, inst.Name)
 			}
-			e.an.NW.Calc.Adjust(inst.Name, ed.Delta)
+			e.an.CD.Calc.Adjust(inst.Name, ed.Delta)
 			undo = append(undo, undoStep{isAdjust: true, inst: inst.Name, delta: ed.Delta})
 		case Resize:
 			cur := e.an.Lib.Cell(inst.Ref)
@@ -492,25 +601,35 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 		}
 	}
 	if len(affectedNets) > 0 {
-		nets = make([]string, 0, len(affectedNets))
 		for n := range affectedNets {
 			nets = append(nets, n)
 		}
 		sort.Strings(nets)
-		e.an.NW.Calc.RefreshLoads(nets)
+		e.an.CD.Calc.RefreshLoads(nets)
 		for _, net := range nets {
-			if id, ok := e.an.NW.NetIdx[net]; ok {
+			if id, ok := e.an.CD.NetIdx[net]; ok {
 				for _, r := range e.arcsByTo[id] {
 					dirtyArcs[r] = true
 				}
 			}
 		}
 	}
-	dirty := map[int]bool{}
+	ids := e.scrIDs[:0]
 	for r := range dirtyArcs {
 		e.reevalArc(r)
-		dirty[r.cluster] = true
+		seen := false
+		for _, id := range ids {
+			if id == r.cluster {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ids = append(ids, r.cluster)
+		}
 	}
+	sort.Ints(ids)
+	e.scrUndo, e.scrIDs, e.scrNames = undo, ids, nets
 
 	// Checksum fallback: if the batch somehow changed the design's
 	// structure (e.g. a resize onto a cell whose interface differs in a way
@@ -528,11 +647,6 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 		return &Outcome{FallbackReason: "checksum mismatch", Report: e.rep}, nil
 	}
 
-	ids := make([]int, 0, len(dirty))
-	for id := range dirty {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	mIncrAnalyses.Inc()
 	mCacheHits.Inc()
 	mDirtyClusters.Add(int64(len(ids)))
@@ -546,14 +660,15 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 	res := e.base.Clone()
 	if len(ids) > 0 {
 		if ctx != nil {
-			if err := sta.RecomputeContext(ctx, e.an.NW, res, ids); err != nil {
+			if err := sta.RecomputeContext(ctx, e.an.CD, e.an.St, res, ids); err != nil {
 				rollback()
 				return nil, err
 			}
 		} else {
-			sta.Recompute(e.an.NW, res, ids)
+			sta.Recompute(e.an.CD, e.an.St, res, ids)
 		}
-		e.base = res.Clone()
+		e.base = res.CloneInto(e.spare)
+		e.spare = nil
 	}
 	var rep *core.Report
 	var err error
@@ -567,6 +682,9 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 		return nil, err
 	}
 	e.rep, e.cons = rep, nil
+	if oldBase != e.base {
+		e.spare = oldBase // recycle the retired base for the next rebase
+	}
 	e.snapshotOffsets()
 	return &Outcome{Incremental: true, DirtyClusters: len(ids), Report: rep}, nil
 }
@@ -574,7 +692,7 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 // reevalArc re-evaluates one cluster arc's delays at the current loads and
 // adjustments.
 func (e *Engine) reevalArc(r arcRef) {
-	cl := e.an.NW.Clusters[r.cluster]
+	cl := e.an.CD.Network.Clusters[r.cluster]
 	a := &cl.Arcs[r.arc]
 	inst := &e.design.Instances[e.instIdx[a.Inst]]
 	cell := e.an.Lib.Cell(inst.Ref)
@@ -584,7 +702,7 @@ func (e *Engine) reevalArc(r arcRef) {
 	for ai := range cell.Arcs {
 		ca := &cell.Arcs[ai]
 		if ca.From == a.FromPin && ca.To == a.ToPin {
-			a.D = e.an.NW.Calc.ArcDelays(inst, ca)
+			a.D = e.an.CD.Calc.ArcDelays(inst, ca)
 			return
 		}
 	}
@@ -654,13 +772,27 @@ func (e *Engine) loadFull(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if err := e.analyzeFresh(ctx, an); err != nil {
+		return err
+	}
+	// The rebuilt analyzer owns a private compiled design; drop any
+	// reference still held on a shared one.
+	e.ReleaseShared()
+	return nil
+}
+
+// analyzeFresh runs the first full analysis on a freshly constructed
+// analyzer and, on success, adopts it along with rebuilt caches and
+// indexes. The engine's previous state survives a failure.
+func (e *Engine) analyzeFresh(ctx context.Context, an *core.Analyzer) error {
 	var res *sta.Result
+	var err error
 	if ctx != nil {
-		if res, err = sta.AnalyzeContext(ctx, an.NW); err != nil {
+		if res, err = sta.AnalyzeContext(ctx, an.CD, an.St); err != nil {
 			return err
 		}
 	} else {
-		res = sta.Analyze(an.NW)
+		res = sta.Analyze(an.CD, an.St)
 	}
 	base := res.Clone()
 	var rep *core.Report
@@ -679,22 +811,9 @@ func (e *Engine) loadFull(ctx context.Context) error {
 	return nil
 }
 
-func (e *Engine) snapshotOffsets() {
-	elems := e.an.NW.Elems
-	if cap(e.odz) < len(elems) {
-		e.odz = make([]clock.Time, len(elems))
-	}
-	e.odz = e.odz[:len(elems)]
-	for i, el := range elems {
-		e.odz[i] = el.Odz
-	}
-}
+func (e *Engine) snapshotOffsets() { e.odz = e.an.St.SnapshotOffsets(e.odz) }
 
-func (e *Engine) restoreOffsets() {
-	for i, el := range e.an.NW.Elems {
-		el.Odz = e.odz[i]
-	}
-}
+func (e *Engine) restoreOffsets() { e.an.St.RestoreOffsets(e.odz) }
 
 func (e *Engine) buildIndexes() {
 	e.instIdx = make(map[string]int, len(e.design.Instances))
@@ -703,7 +822,7 @@ func (e *Engine) buildIndexes() {
 	}
 	e.arcsByInst = map[string][]arcRef{}
 	e.arcsByTo = map[int][]arcRef{}
-	for ci, cl := range e.an.NW.Clusters {
+	for ci, cl := range e.an.CD.Network.Clusters {
 		for ai := range cl.Arcs {
 			a := &cl.Arcs[ai]
 			e.arcsByInst[a.Inst] = append(e.arcsByInst[a.Inst], arcRef{ci, ai})

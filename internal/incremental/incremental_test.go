@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"hummingbird/internal/celllib"
-	"hummingbird/internal/clock"
 	"hummingbird/internal/core"
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/workload"
@@ -230,17 +229,15 @@ func TestBatchWithTopologyEditRebuildsOnce(t *testing.T) {
 
 func TestConstraintsCachedAndOffsetsRestored(t *testing.T) {
 	eng := openPipe(t)
-	odz := make([]clock.Time, len(eng.Analyzer().NW.Elems))
-	for i, el := range eng.Analyzer().NW.Elems {
-		odz[i] = el.Odz
-	}
+	st := eng.Analyzer().St
+	odz := st.SnapshotOffsets(nil)
 	c1, err := eng.Constraints()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, el := range eng.Analyzer().NW.Elems {
-		if el.Odz != odz[i] {
-			t.Fatalf("element %d offset moved by Constraints: %v != %v", i, el.Odz, odz[i])
+	for i, v := range st.Odz {
+		if v != odz[i] {
+			t.Fatalf("element %d offset moved by Constraints: %v != %v", i, v, odz[i])
 		}
 	}
 	c2, err := eng.Constraints()

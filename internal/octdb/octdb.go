@@ -147,12 +147,12 @@ func FlagSlowPaths(db *DB, a *core.Analyzer, rep *core.Report) {
 	db.Set(DesignObj, "", PropSlowCount, IntValue(int64(len(rep.SlowPaths))))
 	for n, s := range rep.Result.NetSlack {
 		if s <= 0 {
-			db.Set(NetObj, a.NW.Nets[n], PropSlack, IntValue(int64(s)))
+			db.Set(NetObj, a.CD.Nets[n], PropSlack, IntValue(int64(s)))
 		}
 	}
 	for _, p := range rep.SlowPaths {
 		for _, net := range p.Nets {
-			db.Set(NetObj, a.NW.Nets[net], PropSlowPath, IntValue(1))
+			db.Set(NetObj, a.CD.Nets[net], PropSlowPath, IntValue(1))
 		}
 		for _, inst := range p.Insts {
 			db.Set(InstObj, inst, PropSlowPath, IntValue(1))

@@ -70,18 +70,18 @@ func BuildJSON(a *core.Analyzer, rep *core.Report) *JSONResult {
 	out := &JSONResult{
 		Design: a.Design.Name, OK: rep.OK, WorstPs: int64(rep.WorstSlack()),
 		Cells: st.Cells, Nets: st.Nets,
-		Elements: len(a.NW.Elems), Clusters: len(a.NW.Clusters),
-		Passes:      a.NW.TotalPasses(),
+		Elements: len(a.CD.Elems), Clusters: len(a.CD.Clusters),
+		Passes:      a.CD.TotalPasses(),
 		Sweeps:      JSONSweeps{Forward: rep.ForwardSweeps, Backward: rep.BackwardSweeps},
 		NetSlacks:   map[string]int64{},
 		Convergence: rep.Trajectory,
 	}
 	for n, s := range rep.Result.NetSlack {
 		if s != clock.Inf {
-			out.NetSlacks[a.NW.Nets[n]] = int64(s)
+			out.NetSlacks[a.CD.Nets[n]] = int64(s)
 		}
 	}
-	for ei, e := range a.NW.Elems {
+	for ei, e := range a.CD.Elems {
 		if s := rep.Result.InSlack[ei]; s != clock.Inf {
 			out.Endpoints = append(out.Endpoints, JSONEndpoint{Element: e.Name(), Kind: "capture", SlackPs: int64(s)})
 		}
@@ -91,16 +91,16 @@ func BuildJSON(a *core.Analyzer, rep *core.Report) *JSONResult {
 	}
 	for _, p := range rep.SlowPaths {
 		jp := JSONPath{
-			From: a.NW.Elems[p.FromElem].Name(), To: a.NW.Elems[p.ToElem].Name(),
+			From: a.CD.Elems[p.FromElem].Name(), To: a.CD.Elems[p.ToElem].Name(),
 			SlackPs: int64(p.Slack), DelayPs: int64(p.Delay),
 			Cluster: p.Cluster, Pass: p.Pass, Insts: p.Insts,
 		}
 		for _, n := range p.Nets {
-			jp.Nets = append(jp.Nets, a.NW.Nets[n])
+			jp.Nets = append(jp.Nets, a.CD.Nets[n])
 		}
 		out.SlowPaths = append(out.SlowPaths, jp)
 	}
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		jp := JSONPlan{Cluster: cl.ID, NetCount: len(cl.Nets), Greedy: !cl.Plan.Exhaustive}
 		for _, b := range cl.Plan.Breaks {
 			jp.Passes = append(jp.Passes, int64(b))

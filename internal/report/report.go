@@ -42,6 +42,11 @@ type Row struct {
 	// from scratch (full elaboration + Algorithm 1). Zero when the
 	// measurement was not taken.
 	IncrEdit, FullEdit time.Duration
+	// OpenCold and OpenShared are session-open times: from scratch
+	// (elaborate + compile + first analysis) and against an already
+	// compiled design (fresh AnalysisState over a shared CompiledDesign).
+	// Zero when the measurement was not taken.
+	OpenCold, OpenShared time.Duration
 	// OK is the timing verdict.
 	OK bool
 }
@@ -49,20 +54,26 @@ type Row struct {
 // Table1 renders rows in the shape of the paper's Table 1 (with this
 // machine's times substituted for VAX 8800 CPU seconds).
 func Table1(w io.Writer, rows []Row) {
-	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %9s %9s %10s %10s %8s %5s\n",
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %9s %7s %12s %12s %7s %9s %9s %10s %10s %8s %10s %11s %9s %5s\n",
 		"name", "cells", "nets", "latches", "clusters", "passes",
 		"preprocess", "analysis", "sweeps", "recomps", "devals",
-		"incr-edit", "full-edit", "speedup", "ok")
+		"incr-edit", "full-edit", "speedup",
+		"open-cold", "open-shared", "open-gain", "ok")
 	for _, r := range rows {
 		incr, full, speedup := "-", "-", "-"
 		if r.IncrEdit > 0 && r.FullEdit > 0 {
 			incr, full = fmtDur(r.IncrEdit), fmtDur(r.FullEdit)
 			speedup = fmt.Sprintf("%.1fx", float64(r.FullEdit)/float64(r.IncrEdit))
 		}
-		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %9d %9d %10s %10s %8s %5v\n",
+		cold, shared, gain := "-", "-", "-"
+		if r.OpenCold > 0 && r.OpenShared > 0 {
+			cold, shared = fmtDur(r.OpenCold), fmtDur(r.OpenShared)
+			gain = fmt.Sprintf("%.1fx", float64(r.OpenCold)/float64(r.OpenShared))
+		}
+		fmt.Fprintf(w, "%-8s %7d %7d %8d %9d %7d %12s %12s %7d %9d %9d %10s %10s %8s %10s %11s %9s %5v\n",
 			r.Name, r.Cells, r.Nets, r.Latches, r.Clusters, r.Passes,
 			fmtDur(r.PreProcess), fmtDur(r.Analysis), r.Sweeps, r.Recomputes, r.DelayEvals,
-			incr, full, speedup, r.OK)
+			incr, full, speedup, cold, shared, gain, r.OK)
 	}
 }
 
@@ -82,8 +93,8 @@ func fmtDur(d time.Duration) string {
 func Summary(w io.Writer, a *core.Analyzer, rep *core.Report) {
 	st := a.Design.Stats(a.Lib)
 	fmt.Fprintf(w, "design %s: %d cells, %d nets, %d synchronising elements (%d generic)\n",
-		a.Design.Name, st.Cells, st.Nets, st.Latches, len(a.NW.Elems))
-	fmt.Fprintf(w, "clusters: %d, analysis passes: %d\n", len(a.NW.Clusters), a.NW.TotalPasses())
+		a.Design.Name, st.Cells, st.Nets, st.Latches, len(a.CD.Elems))
+	fmt.Fprintf(w, "clusters: %d, analysis passes: %d\n", len(a.CD.Clusters), a.CD.TotalPasses())
 	fmt.Fprintf(w, "sweeps: %d forward, %d backward\n", rep.ForwardSweeps, rep.BackwardSweeps)
 	if rep.OK {
 		fmt.Fprintf(w, "VERDICT: all paths fast enough (worst slack %v)\n", rep.WorstSlack())
@@ -112,16 +123,16 @@ func CriticalPaths(w io.Writer, a *core.Analyzer, res *sta.Result, n int) {
 // Paths renders traced paths with their per-arc trail.
 func Paths(w io.Writer, a *core.Analyzer, label string, paths []core.SlowPath) {
 	for i, p := range paths {
-		from := a.NW.Elems[p.FromElem]
-		to := a.NW.Elems[p.ToElem]
+		from := a.CD.Elems[p.FromElem]
+		to := a.CD.Elems[p.ToElem]
 		fmt.Fprintf(w, "%s %d: %s -> %s  slack %v  delay %v (cluster %d pass %d)\n",
 			label, i+1, from.Name(), to.Name(), p.Slack, p.Delay, p.Cluster, p.Pass)
 		for k, net := range p.Nets {
 			if k == 0 {
-				fmt.Fprintf(w, "    %s\n", a.NW.Nets[net])
+				fmt.Fprintf(w, "    %s\n", a.CD.Nets[net])
 				continue
 			}
-			fmt.Fprintf(w, "    %s (through %s)\n", a.NW.Nets[net], p.Insts[k-1])
+			fmt.Fprintf(w, "    %s (through %s)\n", a.CD.Nets[net], p.Insts[k-1])
 		}
 	}
 }
@@ -149,14 +160,14 @@ func Slacks(w io.Writer, a *core.Analyzer, res *sta.Result, limit int) {
 	}
 	fmt.Fprintf(w, "%-24s %12s\n", "net", "slack")
 	for _, x := range all {
-		fmt.Fprintf(w, "%-24s %12v\n", a.NW.Nets[x.net], x.slack)
+		fmt.Fprintf(w, "%-24s %12v\n", a.CD.Nets[x.net], x.slack)
 	}
 }
 
 // Plan prints each cluster's break-open plan: pass count, window starts and
 // the per-output assignment (§7's pre-processing output).
 func Plan(w io.Writer, a *core.Analyzer) {
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		fmt.Fprintf(w, "cluster %d: %d nets, %d arcs, %d inputs, %d outputs, %d passes",
 			cl.ID, len(cl.Nets), len(cl.Arcs), len(cl.Inputs), len(cl.Outputs), cl.Plan.Passes())
 		if !cl.Plan.Exhaustive {
@@ -167,7 +178,7 @@ func Plan(w io.Writer, a *core.Analyzer) {
 			fmt.Fprintf(w, "  pass %d: break at %v, outputs:", pi, beta)
 			for oi, out := range cl.Outputs {
 				if p, ok := cl.Plan.Assign[oi]; ok && p == pi {
-					fmt.Fprintf(w, " %s", a.NW.Elems[out.Elem].Name())
+					fmt.Fprintf(w, " %s", a.CD.Elems[out.Elem].Name())
 				}
 			}
 			fmt.Fprintln(w)
@@ -180,12 +191,12 @@ func Plan(w io.Writer, a *core.Analyzer) {
 func Constraints(w io.Writer, a *core.Analyzer, c *core.Constraints, names []string) {
 	nets := make([]int, 0)
 	if len(names) == 0 {
-		for n := range a.NW.Nets {
+		for n := range a.CD.Nets {
 			nets = append(nets, n)
 		}
 	} else {
 		for _, name := range names {
-			if id, ok := a.NW.NetIdx[name]; ok {
+			if id, ok := a.CD.NetIdx[name]; ok {
 				nets = append(nets, id)
 			} else {
 				fmt.Fprintf(w, "unknown net %q\n", name)
@@ -199,7 +210,7 @@ func Constraints(w io.Writer, a *core.Analyzer, c *core.Constraints, names []str
 				continue
 			}
 			fmt.Fprintf(w, "%-24s %8d %6d %12v %12v\n",
-				a.NW.Nets[n], nt.Cluster, nt.Pass, nt.Ready(), nt.Required())
+				a.CD.Nets[n], nt.Cluster, nt.Pass, nt.Ready(), nt.Required())
 		}
 	}
 }
@@ -216,7 +227,7 @@ func ClockSkew(w io.Writer, a *core.Analyzer) {
 		n        int
 	}
 	domains := map[int]*domain{}
-	for _, s := range a.NW.Sites {
+	for _, s := range a.CD.Sites {
 		if s.IsPort || s.CtrlNet < 0 {
 			continue
 		}
@@ -242,7 +253,7 @@ func ClockSkew(w io.Writer, a *core.Analyzer) {
 	for _, sig := range sigs {
 		d := domains[sig]
 		fmt.Fprintf(w, "%-12s %9d %12v %12v %12v\n",
-			a.NW.Clocks.Signal(sig).Name, d.n, d.min, d.max, d.max-d.min)
+			a.CD.Clocks.Signal(sig).Name, d.n, d.min, d.max, d.max-d.min)
 	}
 }
 
@@ -256,7 +267,7 @@ func Endpoints(w io.Writer, a *core.Analyzer, res *sta.Result, limit int) {
 		slack clock.Time
 	}
 	var eps []ep
-	for ei, e := range a.NW.Elems {
+	for ei, e := range a.CD.Elems {
 		if res.InSlack[ei] != clock.Inf {
 			eps = append(eps, ep{e.Name(), "capture", res.InSlack[ei]})
 		}

@@ -151,7 +151,7 @@ func RunContext(ctx context.Context, lib *celllib.Library, design *netlist.Desig
 // whose upsizing buys the largest arc-delay reduction on an arc that
 // violates its Algorithm 2 budget.
 func pickChange(a *core.Analyzer, rep *core.Report, c *core.Constraints) (Change, bool) {
-	nw := a.NW
+	nw := a.CD.Network
 	lib := a.Lib
 	seen := map[string]bool{}
 	best := Change{}

@@ -284,7 +284,7 @@ end
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(a.NW); err == nil {
+	if _, err := New(a.CD.Network); err == nil {
 		t.Fatal("super-cell function accepted")
 	}
 }
@@ -338,7 +338,7 @@ func TestCrossValidationRandomPipelines(t *testing.T) {
 		if !rep.OK {
 			t.Fatalf("seed %d: generated pipeline fails statically (worst %v)", seed, rep.WorstSlack())
 		}
-		s, err := New(a.NW)
+		s, err := New(a.CD.Network)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -346,8 +346,8 @@ func TestCrossValidationRandomPipelines(t *testing.T) {
 		tr := s.Run(25, func(cycle int, port string) logic.Value {
 			return logic.FromBool(r.Intn(2) == 0)
 		})
-		warm := clock.Time(8) * a.NW.Clocks.Overall()
-		if viol := CheckSetup(a.NW, tr, warm); len(viol) != 0 {
+		warm := clock.Time(8) * a.CD.Clocks.Overall()
+		if viol := CheckSetup(a.CD.Network, tr, warm); len(viol) != 0 {
 			t.Fatalf("seed %d: static pass but dynamic violation %+v", seed, viol[0])
 		}
 		if len(tr.Captures) == 0 {

@@ -52,9 +52,11 @@ func buildWorkload(t *testing.T, d *netlist.Design) *cluster.Network {
 // sequential one bit for bit, including the pass-detail ordering.
 func TestAnalyzeParallelEquivalence(t *testing.T) {
 	nw := buildWorkload(t, mustGen(workload.ALU()))
-	seq := Analyze(nw)
+	cd := cluster.Compile(nw)
+	st := NewState(cd)
+	seq := Analyze(cd, st)
 	for _, workers := range []int{1, 2, 4, 8} {
-		par := AnalyzeParallel(nw, workers)
+		par := AnalyzeParallel(cd, st, workers)
 		for i := range seq.InSlack {
 			if par.InSlack[i] != seq.InSlack[i] || par.OutSlack[i] != seq.OutSlack[i] {
 				t.Fatalf("workers=%d: element %d slacks differ", workers, i)
@@ -95,9 +97,11 @@ func TestAnalyzeParallelAllWorkloads(t *testing.T) {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			nw := buildWorkload(t, d)
-			seq := Analyze(nw)
+			cd := cluster.Compile(nw)
+			st := NewState(cd)
+			seq := Analyze(cd, st)
 			for _, workers := range []int{1, 2, 8} {
-				par := AnalyzeParallel(nw, workers)
+				par := AnalyzeParallel(cd, st, workers)
 				if !reflect.DeepEqual(seq, par) {
 					t.Fatalf("workers=%d: parallel result differs from sequential", workers)
 				}
@@ -109,8 +113,10 @@ func TestAnalyzeParallelAllWorkloads(t *testing.T) {
 func TestAnalyzeParallelSingleClusterFallback(t *testing.T) {
 	nw := buildWorkload(t, workload.SM1F())
 	// SM1F is a single cluster: the parallel path falls back to Analyze.
-	seq := Analyze(nw)
-	par := AnalyzeParallel(nw, 8)
+	cd := cluster.Compile(nw)
+	st := NewState(cd)
+	seq := Analyze(cd, st)
+	par := AnalyzeParallel(cd, st, 8)
 	if seq.WorstSlack() != par.WorstSlack() {
 		t.Fatal("fallback differs")
 	}

@@ -15,7 +15,6 @@ package sta
 
 import (
 	"context"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,25 +82,76 @@ type Result struct {
 
 // Clone returns a deep copy of the result. The per-pass Nets slices are
 // shared with the original: they alias the owning cluster's member list,
-// which no analysis mutates.
+// which no analysis mutates. All time vectors — the three slack vectors
+// and every pass's four views — share ONE backing allocation, so a Clone
+// is exactly three allocations (struct, backing, Passes slice) regardless
+// of pass count. Clone runs on every Constraints() call and engine
+// rebase, so its allocation count matters.
 func (r *Result) Clone() *Result {
+	nE, nN := len(r.InSlack), len(r.NetSlack)
+	total := 2*nE + nN
+	for i := range r.Passes {
+		total += 4 * len(r.Passes[i].Nets)
+	}
+	backing := make([]clock.Time, total)
 	c := &Result{
-		InSlack:  append([]clock.Time(nil), r.InSlack...),
-		OutSlack: append([]clock.Time(nil), r.OutSlack...),
-		NetSlack: append([]clock.Time(nil), r.NetSlack...),
+		InSlack:  backing[:nE:nE],
+		OutSlack: backing[nE : 2*nE : 2*nE],
+		NetSlack: backing[2*nE : 2*nE+nN : 2*nE+nN],
 		Passes:   make([]PassDetail, len(r.Passes)),
 	}
+	copy(c.InSlack, r.InSlack)
+	copy(c.OutSlack, r.OutSlack)
+	copy(c.NetSlack, r.NetSlack)
+	off := 2*nE + nN
 	for i, p := range r.Passes {
+		n := len(p.Nets)
+		pb := backing[off : off+4*n : off+4*n]
+		off += 4 * n
+		copy(pb[0*n:1*n], p.ReadyR)
+		copy(pb[1*n:2*n], p.ReadyF)
+		copy(pb[2*n:3*n], p.ReqR)
+		copy(pb[3*n:4*n], p.ReqF)
 		c.Passes[i] = PassDetail{
 			Cluster: p.Cluster, Pass: p.Pass, Beta: p.Beta,
 			Nets:   p.Nets,
-			ReadyR: append([]clock.Time(nil), p.ReadyR...),
-			ReadyF: append([]clock.Time(nil), p.ReadyF...),
-			ReqR:   append([]clock.Time(nil), p.ReqR...),
-			ReqF:   append([]clock.Time(nil), p.ReqF...),
+			ReadyR: pb[0*n : 1*n : 1*n],
+			ReadyF: pb[1*n : 2*n : 2*n],
+			ReqR:   pb[2*n : 3*n : 3*n],
+			ReqF:   pb[3*n : 4*n : 4*n],
 		}
 	}
 	return c
+}
+
+// CloneInto copies r into dst, reusing dst's existing vectors when the
+// shapes match (same element/net counts and identical pass layout — always
+// true across delay-only edits, where topology is frozen). When dst is nil
+// or shaped differently it falls back to Clone. The incremental engine
+// double-buffers its cached base result through this to rebase without
+// allocating.
+func (r *Result) CloneInto(dst *Result) *Result {
+	if dst == nil || len(dst.InSlack) != len(r.InSlack) ||
+		len(dst.NetSlack) != len(r.NetSlack) || len(dst.Passes) != len(r.Passes) {
+		return r.Clone()
+	}
+	for i := range r.Passes {
+		if len(dst.Passes[i].Nets) != len(r.Passes[i].Nets) {
+			return r.Clone()
+		}
+	}
+	copy(dst.InSlack, r.InSlack)
+	copy(dst.OutSlack, r.OutSlack)
+	copy(dst.NetSlack, r.NetSlack)
+	for i := range r.Passes {
+		p, q := &r.Passes[i], &dst.Passes[i]
+		q.Cluster, q.Pass, q.Beta, q.Nets = p.Cluster, p.Pass, p.Beta, p.Nets
+		copy(q.ReadyR, p.ReadyR)
+		copy(q.ReadyF, p.ReadyF)
+		copy(q.ReqR, p.ReqR)
+		copy(q.ReqF, p.ReqF)
+	}
+	return dst
 }
 
 // MinElemSlack returns the smaller of the element's terminal slacks.
@@ -127,14 +177,15 @@ func (r *Result) WorstSlack() clock.Time {
 	return w
 }
 
-// Analyze runs every pass of every cluster against the network's current
+// Analyze runs every pass of every cluster against the state's current
 // element offsets. It cannot be interrupted; servers and other callers
-// with deadlines use AnalyzeContext.
-func Analyze(nw *cluster.Network) *Result {
+// with deadlines use AnalyzeContext. The compiled design is read-only
+// throughout — concurrent analyses may share it, each with its own state.
+func Analyze(cd *cluster.CompiledDesign, st *AnalysisState) *Result {
 	mAnalyses.Inc()
-	res := newResult(nw)
-	for _, cl := range nw.Clusters {
-		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
+	res := newResult(cd)
+	for _, cc := range cd.CC {
+		res.Passes = analyzeCluster(cd, cc, st, res, res.Passes)
 	}
 	return res
 }
@@ -161,18 +212,18 @@ func interrupt(ctx context.Context) func() error {
 // between clusters, and an expired deadline abandons the analysis,
 // returning the cause. The partial result is discarded — an interrupted
 // analysis is never a valid block analysis.
-func AnalyzeContext(ctx context.Context, nw *cluster.Network) (*Result, error) {
+func AnalyzeContext(ctx context.Context, cd *cluster.CompiledDesign, st *AnalysisState) (*Result, error) {
 	mAnalyses.Inc()
 	_, sp := span.Start(ctx, "sta.analyze")
-	sp.AnnotateInt("clusters", len(nw.Clusters))
+	sp.AnnotateInt("clusters", len(cd.CC))
 	defer sp.End()
 	check := interrupt(ctx)
-	res := newResult(nw)
-	for _, cl := range nw.Clusters {
+	res := newResult(cd)
+	for _, cc := range cd.CC {
 		if err := check(); err != nil {
 			return nil, err
 		}
-		res.Passes = append(res.Passes, analyzeCluster(nw, cl, res)...)
+		res.Passes = analyzeCluster(cd, cc, st, res, res.Passes)
 	}
 	return res, nil
 }
@@ -182,9 +233,9 @@ func AnalyzeContext(ctx context.Context, nw *cluster.Network) (*Result, error) {
 // (every net, and every element terminal, belongs to exactly one cluster),
 // so no locking is needed beyond the final deterministic merge of the pass
 // details. Results are identical to Analyze.
-func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
-	if workers <= 1 || len(nw.Clusters) <= 1 {
-		return Analyze(nw)
+func AnalyzeParallel(cd *cluster.CompiledDesign, st *AnalysisState, workers int) *Result {
+	if workers <= 1 || len(cd.CC) <= 1 {
+		return Analyze(cd, st)
 	}
 	mParallelRuns.Inc()
 	mParallelWorkers.Add(int64(workers))
@@ -195,8 +246,8 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 	if instrument {
 		wallStart = time.Now()
 	}
-	res := newResult(nw)
-	details := make([][]PassDetail, len(nw.Clusters))
+	res := newResult(cd)
+	details := make([][]PassDetail, len(cd.CC))
 	var wg sync.WaitGroup
 	next := int32(0)
 	for k := 0; k < workers; k++ {
@@ -206,15 +257,15 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 			var busy time.Duration
 			for {
 				i := int(atomic.AddInt32(&next, 1)) - 1
-				if i >= len(nw.Clusters) {
+				if i >= len(cd.CC) {
 					break
 				}
 				if instrument {
 					t0 := time.Now()
-					details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+					details[i] = analyzeCluster(cd, cd.CC[i], st, res, nil)
 					busy += time.Since(t0)
 				} else {
-					details[i] = analyzeCluster(nw, nw.Clusters[i], res)
+					details[i] = analyzeCluster(cd, cd.CC[i], st, res, nil)
 				}
 			}
 			if instrument {
@@ -238,27 +289,30 @@ func AnalyzeParallel(nw *cluster.Network, workers int) *Result {
 // can be reset and rebuilt independently — the basis of the incremental
 // mode of Algorithm 1's sweeps: after a slack transfer only the clusters
 // adjacent to the moved element change.
-func Recompute(nw *cluster.Network, res *Result, clusterIDs []int) {
-	recompute(nw, res, clusterIDs, nil)
+func Recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int) {
+	recompute(cd, st, res, clusterIDs, nil)
 }
 
 // RecomputeContext is Recompute with cancellation, checked between
 // clusters. On a non-nil error res has been partially rebuilt and must be
 // discarded by the caller — slacks of the untouched clusters are intact
 // but the interrupted cluster's are reset to +Inf.
-func RecomputeContext(ctx context.Context, nw *cluster.Network, res *Result, clusterIDs []int) error {
+func RecomputeContext(ctx context.Context, cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int) error {
 	_, sp := span.Start(ctx, "sta.recompute")
 	sp.AnnotateInt("dirtyClusters", len(clusterIDs))
 	defer sp.End()
-	return recompute(nw, res, clusterIDs, interrupt(ctx))
+	return recompute(cd, st, res, clusterIDs, interrupt(ctx))
 }
 
-func recompute(nw *cluster.Network, res *Result, clusterIDs []int, check func() error) error {
+func recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int, check func() error) error {
 	mRecomputes.Inc()
-	dirty := make(map[int]bool, len(clusterIDs))
+	// The dirty set is the state's reusable bitset — incremental sweeps
+	// call recompute once per sweep, so a per-call map allocation here is
+	// hot-path garbage.
+	st.clearDirty()
 	for _, id := range clusterIDs {
-		dirty[id] = true
-		cl := nw.Clusters[id]
+		st.markDirty(id)
+		cl := cd.Network.Clusters[id]
 		for _, in := range cl.Inputs {
 			res.OutSlack[in.Elem] = posInf
 		}
@@ -272,7 +326,7 @@ func recompute(nw *cluster.Network, res *Result, clusterIDs []int, check func() 
 	// Drop every dirty cluster's old pass details in one filter pass.
 	kept := res.Passes[:0]
 	for _, p := range res.Passes {
-		if !dirty[p.Cluster] {
+		if !st.isDirty(p.Cluster) {
 			kept = append(kept, p)
 		}
 	}
@@ -283,55 +337,69 @@ func recompute(nw *cluster.Network, res *Result, clusterIDs []int, check func() 
 				return err
 			}
 		}
-		res.Passes = append(res.Passes, analyzeCluster(nw, nw.Clusters[id], res)...)
+		res.Passes = analyzeCluster(cd, cd.CC[id], st, res, res.Passes)
 	}
 	// Keep the pass list in Analyze's (cluster, pass) order so a result
 	// maintained by Recompute stays interchangeable with a fresh Analyze.
-	sort.Slice(res.Passes, func(i, j int) bool {
-		if res.Passes[i].Cluster != res.Passes[j].Cluster {
-			return res.Passes[i].Cluster < res.Passes[j].Cluster
+	// The kept run and the appended details are each already ordered, so
+	// an insertion pass restores the global order; unlike sort.Slice it
+	// does not allocate, and recompute runs once per incremental sweep.
+	ps := res.Passes
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && (ps[j].Cluster < ps[j-1].Cluster ||
+			(ps[j].Cluster == ps[j-1].Cluster && ps[j].Pass < ps[j-1].Pass)); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
-		return res.Passes[i].Pass < res.Passes[j].Pass
-	})
+	}
 	return nil
 }
 
-func newResult(nw *cluster.Network) *Result {
-	res := &Result{
-		InSlack:  make([]clock.Time, len(nw.Elems)),
-		OutSlack: make([]clock.Time, len(nw.Elems)),
-		NetSlack: make([]clock.Time, len(nw.Nets)),
+func newResult(cd *cluster.CompiledDesign) *Result {
+	nE, nN := len(cd.Elems), len(cd.Nets)
+	backing := make([]clock.Time, 2*nE+nN)
+	for i := range backing {
+		backing[i] = posInf
 	}
-	for i := range res.InSlack {
-		res.InSlack[i], res.OutSlack[i] = posInf, posInf
+	return &Result{
+		InSlack:  backing[:nE:nE],
+		OutSlack: backing[nE : 2*nE : 2*nE],
+		NetSlack: backing[2*nE:],
 	}
-	for i := range res.NetSlack {
-		res.NetSlack[i] = posInf
-	}
-	return res
 }
 
-func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []PassDetail {
+// analyzeCluster appends the cluster's pass details to dst and returns it.
+// Appending into the caller's pass list lets a Recompute whose cloned
+// Result already has the capacity rebuild dirty clusters without growing
+// it; the detail vectors themselves are one backing allocation per cluster
+// however many passes it runs. They escape into the caller's Result
+// (reports hold them), so they cannot come from the pooled scratch.
+func analyzeCluster(cd *cluster.CompiledDesign, cc *cluster.CompiledCluster, st *AnalysisState, res *Result, dst []PassDetail) []PassDetail {
 	mClustersAnalyzed.Inc()
-	mPasses.Add(int64(len(cl.Plan.Breaks)))
-	var details []PassDetail
-	T := nw.Clocks.Overall()
-	n := len(cl.Nets)
-	readyR := make([]clock.Time, n)
-	readyF := make([]clock.Time, n)
-	reqR := make([]clock.Time, n)
-	reqF := make([]clock.Time, n)
+	mPasses.Add(int64(len(cc.Plan.Breaks)))
+	T := cd.Clocks.Overall()
+	n := len(cc.Nets)
+	details := dst
+	db := make([]clock.Time, 4*n*len(cc.Plan.Breaks))
+	// One pooled arena holds all four per-net vectors; AnalyzeParallel
+	// workers each borrow their own.
+	buf := st.getScratch()
+	defer st.putScratch(buf)
+	scratch := (*buf)[:4*n]
+	readyR := scratch[0*n : 1*n]
+	readyF := scratch[1*n : 2*n]
+	reqR := scratch[2*n : 3*n]
+	reqF := scratch[3*n : 4*n]
 
-	for pi, beta := range cl.Plan.Breaks {
+	for pi, beta := range cc.Plan.Breaks {
 		for i := 0; i < n; i++ {
 			readyR[i], readyF[i] = negInf, negInf
 			reqR[i], reqF[i] = posInf, posInf
 		}
 		// Cluster input assertions (both transitions assert together).
-		for _, in := range cl.Inputs {
-			e := nw.Elems[in.Elem]
-			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffset()
-			li := cl.LocalIndex(in.Net)
+		for ii, in := range cc.Inputs {
+			e := cd.Elems[in.Elem]
+			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffsetAt(st.Odz[in.Elem])
+			li := cc.InLocal[ii]
 			if a > readyR[li] {
 				readyR[li] = a
 			}
@@ -340,15 +408,14 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 			}
 		}
 		// Equation 1: forward ready times in topological order.
-		for _, netID := range cl.Order {
-			li := cl.LocalIndex(netID)
+		for _, li := range cc.OrderLocal {
 			rr, rf := readyR[li], readyF[li]
 			if rr == negInf && rf == negInf {
 				continue
 			}
-			for _, ai := range cl.ArcsFrom(netID) {
-				a := &cl.Arcs[ai]
-				lo := cl.LocalIndex(a.To)
+			for _, ai := range cc.ArcIdx[cc.ArcStart[li]:cc.ArcStart[li+1]] {
+				a := &cc.Arcs[ai]
+				lo := cc.ToLocal[ai]
 				or, of := arcForward(a, rr, rf)
 				if or > readyR[lo] {
 					readyR[lo] = or
@@ -359,14 +426,14 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 			}
 		}
 		// Closure times at assigned outputs; input-terminal slacks.
-		for oi, out := range cl.Outputs {
-			assigned, ok := cl.Plan.Assign[oi]
+		for oi, out := range cc.Outputs {
+			assigned, ok := cc.Plan.Assign[oi]
 			if !ok || assigned != pi {
 				continue
 			}
-			e := nw.Elems[out.Elem]
-			c := breakopen.ClosePos(e.IdealClose, beta, T) + e.InputOffset()
-			li := cl.LocalIndex(out.Net)
+			e := cd.Elems[out.Elem]
+			c := breakopen.ClosePos(e.IdealClose, beta, T) + e.InputOffsetAt(st.Odz[out.Elem])
+			li := cc.OutLocal[oi]
 			if c < reqR[li] {
 				reqR[li] = c
 			}
@@ -381,12 +448,11 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 			}
 		}
 		// Equation 2: required times backward in reverse topological order.
-		for k := len(cl.Order) - 1; k >= 0; k-- {
-			netID := cl.Order[k]
-			li := cl.LocalIndex(netID)
-			for _, ai := range cl.ArcsFrom(netID) {
-				a := &cl.Arcs[ai]
-				lo := cl.LocalIndex(a.To)
+		for k := len(cc.OrderLocal) - 1; k >= 0; k-- {
+			li := cc.OrderLocal[k]
+			for _, ai := range cc.ArcIdx[cc.ArcStart[li]:cc.ArcStart[li+1]] {
+				a := &cc.Arcs[ai]
+				lo := cc.ToLocal[ai]
 				qr, qf := arcBackward(a, reqR[lo], reqF[lo])
 				if qr < reqR[li] {
 					reqR[li] = qr
@@ -397,10 +463,10 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 			}
 		}
 		// Output-terminal slacks of the cluster inputs, and net slacks.
-		for _, in := range cl.Inputs {
-			e := nw.Elems[in.Elem]
-			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffset()
-			li := cl.LocalIndex(in.Net)
+		for ii, in := range cc.Inputs {
+			e := cd.Elems[in.Elem]
+			a := breakopen.AssertPos(e.IdealAssert, beta, T) + e.OutputOffsetAt(st.Odz[in.Elem])
+			li := cc.InLocal[ii]
 			q := minT(reqR[li], reqF[li])
 			if q != posInf {
 				if s := q - a; s < res.OutSlack[in.Elem] {
@@ -408,7 +474,7 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 				}
 			}
 		}
-		for i, netID := range cl.Nets {
+		for i, netID := range cc.Nets {
 			sr, sf := posInf, posInf
 			if readyR[i] != negInf && reqR[i] != posInf {
 				sr = reqR[i] - readyR[i]
@@ -420,13 +486,18 @@ func analyzeCluster(nw *cluster.Network, cl *cluster.Cluster, res *Result) []Pas
 				res.NetSlack[netID] = s
 			}
 		}
+		pb := db[pi*4*n : (pi+1)*4*n : (pi+1)*4*n]
+		copy(pb[0*n:1*n], readyR)
+		copy(pb[1*n:2*n], readyF)
+		copy(pb[2*n:3*n], reqR)
+		copy(pb[3*n:4*n], reqF)
 		details = append(details, PassDetail{
-			Cluster: cl.ID, Pass: pi, Beta: beta,
-			Nets:   cl.Nets,
-			ReadyR: append([]clock.Time(nil), readyR...),
-			ReadyF: append([]clock.Time(nil), readyF...),
-			ReqR:   append([]clock.Time(nil), reqR...),
-			ReqF:   append([]clock.Time(nil), reqF...),
+			Cluster: cc.ID, Pass: pi, Beta: beta,
+			Nets:   cc.Nets,
+			ReadyR: pb[0*n : 1*n : 1*n],
+			ReadyF: pb[1*n : 2*n : 2*n],
+			ReqR:   pb[2*n : 3*n : 3*n],
+			ReqF:   pb[3*n : 4*n : 4*n],
 		})
 	}
 	// Clusters may legitimately have zero passes (no outputs): element

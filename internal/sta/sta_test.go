@@ -121,9 +121,15 @@ inst g3 BUFD A=q2 Y=OUT
 end
 `
 
+// analyzeNet compiles a network and analyzes it on a fresh state.
+func analyzeNet(nw *cluster.Network) *Result {
+	cd := cluster.Compile(nw)
+	return Analyze(cd, NewState(cd))
+}
+
 func TestTwoPhaseHandComputedSlacks(t *testing.T) {
 	nw := buildNet(t, testLib(), twoPhaseText)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 
 	// Cluster IN→l1.D: IN asserts at 90ns; path delay 100ps; l1 closes at
 	// phi1.fall (40ns) + min(Odc=0, Odz=0) = 40ns, one period later in the
@@ -166,8 +172,10 @@ func TestOffsetShiftMovesSlack(t *testing.T) {
 	l1 := elemIdx(t, nw, "l1")
 	l2 := elemIdx(t, nw, "l2")
 	// Slide l1's DOF 10ns earlier: upstream loses 10ns, downstream gains.
-	nw.Elems[l1].Odz -= 10000
-	res := Analyze(nw)
+	cd := cluster.Compile(nw)
+	st := NewState(cd)
+	st.Odz[l1] -= 10000
+	res := Analyze(cd, st)
 	if got := res.InSlack[l1]; got != 39900 {
 		t.Fatalf("InSlack(l1) after shift = %v, want 39.9ns", got)
 	}
@@ -191,7 +199,7 @@ output OUT clock phi2 edge fall offset 0
 inst g1 INVD A=IN Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	out := elemIdx(t, nw, "OUT")
 	// IN asserts 40ns, OUT closes 90ns: slack = 50ns − 100ps (rise-limited).
 	if got := res.InSlack[out]; got != 49900 {
@@ -217,7 +225,7 @@ inst g1 INVD A=IN Y=n1
 inst g2 INVD A=n1 Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	out := elemIdx(t, nw, "OUT")
 	if got := res.InSlack[out]; got != 50000-160 {
 		t.Fatalf("InSlack(OUT) = %v, want %v", got, 50000-160)
@@ -236,7 +244,7 @@ output OUT clock phi2 edge fall offset 0
 inst g1 XORD A=A B=B Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	out := elemIdx(t, nw, "OUT")
 	// A asserts at 40ns, B at 0: worst arrival 40ns + 100ps.
 	if got := res.InSlack[out]; got != 50000-100 {
@@ -274,7 +282,7 @@ inst gc BUFD A=qc Y=Y1
 inst gd BUFD A=qd Y=Y2
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	// Pass structure sanity: the m-cluster runs two passes.
 	mid := nw.NetIdx["m"]
 	var mPasses int
@@ -324,7 +332,7 @@ inst l1 LAT D=IN G=phi1 Q=q1
 inst g1 BUFD A=IN Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	l1 := elemIdx(t, nw, "l1")
 	if res.OutSlack[l1] != clock.Inf {
 		t.Fatalf("dangling Q slack = %v, want +Inf", res.OutSlack[l1])
@@ -348,7 +356,7 @@ inst f2 FFD D=n1 CK=phi Q=q2
 inst g2 BUFD A=q2 Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	f2 := elemIdx(t, nw, "f2")
 	// Launch 40ns, capture 40ns+T: slack = 100ns − 100ps.
 	if got := res.InSlack[f2]; got != 100000-100 {
@@ -398,7 +406,7 @@ output OUT clock phi2 edge fall offset -2ns
 inst g1 BUFD A=IN Y=OUT
 end
 `)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	out := elemIdx(t, nw, "OUT")
 	// assert 43ns, close 88ns, delay 100ps: slack 44.9ns.
 	if got := res.InSlack[out]; got != 44900 {
@@ -408,7 +416,7 @@ end
 
 func TestMinElemSlack(t *testing.T) {
 	nw := buildNet(t, testLib(), twoPhaseText)
-	res := Analyze(nw)
+	res := analyzeNet(nw)
 	l1 := elemIdx(t, nw, "l1")
 	want := res.InSlack[l1]
 	if res.OutSlack[l1] < want {

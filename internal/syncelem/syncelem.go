@@ -209,6 +209,18 @@ func (e *Element) Name() string {
 // HasDOF reports whether the element's offsets can move at all.
 func (e *Element) HasDOF() bool { return e.Kind != celllib.EdgeTriggered && !e.Port }
 
+// InitialOdz returns the offset Algorithm 1 initialises the element with:
+// the latest legal closure (OdzMax) for elements with a degree of freedom,
+// zero otherwise. cluster.Compile snapshots these into the immutable
+// CompiledDesign so every sta.AnalysisState starts from the same vector
+// without walking element pointers.
+func (e *Element) InitialOdz() clock.Time {
+	if e.HasDOF() {
+		return e.OdzMax()
+	}
+	return 0
+}
+
 // OdzMin returns the lower bound of the Odz range: Ozd = W + Odz + Ddz ≥ 0.
 func (e *Element) OdzMin() clock.Time {
 	if !e.HasDOF() {
@@ -234,11 +246,17 @@ func (e *Element) Ozc() clock.Time { return e.CtrlMax + e.Dcz }
 // Ozd returns the data-path output-assertion offset. For transparent
 // elements it tracks Odz through the Figure-3 relationship
 // Ozd = W + Odz + Ddz; edge-triggered elements pin it at zero.
-func (e *Element) Ozd() clock.Time {
+func (e *Element) Ozd() clock.Time { return e.OzdAt(e.Odz) }
+
+// OzdAt is Ozd evaluated at an externally held offset instead of e.Odz.
+// The *At accessors let an analysis keep its offset vector in a mutable
+// sta.AnalysisState while the elements themselves stay frozen inside a
+// shared CompiledDesign.
+func (e *Element) OzdAt(odz clock.Time) clock.Time {
 	if !e.HasDOF() {
 		return 0
 	}
-	return e.Width + e.Odz + e.Ddz
+	return e.Width + odz + e.Ddz
 }
 
 // Odc returns the closure-control input offset −Dsetup (constant, §4).
@@ -246,24 +264,30 @@ func (e *Element) Odc() clock.Time { return -e.Dsetup }
 
 // InputOffset returns the effective input-closure offset min(Odc, Odz),
 // or the pinned offset for port elements.
-func (e *Element) InputOffset() clock.Time {
+func (e *Element) InputOffset() clock.Time { return e.InputOffsetAt(e.Odz) }
+
+// InputOffsetAt is InputOffset at an externally held offset.
+func (e *Element) InputOffsetAt(odz clock.Time) clock.Time {
 	if e.Port {
 		return e.PortOffset
 	}
-	if e.Odz < e.Odc() {
-		return e.Odz
+	if odz < e.Odc() {
+		return odz
 	}
 	return e.Odc()
 }
 
 // OutputOffset returns the effective output-assertion offset max(Ozc, Ozd),
 // or the pinned offset for port elements.
-func (e *Element) OutputOffset() clock.Time {
+func (e *Element) OutputOffset() clock.Time { return e.OutputOffsetAt(e.Odz) }
+
+// OutputOffsetAt is OutputOffset at an externally held offset.
+func (e *Element) OutputOffsetAt(odz clock.Time) clock.Time {
 	if e.Port {
 		return e.PortOffset
 	}
-	if e.Ozd() > e.Ozc() {
-		return e.Ozd()
+	if ozd := e.OzdAt(odz); ozd > e.Ozc() {
+		return ozd
 	}
 	return e.Ozc()
 }
@@ -271,11 +295,26 @@ func (e *Element) OutputOffset() clock.Time {
 // InputClosure returns the absolute effective input closure time.
 func (e *Element) InputClosure() clock.Time { return e.IdealClose + e.InputOffset() }
 
+// InputClosureAt is InputClosure at an externally held offset.
+func (e *Element) InputClosureAt(odz clock.Time) clock.Time {
+	return e.IdealClose + e.InputOffsetAt(odz)
+}
+
 // OutputAssert returns the absolute effective output assertion time.
 func (e *Element) OutputAssert() clock.Time { return e.IdealAssert + e.OutputOffset() }
 
+// OutputAssertAt is OutputAssert at an externally held offset.
+func (e *Element) OutputAssertAt(odz clock.Time) clock.Time {
+	return e.IdealAssert + e.OutputOffsetAt(odz)
+}
+
 // Validate checks the synchronising-element constraints of §5.
-func (e *Element) Validate() error {
+func (e *Element) Validate() error { return e.ValidateAt(e.Odz) }
+
+// ValidateAt checks the element's static parameters together with an offset
+// value held externally (analyses keep offsets in an AnalysisState rather
+// than on the element).
+func (e *Element) ValidateAt(odz clock.Time) error {
 	if e.Dsetup < 0 || e.Ddz < 0 || e.Dcz < 0 {
 		return fmt.Errorf("syncelem %s: negative timing parameters", e.Name())
 	}
@@ -283,127 +322,170 @@ func (e *Element) Validate() error {
 		return fmt.Errorf("syncelem %s: inconsistent control delays", e.Name())
 	}
 	if e.Kind == celllib.EdgeTriggered {
-		if e.Odz != 0 {
+		if odz != 0 {
 			return fmt.Errorf("syncelem %s: edge-triggered element with nonzero Odz", e.Name())
 		}
 		return nil
 	}
-	if e.Odz < e.OdzMin() || e.Odz > e.OdzMax() {
-		return fmt.Errorf("syncelem %s: Odz=%v outside [%v,%v]", e.Name(), e.Odz, e.OdzMin(), e.OdzMax())
+	if odz < e.OdzMin() || odz > e.OdzMax() {
+		return fmt.Errorf("syncelem %s: Odz=%v outside [%v,%v]", e.Name(), odz, e.OdzMin(), e.OdzMax())
 	}
-	if e.Ozd() < 0 {
-		return fmt.Errorf("syncelem %s: Ozd=%v negative", e.Name(), e.Ozd())
+	if e.OzdAt(odz) < 0 {
+		return fmt.Errorf("syncelem %s: Ozd=%v negative", e.Name(), e.OzdAt(odz))
 	}
 	return nil
 }
 
-// headroomDown is the maximum legal decrease m of the offsets.
-func (e *Element) headroomDown() clock.Time { return e.Odz - e.OdzMin() }
+// headroomDownAt is the maximum legal decrease m of the offsets from odz.
+func (e *Element) headroomDownAt(odz clock.Time) clock.Time { return odz - e.OdzMin() }
 
-// headroomUp is the maximum legal increase m of the offsets.
-func (e *Element) headroomUp() clock.Time { return e.OdzMax() - e.Odz }
+// headroomUpAt is the maximum legal increase m of the offsets from odz.
+func (e *Element) headroomUpAt(odz clock.Time) clock.Time { return e.OdzMax() - odz }
 
-// shift moves the DOF by delta (positive = later closure/assertion),
-// clamping defensively at the legal range.
-func (e *Element) shift(delta clock.Time) {
+// shiftAt moves the DOF by delta (positive = later closure/assertion),
+// clamping defensively at the legal range, and returns the new offset.
+func (e *Element) shiftAt(odz, delta clock.Time) clock.Time {
 	if !e.HasDOF() {
-		return
+		return odz
 	}
-	e.Odz += delta
-	if e.Odz < e.OdzMin() {
-		e.Odz = e.OdzMin()
+	odz += delta
+	if odz < e.OdzMin() {
+		odz = e.OdzMin()
 	}
-	if e.Odz > e.OdzMax() {
-		e.Odz = e.OdzMax()
+	if odz > e.OdzMax() {
+		odz = e.OdzMax()
 	}
+	return odz
 }
 
-// CompleteForward performs complete forward slack transfer (§6): the
+// The transfer operations of §6 come in two forms: the *At variants are
+// pure functions over an externally held offset — (odz, slack) → (new
+// offset, amount moved) — used by every analysis against its
+// sta.AnalysisState; the receiver-mutating forms below them wrap the pure
+// ones over e.Odz for standalone element use (tests, demos).
+
+// CompleteForwardAt performs complete forward slack transfer (§6): the
 // upstream paths (ending at the element's data input, node slack nIn)
 // donate min(nIn, m) to the downstream paths by decreasing both offsets.
-// It returns the amount transferred (zero if none).
-func (e *Element) CompleteForward(nIn clock.Time) clock.Time {
-	m := e.headroomDown()
+// It returns the new offset and the amount transferred (zero if none).
+func (e *Element) CompleteForwardAt(odz, nIn clock.Time) (clock.Time, clock.Time) {
+	m := e.headroomDownAt(odz)
 	amt := minT(nIn, m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(-amt)
-	return amt
+	return e.shiftAt(odz, -amt), amt
 }
 
-// CompleteBackward performs complete backward slack transfer: downstream
+// CompleteBackwardAt performs complete backward slack transfer: downstream
 // paths (starting at the output, node slack nOut) donate min(nOut, m) by
 // increasing both offsets.
-func (e *Element) CompleteBackward(nOut clock.Time) clock.Time {
-	m := e.headroomUp()
+func (e *Element) CompleteBackwardAt(odz, nOut clock.Time) (clock.Time, clock.Time) {
+	m := e.headroomUpAt(odz)
 	amt := minT(nOut, m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(amt)
-	return amt
+	return e.shiftAt(odz, amt), amt
 }
 
-// PartialForward transfers min(nIn/div, m) forward, div > 1 (§6's partial
+// PartialForwardAt transfers min(nIn/div, m) forward, div > 1 (§6's partial
 // transfer with real divisor n; we use integer division).
-func (e *Element) PartialForward(nIn clock.Time, div int64) clock.Time {
+func (e *Element) PartialForwardAt(odz, nIn clock.Time, div int64) (clock.Time, clock.Time) {
 	if div <= 1 {
 		div = 2
 	}
-	m := e.headroomDown()
+	m := e.headroomDownAt(odz)
 	amt := minT(nIn/clock.Time(div), m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(-amt)
-	return amt
+	return e.shiftAt(odz, -amt), amt
 }
 
-// PartialBackward transfers min(nOut/div, m) backward.
-func (e *Element) PartialBackward(nOut clock.Time, div int64) clock.Time {
+// PartialBackwardAt transfers min(nOut/div, m) backward.
+func (e *Element) PartialBackwardAt(odz, nOut clock.Time, div int64) (clock.Time, clock.Time) {
 	if div <= 1 {
 		div = 2
 	}
-	m := e.headroomUp()
+	m := e.headroomUpAt(odz)
 	amt := minT(nOut/clock.Time(div), m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(amt)
-	return amt
+	return e.shiftAt(odz, amt), amt
 }
 
-// SnatchForward takes time from the upstream path regardless of surplus
+// SnatchForwardAt takes time from the upstream path regardless of surplus
 // (§6): when the downstream node slack nOut is negative, decrease the
-// offsets by min(−nOut, m). Returns the amount snatched.
-func (e *Element) SnatchForward(nOut clock.Time) clock.Time {
+// offsets by min(−nOut, m).
+func (e *Element) SnatchForwardAt(odz, nOut clock.Time) (clock.Time, clock.Time) {
 	if nOut >= 0 {
-		return 0
+		return odz, 0
 	}
-	m := e.headroomDown()
+	m := e.headroomDownAt(odz)
 	amt := minT(-nOut, m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(-amt)
-	return amt
+	return e.shiftAt(odz, -amt), amt
 }
 
-// SnatchBackward takes time from the downstream path: when the upstream
+// SnatchBackwardAt takes time from the downstream path: when the upstream
 // node slack nIn is negative, increase the offsets by min(−nIn, m). This is
 // how actual (late) ready times propagate forward through transparent
 // latches in Algorithm 2's iteration 1.
-func (e *Element) SnatchBackward(nIn clock.Time) clock.Time {
+func (e *Element) SnatchBackwardAt(odz, nIn clock.Time) (clock.Time, clock.Time) {
 	if nIn >= 0 {
-		return 0
+		return odz, 0
 	}
-	m := e.headroomUp()
+	m := e.headroomUpAt(odz)
 	amt := minT(-nIn, m)
 	if amt <= 0 {
-		return 0
+		return odz, 0
 	}
-	e.shift(amt)
+	return e.shiftAt(odz, amt), amt
+}
+
+// CompleteForward is CompleteForwardAt over the element's own offset.
+func (e *Element) CompleteForward(nIn clock.Time) clock.Time {
+	odz, amt := e.CompleteForwardAt(e.Odz, nIn)
+	e.Odz = odz
+	return amt
+}
+
+// CompleteBackward is CompleteBackwardAt over the element's own offset.
+func (e *Element) CompleteBackward(nOut clock.Time) clock.Time {
+	odz, amt := e.CompleteBackwardAt(e.Odz, nOut)
+	e.Odz = odz
+	return amt
+}
+
+// PartialForward is PartialForwardAt over the element's own offset.
+func (e *Element) PartialForward(nIn clock.Time, div int64) clock.Time {
+	odz, amt := e.PartialForwardAt(e.Odz, nIn, div)
+	e.Odz = odz
+	return amt
+}
+
+// PartialBackward is PartialBackwardAt over the element's own offset.
+func (e *Element) PartialBackward(nOut clock.Time, div int64) clock.Time {
+	odz, amt := e.PartialBackwardAt(e.Odz, nOut, div)
+	e.Odz = odz
+	return amt
+}
+
+// SnatchForward is SnatchForwardAt over the element's own offset.
+func (e *Element) SnatchForward(nOut clock.Time) clock.Time {
+	odz, amt := e.SnatchForwardAt(e.Odz, nOut)
+	e.Odz = odz
+	return amt
+}
+
+// SnatchBackward is SnatchBackwardAt over the element's own offset.
+func (e *Element) SnatchBackward(nIn clock.Time) clock.Time {
+	odz, amt := e.SnatchBackwardAt(e.Odz, nIn)
+	e.Odz = odz
 	return amt
 }
 

@@ -116,7 +116,7 @@ func TestBuildReplication(t *testing.T) {
 		t.Fatalf("names %q %q", elems[0].Name(), elems[1].Name())
 	}
 	// Independent DOFs.
-	elems[0].shift(-100)
+	elems[0].Odz = elems[0].shiftAt(elems[0].Odz, -100)
 	if elems[1].Odz == elems[0].Odz {
 		t.Fatal("replica DOFs aliased")
 	}
@@ -259,7 +259,7 @@ func TestCompleteForwardTransfer(t *testing.T) {
 	elems, _ := Build("l1", celllib.Transparent, transparentTiming(), cs, 0, false, 0, 0)
 	e := elems[0]
 	// Initially at OdzMax; full headroom down = W.
-	if got := e.headroomDown(); got != 20*clock.Ns {
+	if got := e.headroomDownAt(e.Odz); got != 20*clock.Ns {
 		t.Fatalf("headroomDown = %v", got)
 	}
 	// Donate 5ns of upstream slack.

@@ -190,8 +190,8 @@ end
 	if !rep.OK {
 		t.Fatalf("imported design slow: %v", rep.WorstSlack())
 	}
-	if a.NW.Clocks.Overall() != 10*clock.Ns {
-		t.Fatalf("clock merge failed: %v", a.NW.Clocks.Overall())
+	if a.CD.Clocks.Overall() != 10*clock.Ns {
+		t.Fatalf("clock merge failed: %v", a.CD.Clocks.Overall())
 	}
 }
 

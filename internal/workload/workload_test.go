@@ -136,9 +136,9 @@ func TestFigure1TwoPasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mid := a.NW.NetIdx["m"]
+	mid := a.CD.NetIdx["m"]
 	found := false
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		if cl.LocalIndex(mid) >= 0 {
 			found = true
 			if cl.Plan.Passes() != 2 {
@@ -151,7 +151,7 @@ func TestFigure1TwoPasses(t *testing.T) {
 	}
 	// Total settling-time evaluations stay minimal: every other cluster
 	// needs one pass.
-	for _, cl := range a.NW.Clusters {
+	for _, cl := range a.CD.Clusters {
 		if cl.LocalIndex(mid) < 0 && cl.Plan.Passes() > 1 {
 			t.Fatalf("cluster %d needs %d passes", cl.ID, cl.Plan.Passes())
 		}
@@ -193,7 +193,7 @@ func TestGatedPipelineAnalyzable(t *testing.T) {
 	}
 	// The gated bank produces enable endpoints.
 	enables := 0
-	for _, s := range a.NW.Sites {
+	for _, s := range a.CD.Sites {
 		if strings.Contains(s.Name, ".en") {
 			enables++
 		}
@@ -224,7 +224,7 @@ func TestFastClockPipelineAnalyzable(t *testing.T) {
 	}
 	// phi2-controlled elements replicate.
 	replicated := 0
-	for _, s := range a.NW.Sites {
+	for _, s := range a.CD.Sites {
 		if len(s.Elems) == 2 {
 			replicated++
 		}
@@ -265,7 +265,7 @@ func TestDESVariantsAnalyzable(t *testing.T) {
 	// The multi-frequency variant really replicates: 512 sync sites + 64
 	// ports would give 576 elements unreplicated; the 256 fast FFs double.
 	a, _ := core.Load(lib, mustGen(DESMultiFreq()), core.DefaultOptions())
-	if len(a.NW.Elems) <= 700 {
-		t.Fatalf("element count %d suggests no replication", len(a.NW.Elems))
+	if len(a.CD.Elems) <= 700 {
+		t.Fatalf("element count %d suggests no replication", len(a.CD.Elems))
 	}
 }
