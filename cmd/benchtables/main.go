@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hummingbird/internal/baseline"
+	"hummingbird/internal/benchfmt"
 	"hummingbird/internal/breakopen"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/clock"
@@ -43,15 +44,32 @@ func main() {
 		fig4      = flag.Bool("fig4", false, "reproduce the Figure 4 break-open example")
 		ablations = flag.Bool("ablations", false, "run the A1-A5 ablations")
 		all       = flag.Bool("all", false, "run everything")
+		jsonOut   = flag.String("json-out", "", "write the Table-1 rows as a benchfmt JSON run to this file (implies -table1)")
+		label     = flag.String("label", "local", "label recorded in the -json-out run")
+		date      = flag.String("date", "", "date (YYYY-MM-DD) recorded in the -json-out run; required with -json-out")
 	)
 	flag.Parse()
 	w := os.Stdout
+	if *jsonOut != "" {
+		*table1 = true
+		if *date == "" {
+			must(fmt.Errorf("-json-out requires -date (the run date is recorded, never guessed)"))
+		}
+	}
 	any := *table1 || *fig1 || *fig2 || *fig3 || *fig4 || *ablations
 	if *all || !any {
 		*table1, *fig1, *fig2, *fig3, *fig4, *ablations = true, true, true, true, true, true
 	}
 	if *table1 {
-		runTable1(w)
+		rows := runTable1(w)
+		if *jsonOut != "" {
+			run := benchfmt.NewRun(*label, *date)
+			for _, r := range rows {
+				run.Rows = append(run.Rows, benchfmt.FromReportRow(r))
+			}
+			must(benchfmt.WriteFile(*jsonOut, run))
+			fmt.Fprintf(w, "wrote %d benchmark rows to %s\n\n", len(run.Rows), *jsonOut)
+		}
 	}
 	if *fig1 {
 		runFig1(w)
@@ -205,7 +223,9 @@ func pickEditInst(eng *incremental.Engine) string {
 	return ""
 }
 
-func runTable1(w io.Writer) {
+// runTable1 prints the Table-1 reproduction and returns every measured
+// row (paper rows first, then the extension rows) for -json-out.
+func runTable1(w io.Writer) []report.Row {
 	fmt.Fprintln(w, "== Table 1: run times (paper: VAX 8800 CPU seconds; here: this machine) ==")
 	fmt.Fprintln(w, "paper reference: DES 3681 cells analysed in 14.87s total on a VAX 8800")
 	fmt.Fprintln(w, "incr-edit/full-edit: re-analysis after a single-gate delay edit, incremental engine vs from scratch")
@@ -218,11 +238,13 @@ func runTable1(w io.Writer) {
 	}
 	report.Table1(w, rows)
 	fmt.Fprintln(w, "extension rows (not in the paper's Table 1): gated clock / 2x second clock")
-	report.Table1(w, []report.Row{
+	ext := []report.Row{
 		table1Row(lib, mustGen(workload.DESGated())),
 		table1Row(lib, mustGen(workload.DESMultiFreq())),
-	})
+	}
+	report.Table1(w, ext)
 	fmt.Fprintln(w)
+	return append(rows, ext...)
 }
 
 func runFig1(w io.Writer) {

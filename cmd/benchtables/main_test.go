@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"strings"
 	"testing"
 
+	"hummingbird/internal/benchfmt"
 	"hummingbird/internal/celllib"
 	"hummingbird/internal/core"
 	"hummingbird/internal/workload"
@@ -69,6 +72,39 @@ func TestRunTable1(t *testing.T) {
 	}
 	if strings.Contains(out, "false") {
 		t.Fatalf("a Table 1 design failed timing:\n%s", out)
+	}
+}
+
+// TestTable1RowsToBenchfmt checks runTable1's returned rows round-trip
+// through the benchfmt schema with the measurements intact (the
+// -json-out path).
+func TestTable1RowsToBenchfmt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 runs the DES-sized analysis")
+	}
+	rows := runTable1(io.Discard)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 4 paper + 2 extension", len(rows))
+	}
+	run := benchfmt.NewRun("test", "2026-01-01")
+	for _, r := range rows {
+		run.Rows = append(run.Rows, benchfmt.FromReportRow(r))
+	}
+	var buf bytes.Buffer
+	if err := benchfmt.Write(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	back, err := benchfmt.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range back.Rows {
+		if r.Workload != rows[i].Name || r.AnalysisNs != rows[i].Analysis.Nanoseconds() {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, r, rows[i])
+		}
+		if !r.OK || r.IncrEditNs <= 0 || r.OpenSharedNs <= 0 {
+			t.Fatalf("row %d incomplete: %+v", i, r)
+		}
 	}
 }
 

@@ -15,7 +15,7 @@
 //	GET    /v1/sessions/{id}/trace/last span tree of the session's last request
 //	DELETE /v1/sessions/{id}            close (parks the state in the LRU cache)
 //	GET    /healthz                     liveness
-//	GET    /readyz                      readiness (journals replayed, nothing quarantined, under the inflight ceiling)
+//	GET    /readyz                      readiness; "state" names why not: starting/degraded/draining
 //	GET    /metrics                     Prometheus text exposition
 //	GET    /metrics.json                telemetry snapshot JSON
 //	GET    /buildinfo                   build metadata (module version, VCS revision)
@@ -26,10 +26,11 @@
 // elaboration.
 //
 // Observability (see docs/OBSERVABILITY.md): every request runs under a
-// trace whose id is generated at admission and returned in the X-Trace-Id
-// header; nested spans cover admission wait, journal append+fsync, edit
-// classification, dirty-cluster recompute, each fixed-point sweep, and
-// response encoding. The finished span tree of a session's latest request
+// trace whose id is generated at admission — or adopted from a well-formed
+// client X-Trace-Id request header (load generators tag their ops this
+// way) — and returned in the X-Trace-Id header; nested spans cover
+// admission wait, journal append+fsync, edit classification, dirty-cluster
+// recompute, each fixed-point sweep, and response encoding. The finished span tree of a session's latest request
 // is served at /trace/last, every trace is written in Chrome trace-event
 // format under -trace-dir when set, and any request slower than
 // -slow-threshold dumps its tree to the server log.
@@ -50,6 +51,13 @@
 //     429 + Retry-After instead of queueing without bound.
 //   - -failpoints exposes /debug/failpoints for fault injection (chaos
 //     tests); HB_FAILPOINTS arms points at startup.
+//
+// Load testing and live profiling: -debug-addr starts a second listener
+// serving net/http/pprof (CPU/heap/goroutine/mutex/block profiles of a
+// daemon under load, never routed through — or shed by — the service mux);
+// on SIGINT/SIGTERM the daemon reports "draining" at /readyz for
+// -drain-grace before closing the listener, so balancers and
+// cmd/hummingbirdload stop routing new sessions to it first.
 package main
 
 import (
@@ -61,9 +69,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -98,6 +108,7 @@ var (
 	mRequestsShed    = telemetry.NewCounter("server.requests_shed")
 	mQuarantined     = telemetry.NewCounter("server.sessions_quarantined")
 	mReplayed        = telemetry.NewCounter("server.sessions_replayed")
+	mTraceInherited  = telemetry.NewCounter("server.trace_ids_inherited")
 )
 
 // requestTimers holds one latency histogram per guarded endpoint; the op
@@ -122,6 +133,28 @@ var traceSeq atomic.Int64
 func newTraceID() string {
 	return strconv.FormatInt(time.Now().UnixMilli(), 36) + "-" +
 		strconv.FormatInt(traceSeq.Add(1), 36)
+}
+
+// inboundTraceID validates a client-supplied X-Trace-Id. A load
+// generator (or an upstream proxy) tags its requests so a slow response
+// can be matched to the daemon's trace exports; adopting an arbitrary
+// header verbatim would let a client inject log/filename garbage, so
+// only short ids over a conservative alphabet are accepted.
+func inboundTraceID(r *http.Request) (string, bool) {
+	id := r.Header.Get("X-Trace-Id")
+	if id == "" || len(id) > 64 {
+		return "", false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return "", false
+		}
+	}
+	return id, true
 }
 
 func main() {
@@ -149,6 +182,10 @@ func run(args []string, w, errW io.Writer) error {
 		failpoints  = fs.Bool("failpoints", false, "expose /debug/failpoints fault-injection endpoints")
 		traceDir    = fs.String("trace-dir", "", "write every finished request trace here in Chrome trace-event format (empty = off)")
 		slowThresh  = fs.Duration("slow-threshold", 0, "log the full span tree of any request slower than this (0 = off)")
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		mutexFrac   = fs.Int("mutex-profile-fraction", 0, "runtime mutex contention sampling rate for /debug/pprof/mutex (0 = off)")
+		blockRate   = fs.Int("block-profile-rate", 0, "runtime blocking sampling rate in ns for /debug/pprof/block (0 = off)")
+		drainGrace  = fs.Duration("drain-grace", 0, "how long /readyz advertises draining before the listener stops accepting (0 = immediate)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -213,6 +250,25 @@ func run(args []string, w, errW io.Writer) error {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
+	// The profiling listener is separate from the service listener so a
+	// scrape or a 30s CPU capture can never consume an admission slot,
+	// and so the service port never exposes pprof. Mutex and block
+	// profiles only sample when their runtime rates are set.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(errW, "hummingbirdd: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(w, "hummingbirdd debug (pprof) on %s\n", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -224,10 +280,28 @@ func run(args []string, w, errW io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Graceful shutdown, in two phases: first advertise draining on
+	// /readyz for the grace window — load balancers and load generators
+	// stop sending new sessions while the listener still serves — then
+	// stop accepting and drain in-flight connections.
+	srv.draining.Store(true)
+	fmt.Fprintln(w, "hummingbirdd: draining")
+	if *drainGrace > 0 {
+		timer := time.NewTimer(*drainGrace)
+		select {
+		case <-timer.C:
+		case err := <-errc:
+			timer.Stop()
+			return err
+		}
+	}
 	fmt.Fprintln(w, "hummingbirdd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), *shutGrace)
 	defer cancel()
 	err := httpSrv.Shutdown(shutCtx)
+	if dbgSrv != nil {
+		dbgSrv.Shutdown(shutCtx)
+	}
 	// Flush and close journals, drop parked state — even when the drain
 	// above timed out, acknowledged records must reach the disk.
 	srv.shutdown()
@@ -249,6 +323,25 @@ func run(args []string, w, errW io.Writer) error {
 		fmt.Fprintf(w, "wrote telemetry snapshot to %s\n", *metricsOut)
 	}
 	return nil
+}
+
+// debugMux serves the live profiling surface: pprof index plus the CPU,
+// trace, and symbol endpoints. Heap, goroutine, mutex, block and allocs
+// profiles are reachable through the index handler's named lookup
+// (/debug/pprof/heap etc.). Registered on an explicit mux — never
+// http.DefaultServeMux — so nothing else in the process can leak
+// handlers onto the debug port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "debug": true})
+	})
+	return mux
 }
 
 // sess is one open analysis session. Its mutex serializes edits and
@@ -298,6 +391,12 @@ type server struct {
 	// immediately when journaling is off); /readyz gates on it.
 	ready atomic.Bool
 
+	// draining flips to true when graceful shutdown begins: /readyz
+	// answers 503 with state "draining" so load balancers and load
+	// generators stop routing new sessions here while in-flight work
+	// completes.
+	draining atomic.Bool
+
 	mu          sync.Mutex
 	sessions    map[string]*sess
 	quarantined map[string]string // id → diagnostic of the fault
@@ -335,6 +434,12 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 	// build several servers in one process always read the newest one.
 	telemetry.NewGaugeFunc("server.inflight", func() float64 {
 		return float64(len(s.inflight))
+	})
+	telemetry.NewGaugeFunc("server.draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
 	})
 	telemetry.NewGaugeFunc("server.sessions_open", func() float64 {
 		s.mu.Lock()
@@ -442,10 +547,18 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 		w := &startTracker{ResponseWriter: rw}
 		// The trace starts the moment the request reaches the guard; its id
 		// is echoed in X-Trace-Id so a client can correlate a slow response
-		// with the daemon's trace exports. This finish defer is declared
-		// before the recover defer below, so a panicking request's spans are
-		// force-ended and recorded too (defers run LIFO).
-		tr := span.New(newTraceID(), "server."+op)
+		// with the daemon's trace exports. A valid client-supplied
+		// X-Trace-Id is adopted instead, so a load generator can tag a
+		// request and later pull its span tree from /trace/last. This
+		// finish defer is declared before the recover defer below, so a
+		// panicking request's spans are force-ended and recorded too
+		// (defers run LIFO).
+		traceID := newTraceID()
+		if id, ok := inboundTraceID(r); ok {
+			traceID = id
+			mTraceInherited.Inc()
+		}
+		tr := span.New(traceID, "server."+op)
 		if id := r.PathValue("id"); id != "" {
 			tr.Root().Annotate("session", id)
 		}
@@ -558,9 +671,12 @@ func (s *server) finishRequest(op string, tr *span.Trace) {
 }
 
 // handleReadyz reports readiness: journals replayed, no session
-// quarantined, and the admission semaphore below its ceiling. Load
-// balancers use it to drain a daemon that is still alive (healthz) but
-// should not receive new work.
+// quarantined, the admission semaphore below its ceiling, and not
+// draining. Load balancers use it to stop routing to a daemon that is
+// still alive (healthz) but should not receive new work. The "state"
+// field distinguishes why: "starting" (journals replaying), "draining"
+// (graceful shutdown in progress — existing requests still complete),
+// "degraded" (quarantine or saturation), "ready".
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	quarantined := len(s.quarantined)
@@ -569,13 +685,24 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.inflight != nil {
 		inflight, ceiling = len(s.inflight), cap(s.inflight)
 	}
-	ready := s.ready.Load() && quarantined == 0 && (s.inflight == nil || inflight < ceiling)
+	draining := s.draining.Load()
+	ready := !draining && s.ready.Load() && quarantined == 0 && (s.inflight == nil || inflight < ceiling)
+	state := "ready"
+	switch {
+	case draining:
+		state = "draining"
+	case !s.ready.Load():
+		state = "starting"
+	case !ready:
+		state = "degraded"
+	}
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]any{
 		"ready":        ready,
+		"state":        state,
 		"replayed":     s.ready.Load(),
 		"quarantined":  quarantined,
 		"inflight":     inflight,

@@ -1,0 +1,266 @@
+// Command hummingbirdload drives a running hummingbirdd with an
+// open-loop workload and reports coordinated-omission-safe latency
+// distributions per operation class (see internal/loadgen). It speaks
+// the same benchfmt JSON as cmd/benchtables, so one BENCH_<label>.json
+// file carries both the single-threaded Table-1 numbers and the
+// serving-path load numbers for the same commit.
+//
+// Typical runs:
+//
+//	hummingbirdload -addr http://127.0.0.1:7077 -workload sm1f -rate 200 -duration 30s -sessions 100
+//	hummingbirdload -workload des -rate 50 -arrivals poisson -json-in BENCH_x.json -json-out BENCH_x.json
+//	hummingbirdload -compare BENCH_old.json BENCH_new.json -noise 0.30
+//
+// The target designs are the paper's Table-1 workloads, generated
+// locally and shipped to the daemon as netlist text. Before the run the
+// tool probes the design in-process to find instances whose delay
+// adjustments stay on the incremental path (the edit_delay population)
+// and nets a temporary buffer may be hung off (the edit_topo
+// population), so the load mix exercises both the delay-only fast path
+// and the full-rebuild path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hummingbird/internal/benchfmt"
+	"hummingbird/internal/celllib"
+	"hummingbird/internal/core"
+	"hummingbird/internal/incremental"
+	"hummingbird/internal/loadgen"
+	"hummingbird/internal/netlist"
+	"hummingbird/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hummingbirdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("hummingbirdload", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:7077", "base URL of the target hummingbirdd")
+		wlName    = fs.String("workload", "sm1f", "target design: des, alu, sm1f or sm1h")
+		rate      = fs.Float64("rate", 200, "scheduled arrival rate, operations/sec")
+		duration  = fs.Duration("duration", 10*time.Second, "steady-state run length (after session ramp)")
+		sessions  = fs.Int("sessions", 64, "concurrent sessions held open")
+		arrivals  = fs.String("arrivals", loadgen.ArrivalsConst, "arrival process: const or poisson")
+		mixSpec   = fs.String("mix", "", "op mix as class=weight,... (default: the built-in interactive mix)")
+		maxConc   = fs.Int("concurrency", 0, "max in-flight operations (0 = 512)")
+		seed      = fs.Int64("seed", 1, "random seed: same seed, same schedule")
+		traceTag  = fs.String("trace-tag", "hbl", "X-Trace-Id prefix; empty disables tagging and the slowest-op trace fetch")
+		editCount = fs.Int("edit-insts", 16, "how many delay-editable instances to probe for")
+		label     = fs.String("label", "local", "label recorded in -json-out (ignored with -json-in)")
+		date      = fs.String("date", "", "date (YYYY-MM-DD) recorded in -json-out; required for a fresh file")
+		jsonOut   = fs.String("json-out", "", "write/update a benchfmt JSON run at this path")
+		jsonIn    = fs.String("json-in", "", "existing benchfmt JSON run to merge load rows into (e.g. a benchtables -json-out file)")
+		compare   = fs.Bool("compare", false, "compare two benchfmt files (args: old.json new.json) and exit 1 on regression")
+		noise     = fs.Float64("noise", 0.25, "relative noise threshold for -compare (0.25 = 25%)")
+		maxP99    = fs.Duration("assert-max-p99", 0, "fail if any op class's intent-measured p99 exceeds this (0 = off)")
+		no5xx     = fs.Bool("assert-no-5xx", false, "fail if any operation got a 5xx or transport error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("-compare needs two arguments: old.json new.json")
+		}
+		oldPath, newPath := fs.Arg(0), fs.Arg(1)
+		// flag stops at the first positional argument; re-parse what
+		// follows the two files so "-compare old new -noise 0.3" works.
+		if fs.NArg() > 2 {
+			if err := fs.Parse(fs.Args()[2:]); err != nil {
+				return err
+			}
+		}
+		oldRun, err := benchfmt.ReadFile(oldPath)
+		if err != nil {
+			return err
+		}
+		newRun, err := benchfmt.ReadFile(newPath)
+		if err != nil {
+			return err
+		}
+		if n := benchfmt.WriteComparison(w, oldRun, newRun, *noise); n > 0 {
+			return fmt.Errorf("%d regression(s) beyond the %.0f%% noise threshold", n, *noise*100)
+		}
+		return nil
+	}
+
+	if *jsonOut != "" && *jsonIn == "" && *date == "" {
+		return fmt.Errorf("-json-out on a fresh file requires -date (the run date is recorded, never guessed)")
+	}
+
+	design, err := buildWorkload(*wlName)
+	if err != nil {
+		return err
+	}
+	var designText strings.Builder
+	if err := netlist.Write(&designText, design); err != nil {
+		return err
+	}
+	editInsts, topoNets, err := probeDesign(design, *editCount)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload %s: %d instances probed for delay edits, %d topo nets\n",
+		*wlName, len(editInsts), len(topoNets))
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := loadgen.Config{
+		BaseURL:       strings.TrimRight(*addr, "/"),
+		Rate:          *rate,
+		Arrivals:      *arrivals,
+		Duration:      *duration,
+		Sessions:      *sessions,
+		MaxConcurrent: *maxConc,
+		Workload:      *wlName,
+		Design:        designText.String(),
+		EditInsts:     editInsts,
+		TopoNets:      topoNets,
+		Mix:           mix,
+		Seed:          *seed,
+		TraceTag:      *traceTag,
+		Log:           w,
+	}
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	res.WriteText(w)
+
+	if *jsonOut != "" {
+		var run *benchfmt.Run
+		if *jsonIn != "" {
+			if run, err = benchfmt.ReadFile(*jsonIn); err != nil {
+				return err
+			}
+			if *date != "" {
+				run.Date = *date
+			}
+		} else {
+			run = benchfmt.NewRun(*label, *date)
+		}
+		run.MergeLoad(res.BenchRows())
+		if err := benchfmt.WriteFile(*jsonOut, run); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d table rows + %d load rows to %s\n", len(run.Rows), len(run.Load), *jsonOut)
+	}
+
+	var failures []string
+	if *no5xx {
+		if n := res.Failed5xx(); n > 0 {
+			failures = append(failures, fmt.Sprintf("%d operation(s) failed with 5xx or transport errors", n))
+		}
+	}
+	if *maxP99 > 0 {
+		if worst := res.WorstP99(); worst > *maxP99 {
+			failures = append(failures, fmt.Sprintf("worst op-class p99 %v exceeds the %v ceiling", worst, *maxP99))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("assertion failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// buildWorkload generates one of the paper's Table-1 designs by name.
+func buildWorkload(name string) (*netlist.Design, error) {
+	switch strings.ToLower(name) {
+	case "des":
+		return workload.DES()
+	case "alu":
+		return workload.ALU()
+	case "sm1f":
+		return workload.SM1F(), nil
+	case "sm1h":
+		return workload.SM1H(), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (want des, alu, sm1f or sm1h)", name)
+}
+
+// probeDesign opens the design in-process and finds up to n instances
+// whose delay adjustment stays incremental (no fallback to a full
+// rebuild), plus the output nets of those instances as attachment
+// points for temporary topology-edit buffers.
+func probeDesign(d *netlist.Design, n int) (editInsts, topoNets []string, err error) {
+	eng, err := incremental.Open(celllib.Default(), d, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	netSet := make(map[string]bool)
+	for i := range d.Instances {
+		if len(editInsts) >= n {
+			break
+		}
+		inst := d.Instances[i]
+		out, aerr := eng.Apply(incremental.Edit{Op: incremental.Adjust, Inst: inst.Name, Delta: 100})
+		if aerr != nil {
+			continue
+		}
+		if _, rerr := eng.Apply(incremental.Edit{Op: incremental.Adjust, Inst: inst.Name, Delta: -100}); rerr != nil {
+			return nil, nil, fmt.Errorf("probe revert on %s: %w", inst.Name, rerr)
+		}
+		if !out.Incremental {
+			continue
+		}
+		editInsts = append(editInsts, inst.Name)
+		if y := inst.Conns["Y"]; y != "" {
+			netSet[y] = true
+		}
+	}
+	if len(editInsts) == 0 {
+		return nil, nil, fmt.Errorf("%s: no incrementally editable instances found", d.Name)
+	}
+	for net := range netSet {
+		topoNets = append(topoNets, net)
+	}
+	sort.Strings(topoNets)
+	if len(topoNets) == 0 {
+		return nil, nil, fmt.Errorf("%s: no topology-edit attachment nets found", d.Name)
+	}
+	return editInsts, topoNets, nil
+}
+
+// parseMix parses "class=weight,class=weight" into a loadgen mix.
+func parseMix(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil // loadgen substitutes DefaultMix
+	}
+	mix := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want class=weight)", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", v)
+		}
+		mix[k] = f
+	}
+	return mix, nil
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hummingbird/internal/benchfmt"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("edit_delay=0.5, report=0.3,whatif=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["edit_delay"] != 0.5 || mix["report"] != 0.3 || mix["whatif"] != 0.2 {
+		t.Fatalf("mix %v", mix)
+	}
+	if m, err := parseMix(""); err != nil || m != nil {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+	for _, bad := range []string{"noequals", "x=notanumber", "x=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}
+
+func TestBuildWorkloadAndProbe(t *testing.T) {
+	d, err := buildWorkload("sm1f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, nets, err := probeDesign(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) == 0 || len(insts) > 8 || len(nets) == 0 {
+		t.Fatalf("probe: %d insts, %d nets", len(insts), len(nets))
+	}
+	if _, err := buildWorkload("nonesuch"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	oldRun := benchfmt.NewRun("old", "2026-01-01")
+	oldRun.Load = []benchfmt.LoadRow{{
+		Workload: "sm1f", OpClass: "edit_delay", Arrivals: "const",
+		Ops: 1000, P50Ns: 1e6, P99Ns: 5e6, P999Ns: 8e6, Throughput: 200,
+	}}
+	newRun := benchfmt.NewRun("new", "2026-01-02")
+	newRun.Load = []benchfmt.LoadRow{{
+		Workload: "sm1f", OpClass: "edit_delay", Arrivals: "const",
+		Ops: 1000, P50Ns: 1e6, P99Ns: 20e6, P999Ns: 30e6, Throughput: 200,
+	}}
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := benchfmt.WriteFile(oldPath, oldRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.WriteFile(newPath, newRun); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"-compare", oldPath, newPath, "-noise", "0.25"}, &out, io.Discard)
+	if err == nil {
+		t.Fatalf("4x p99 regression must fail the compare; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99Ns") {
+		t.Fatalf("comparison output names the regressed metric:\n%s", out.String())
+	}
+	// Same file against itself: no regressions.
+	if err := run([]string{"-compare", oldPath, oldPath}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	// Wrong arity is a usage error.
+	if err := run([]string{"-compare", oldPath}, io.Discard, io.Discard); err == nil {
+		t.Fatal("one-arg compare must error")
+	}
+}
+
+// fakeServer is a protocol-compatible stub accepting any session work,
+// for exercising the CLI end to end without a real daemon.
+func fakeServer() *httptest.Server {
+	var next atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"session": fmt.Sprintf("s%d", next.Add(1)), "ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"ready": true, "state": "ready"})
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"enabled": true, "counters": map[string]int64{}})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": "x"})
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestRunWritesAndMergesJSON(t *testing.T) {
+	ts := fakeServer()
+	defer ts.Close()
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_test.json")
+
+	// Seed the file the way benchtables would: table rows, no load rows.
+	seed := benchfmt.NewRun("test", "2026-02-03")
+	seed.Rows = []benchfmt.Row{{Workload: "sm1f", Cells: 40, AnalysisNs: 1000, OK: true}}
+	if err := benchfmt.WriteFile(outPath, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{
+		"-addr", ts.URL, "-workload", "sm1f",
+		"-rate", "150", "-duration", "400ms", "-sessions", "3",
+		"-mix", "edit_delay=0.7,report=0.3", "-trace-tag", "",
+		"-json-in", outPath, "-json-out", outPath,
+		"-assert-no-5xx", "-assert-max-p99", "5s",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+
+	got, err := benchfmt.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].Workload != "sm1f" {
+		t.Fatalf("table rows clobbered: %+v", got.Rows)
+	}
+	if len(got.Load) == 0 {
+		t.Fatalf("no load rows merged; output:\n%s", out.String())
+	}
+	for _, lr := range got.Load {
+		if lr.Workload != "sm1f" || lr.Ops == 0 && lr.OpClass != "open" {
+			t.Fatalf("bad load row %+v", lr)
+		}
+	}
+	// Re-running replaces rows by key instead of duplicating them.
+	nLoad := len(got.Load)
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := benchfmt.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Load) != nLoad {
+		t.Fatalf("merge duplicated rows: %d -> %d", nLoad, len(got2.Load))
+	}
+}
+
+func TestFreshJSONOutRequiresDate(t *testing.T) {
+	err := run([]string{"-json-out", "x.json"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-date") {
+		t.Fatalf("want date-required error, got %v", err)
+	}
+}
+
+func TestAssertNo5xxFails(t *testing.T) {
+	// Every op 500s: the assertion must fail the run.
+	mux := http.NewServeMux()
+	var next atomic.Int64
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"session": fmt.Sprintf("s%d", next.Add(1))})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{"error": "boom"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	err := run([]string{
+		"-addr", ts.URL, "-workload", "sm1f", "-rate", "80",
+		"-duration", "300ms", "-sessions", "1", "-mix", "edit_delay=1",
+		"-trace-tag", "", "-assert-no-5xx",
+	}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "5xx") {
+		t.Fatalf("want 5xx assertion failure, got %v", err)
+	}
+}

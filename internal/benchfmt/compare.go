@@ -1,0 +1,167 @@
+// Regression detection between two benchmark runs: every comparable
+// metric is diffed against a relative noise threshold, lower-is-better
+// for latencies and higher-is-better for throughput.
+
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Direction says which way a metric is allowed to move freely.
+type Direction int
+
+const (
+	// LowerIsBetter flags new > old*(1+noise).
+	LowerIsBetter Direction = iota
+	// HigherIsBetter flags new < old*(1-noise).
+	HigherIsBetter
+)
+
+// Regression is one metric that moved beyond the noise threshold
+// between two runs, or a row present in the old run but missing from
+// the new one.
+type Regression struct {
+	// Where identifies the row: workload name, plus op class and arrival
+	// mode for load rows.
+	Where string `json:"where"`
+	// Metric is the JSON field name that regressed ("p99Ns",
+	// "analysisNs", "throughput", ...), or "missing" for a vanished row.
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is New/Old (0 when Old is 0 or the row is missing).
+	Ratio float64 `json:"ratio"`
+	// Nanoseconds marks duration metrics so they render as durations.
+	Nanoseconds bool `json:"-"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: row missing from new run", r.Where)
+	}
+	if r.Nanoseconds {
+		return fmt.Sprintf("%s %s: %s -> %s (%.2fx)", r.Where, r.Metric, fmtNs(r.Old), fmtNs(r.New), r.Ratio)
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.2fx)", r.Where, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// check appends a regression when the metric moved the wrong way beyond
+// the noise fraction. Metrics absent from either run (zero) are skipped:
+// a measurement that was not taken cannot regress.
+func check(regs []Regression, where, metric string, dir Direction, old, new float64, noise float64, ns bool) []Regression {
+	if old <= 0 || new <= 0 {
+		return regs
+	}
+	bad := false
+	switch dir {
+	case LowerIsBetter:
+		bad = new > old*(1+noise)
+	case HigherIsBetter:
+		bad = new < old*(1-noise)
+	}
+	if !bad {
+		return regs
+	}
+	return append(regs, Regression{
+		Where: where, Metric: metric,
+		Old: old, New: new, Ratio: new / old, Nanoseconds: ns,
+	})
+}
+
+// Compare diffs two runs row by row (rows are matched by workload, load
+// rows by workload+opClass+arrivals) and returns every metric that
+// regressed beyond the relative noise threshold, sorted worst first
+// within each kind. noise is a fraction: 0.25 tolerates a 25% slowdown
+// before flagging. Rows present only in the new run are additions, not
+// regressions; rows that vanished are reported with metric "missing".
+func Compare(old, new *Run, noise float64) []Regression {
+	var regs []Regression
+	newRows := make(map[string]Row, len(new.Rows))
+	for _, r := range new.Rows {
+		newRows[r.Workload] = r
+	}
+	for _, o := range old.Rows {
+		n, ok := newRows[o.Workload]
+		if !ok {
+			regs = append(regs, Regression{Where: o.Workload, Metric: "missing"})
+			continue
+		}
+		w := o.Workload
+		regs = check(regs, w, "preprocessNs", LowerIsBetter, float64(o.PreProcessNs), float64(n.PreProcessNs), noise, true)
+		regs = check(regs, w, "analysisNs", LowerIsBetter, float64(o.AnalysisNs), float64(n.AnalysisNs), noise, true)
+		regs = check(regs, w, "incrEditNs", LowerIsBetter, float64(o.IncrEditNs), float64(n.IncrEditNs), noise, true)
+		regs = check(regs, w, "fullEditNs", LowerIsBetter, float64(o.FullEditNs), float64(n.FullEditNs), noise, true)
+		regs = check(regs, w, "openColdNs", LowerIsBetter, float64(o.OpenColdNs), float64(n.OpenColdNs), noise, true)
+		regs = check(regs, w, "openSharedNs", LowerIsBetter, float64(o.OpenSharedNs), float64(n.OpenSharedNs), noise, true)
+		if o.OK && !n.OK {
+			regs = append(regs, Regression{Where: w, Metric: "ok", Old: 1, New: 0})
+		}
+	}
+	type loadKey struct{ w, c, a string }
+	newLoad := make(map[loadKey]LoadRow, len(new.Load))
+	for _, r := range new.Load {
+		newLoad[loadKey{r.Workload, r.OpClass, r.Arrivals}] = r
+	}
+	for _, o := range old.Load {
+		n, ok := newLoad[loadKey{o.Workload, o.OpClass, o.Arrivals}]
+		w := fmt.Sprintf("%s/%s/%s", o.Workload, o.OpClass, o.Arrivals)
+		if !ok {
+			regs = append(regs, Regression{Where: w, Metric: "missing"})
+			continue
+		}
+		regs = check(regs, w, "p50Ns", LowerIsBetter, float64(o.P50Ns), float64(n.P50Ns), noise, true)
+		regs = check(regs, w, "p99Ns", LowerIsBetter, float64(o.P99Ns), float64(n.P99Ns), noise, true)
+		regs = check(regs, w, "p999Ns", LowerIsBetter, float64(o.P999Ns), float64(n.P999Ns), noise, true)
+		regs = check(regs, w, "throughput", HigherIsBetter, o.Throughput, n.Throughput, noise, false)
+		// Error-rate regressions use an absolute floor on top of the
+		// relative threshold: a jump from 1 to 2 stray errors is noise, a
+		// jump in the failure fraction is not.
+		oldRate := errRate(o)
+		newRate := errRate(n)
+		if newRate > oldRate+0.01 && newRate > oldRate*(1+noise) {
+			regs = append(regs, Regression{
+				Where: w, Metric: "errorRate",
+				Old: oldRate, New: newRate, Ratio: ratio(newRate, oldRate),
+			})
+		}
+	}
+	sort.SliceStable(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs
+}
+
+func errRate(r LoadRow) float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	var errs int64
+	for _, n := range r.Errors {
+		errs += n
+	}
+	return float64(errs) / float64(r.Ops)
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WriteComparison renders a comparison report; it returns the number of
+// regressions so callers can exit non-zero.
+func WriteComparison(w io.Writer, old, new *Run, noise float64) int {
+	regs := Compare(old, new, noise)
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), noise threshold %.0f%%\n",
+		old.Label, old.Date, new.Label, new.Date, noise*100)
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "no regressions beyond threshold")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	return len(regs)
+}

@@ -1,0 +1,145 @@
+// Log-linear latency histogram for the load generator. The telemetry
+// package's fixed power-of-two buckets are fine for server-side
+// monitoring, but a load report quoting p99.9 needs finer resolution:
+// this histogram subdivides every power-of-two range into 16 linear
+// sub-buckets (HDR-histogram style), bounding the quantile error at
+// ~6% while keeping Record lock-free and allocation-free.
+
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// histSubBits sub-buckets per power-of-two range.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histMinShift: values at or below 2^histMinShift ns (~1µs) share the
+	// first range — nothing over HTTP resolves faster.
+	histMinShift = 10
+	// histRanges power-of-two ranges: top bound 2^(10+26) ns ≈ 67s;
+	// anything slower saturates into the last bucket.
+	histRanges  = 26
+	histBuckets = histRanges * histSub
+)
+
+// hist is a concurrent log-linear histogram over nanosecond values.
+type hist struct {
+	count   atomic.Int64
+	total   atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	exp := bits.Len64(uint64(ns)) // position of the top set bit, 1-based
+	if exp <= histMinShift+histSubBits {
+		// Whole first range is linear: 2^(minShift+subBits) ns across
+		// histSub buckets of 2^minShift each.
+		idx := int(ns >> histMinShift)
+		if idx >= histSub {
+			idx = histSub - 1
+		}
+		return idx
+	}
+	rng := exp - (histMinShift + histSubBits) // 1-based range above the first
+	if rng >= histRanges {
+		return histBuckets - 1
+	}
+	// Within range rng, the value spans [2^(exp-1), 2^exp); the top
+	// subBits bits below the leading bit select the linear sub-bucket.
+	sub := int(ns>>(exp-1-histSubBits)) & (histSub - 1)
+	return rng*histSub + sub
+}
+
+// histBound returns the inclusive upper bound of bucket i in
+// nanoseconds.
+func histBound(i int) int64 {
+	rng := i / histSub
+	sub := int64(i%histSub) + 1
+	if rng == 0 {
+		return sub << histMinShift
+	}
+	base := int64(1) << (histMinShift + histSubBits + rng - 1)
+	return base + sub*(base>>histSubBits)
+}
+
+// record adds one observation.
+func (h *hist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.total.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[histIndex(ns)].Add(1)
+}
+
+// snapshot copies the bucket counts.
+func (h *hist) snapshot() (counts [histBuckets]int64, count, total, max int64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, h.count.Load(), h.total.Load(), h.max.Load()
+}
+
+// quantile estimates the q-quantile in nanoseconds from a snapshot by
+// stepping buckets to the target rank; the true maximum caps the
+// estimate so a single slow outlier cannot be reported above itself.
+func quantile(counts [histBuckets]int64, count, max int64, q float64) int64 {
+	if count <= 0 {
+		return 0
+	}
+	rank := int64(float64(count)*q + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			b := histBound(i)
+			if b > max {
+				b = max
+			}
+			return b
+		}
+	}
+	return max
+}
+
+// stats derives the report numbers from one histogram.
+type histStats struct {
+	Count, Total, Max   int64
+	Mean                int64
+	P50, P90, P99, P999 int64
+}
+
+func (h *hist) stats() histStats {
+	counts, count, total, max := h.snapshot()
+	s := histStats{Count: count, Total: total, Max: max}
+	if count > 0 {
+		s.Mean = total / count
+	}
+	s.P50 = quantile(counts, count, max, 0.50)
+	s.P90 = quantile(counts, count, max, 0.90)
+	s.P99 = quantile(counts, count, max, 0.99)
+	s.P999 = quantile(counts, count, max, 0.999)
+	return s
+}

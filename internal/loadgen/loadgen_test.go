@@ -1,0 +1,319 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDaemon is a minimal in-process stand-in for hummingbirdd: enough
+// protocol to open/edit/report/close sessions, a /readyz whose state is
+// test-controlled, /metrics.json counters that advance per request, and
+// a /trace/last that echoes the session's last inbound X-Trace-Id —
+// deliberately stallable for the coordinated-omission test.
+type fakeDaemon struct {
+	mu        sync.Mutex
+	nextID    int
+	sessions  map[string]string // id → last trace id seen
+	state     atomic.Value      // readyz "state" string
+	requests  atomic.Int64
+	stallOnce sync.Once
+	stallFor  time.Duration // first edit request stalls the server this long
+	stallEnd  atomic.Value  // time.Time
+}
+
+func newFakeDaemon(stall time.Duration) *fakeDaemon {
+	f := &fakeDaemon{sessions: make(map[string]string), stallFor: stall}
+	f.state.Store("ready")
+	f.stallEnd.Store(time.Time{})
+	return f
+}
+
+func (f *fakeDaemon) maybeStall() {
+	if f.stallFor <= 0 {
+		return
+	}
+	f.stallOnce.Do(func() { f.stallEnd.Store(time.Now().Add(f.stallFor)) })
+	if end := f.stallEnd.Load().(time.Time); time.Now().Before(end) {
+		time.Sleep(time.Until(end))
+	}
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	note := func(r *http.Request, id string) {
+		if tid := r.Header.Get("X-Trace-Id"); tid != "" && id != "" {
+			f.mu.Lock()
+			if _, ok := f.sessions[id]; ok {
+				f.sessions[id] = tid
+			}
+			f.mu.Unlock()
+		}
+	}
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		f.mu.Lock()
+		f.nextID++
+		id := fmt.Sprintf("s%d", f.nextID)
+		f.sessions[id] = r.Header.Get("X-Trace-Id")
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"session": id, "ok": true})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		f.maybeStall()
+		id := r.PathValue("id")
+		f.mu.Lock()
+		_, ok := f.sessions[id]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]any{"error": "no such session"})
+			return
+		}
+		note(r, id)
+		json.NewEncoder(w).Encode(map[string]any{"session": id, "ok": true})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		note(r, r.PathValue("id"))
+		json.NewEncoder(w).Encode(map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"session": r.PathValue("id"), "ok": true})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		tid := f.sessions[r.PathValue("id")]
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"id": tid, "root": map[string]any{"name": "server.edits"}})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		f.mu.Lock()
+		delete(f.sessions, r.PathValue("id"))
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"closed": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		state := f.state.Load().(string)
+		if state != "ready" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"state": state, "ready": state == "ready"})
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"enabled":  true,
+			"counters": map[string]int64{"server.requests_total": f.requests.Load()},
+			"timers":   map[string]any{},
+			"gauges":   map[string]float64{"server.inflight": 1},
+		})
+	})
+	return mux
+}
+
+func baseConfig(url string) Config {
+	return Config{
+		BaseURL:   url,
+		Rate:      200,
+		Arrivals:  ArrivalsConst,
+		Duration:  500 * time.Millisecond,
+		Sessions:  4,
+		Workload:  "fake",
+		Design:    "design fake\nend\n",
+		EditInsts: []string{"g1", "g2"},
+		TopoNets:  []string{"n1"},
+		Seed:      7,
+	}
+}
+
+// TestCoordinatedOmission is the satellite's stall test: the fake
+// server stalls 400ms on its first edit; with a 2-worker pool every
+// operation scheduled during the stall queues client-side. A
+// coordinated-omission-safe harness charges that queueing to the
+// operations — the intent-measured p99 must show hundreds of
+// milliseconds — while the service-time histogram (measured from send)
+// stays small, because only the two in-flight requests ever saw the
+// stall. A send-time-measured harness would report both small.
+func TestCoordinatedOmission(t *testing.T) {
+	fd := newFakeDaemon(400 * time.Millisecond)
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	cfg := baseConfig(ts.URL)
+	cfg.Rate = 400
+	cfg.Duration = time.Second
+	cfg.Sessions = 1
+	cfg.MaxConcurrent = 2
+	cfg.Mix = map[string]float64{OpEditDelay: 1}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Classes[OpEditDelay]
+	if c.Completed < 100 {
+		t.Fatalf("too few ops completed: %+v", c)
+	}
+	latP99 := time.Duration(c.Latency.P99)
+	svcP99 := time.Duration(c.Service.P99)
+	if latP99 < 250*time.Millisecond {
+		t.Errorf("intent-measured p99 = %v, want >= 250ms: the stall's queueing delay must be charged to scheduled ops", latP99)
+	}
+	if svcP99 > 150*time.Millisecond {
+		t.Errorf("service-time p99 = %v, want small: only 2 requests were in flight during the stall", svcP99)
+	}
+	if latP99 <= svcP99 {
+		t.Errorf("intent p99 (%v) must exceed service p99 (%v) under a stall", latP99, svcP99)
+	}
+}
+
+func TestRunBasicMix(t *testing.T) {
+	fd := newFakeDaemon(0)
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	cfg := baseConfig(ts.URL)
+	cfg.Arrivals = ArrivalsPoisson
+	cfg.TraceTag = "lt"
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int64
+	for _, c := range res.Classes {
+		done += c.Completed
+	}
+	if done < 50 {
+		t.Fatalf("only %d ops completed", done)
+	}
+	if res.Failed5xx() != 0 {
+		t.Fatalf("unexpected failures: %+v", res.Classes)
+	}
+	// Ramp opens are measured.
+	if res.Classes[OpOpen].Completed < int64(cfg.Sessions) {
+		t.Fatalf("ramp opens not recorded: %+v", res.Classes[OpOpen])
+	}
+	// Metrics were scraped before and after, and the delta is visible.
+	delta := res.ServerDelta()
+	if delta == nil || delta["server.requests_total"] <= 0 {
+		t.Fatalf("server delta missing: %v", delta)
+	}
+	// Slowest-op replay fetched a span tree whose id matches the replay tag.
+	if res.SlowestTraceID == "" {
+		t.Fatalf("no slowest op recorded")
+	}
+	if res.SlowestTrace == nil {
+		t.Fatalf("slowest-op trace not fetched (slowest was %s on class %s)", res.SlowestTraceID, res.SlowestClass)
+	}
+	var tr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(res.SlowestTrace, &tr); err != nil || tr.ID != res.SlowestTraceID+"-replay" {
+		t.Fatalf("trace id %q, want %q", tr.ID, res.SlowestTraceID+"-replay")
+	}
+	rows := res.BenchRows()
+	if len(rows) == 0 {
+		t.Fatal("no bench rows")
+	}
+	for _, row := range rows {
+		if row.Workload != "fake" || row.Arrivals != ArrivalsPoisson {
+			t.Fatalf("row metadata: %+v", row)
+		}
+		if row.Ops > 0 && row.P50Ns <= 0 {
+			t.Fatalf("row without latency: %+v", row)
+		}
+	}
+}
+
+// TestDrainStopsSessionScheduling flips the fake replica to the
+// draining state mid-run and asserts the generator stops scheduling
+// session-creating operations while the rest of the mix keeps flowing.
+func TestDrainStopsSessionScheduling(t *testing.T) {
+	fd := newFakeDaemon(0)
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	cfg := baseConfig(ts.URL)
+	cfg.Duration = 900 * time.Millisecond
+	cfg.DrainPoll = 30 * time.Millisecond
+	cfg.Mix = map[string]float64{OpParkResume: 0.5, OpEditDelay: 0.5}
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		fd.state.Store("draining")
+	}()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DrainObserved {
+		t.Fatal("drain not observed")
+	}
+	pr := res.Classes[OpParkResume]
+	if pr.SkippedDrain == 0 {
+		t.Fatalf("park_resume not withheld during drain: %+v", pr)
+	}
+	// The non-session-creating class kept flowing after the flip.
+	ed := res.Classes[OpEditDelay]
+	if ed.Completed < pr.Completed {
+		t.Fatalf("edit flow did not continue during drain: edits %+v, park %+v", ed, pr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BaseURL: "x"},
+		{BaseURL: "x", Rate: 1},
+		{BaseURL: "x", Rate: 1, Duration: time.Second},
+		{BaseURL: "x", Rate: 1, Duration: time.Second, Sessions: 1},
+		{BaseURL: "x", Rate: 1, Duration: time.Second, Sessions: 1, Design: "d", Arrivals: "bursty"},
+		{BaseURL: "x", Rate: 1, Duration: time.Second, Sessions: 1, Design: "d",
+			Mix: map[string]float64{"destroy": 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d: want validation error", i)
+		}
+	}
+}
+
+func TestErrorAccounting(t *testing.T) {
+	// A server that sheds everything: ops complete, all counted as 429s.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"session": "s1"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"error": "shed"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := baseConfig(ts.URL)
+	cfg.Sessions = 1
+	cfg.Duration = 300 * time.Millisecond
+	cfg.Mix = map[string]float64{OpEditDelay: 1}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Classes[OpEditDelay]
+	if c.Shed == 0 || c.Errors["429"] != c.Shed {
+		t.Fatalf("shed accounting: %+v", c)
+	}
+	if c.Failed != 0 {
+		t.Fatalf("429 is shed, not failure: %+v", c)
+	}
+}
