@@ -1,0 +1,375 @@
+// Fleet failover tests: real hummingbirdd subprocesses (via the
+// proc_test.go harness) behind an in-process fleet router. These run
+// untagged — and therefore under `go test -race ./...` — because the
+// failure they inject is process death, not a failpoint: SIGKILL a
+// replica while a fleet of sessions is live and check the displaced
+// sessions re-home onto their journal-stream peer with no state loss,
+// while sessions on the survivor never see a 5xx.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hummingbird/internal/fleet"
+)
+
+// fleetFront wires an in-process router over the given daemons and
+// serves it on an httptest listener.
+func fleetFront(t *testing.T, members []fleet.Member) (*fleet.Router, *httptest.Server) {
+	t.Helper()
+	router, err := fleet.NewRouter(fleet.Config{
+		Members:        members,
+		HealthInterval: 100 * time.Millisecond,
+		FailAfter:      2,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	t.Cleanup(router.Close)
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+	return router, front
+}
+
+// fleetDo issues one request against the router frontend and returns the
+// status, headers and raw body.
+func fleetDo(t *testing.T, method, url string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// fleetJSON is fleetDo with the body decoded as a JSON object.
+func fleetJSON(t *testing.T, method, url string, body any) (int, http.Header, map[string]any) {
+	t.Helper()
+	status, hdr, raw := fleetDo(t, method, url, body)
+	var m map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, raw, err)
+		}
+	}
+	return status, hdr, m
+}
+
+func adjustEdit(inst string, delta string) map[string]any {
+	return map[string]any{
+		"edits": []map[string]any{{"op": "adjust", "inst": inst, "delta": delta}},
+	}
+}
+
+// fleetSession is one session opened through the router.
+type fleetSession struct {
+	id      string
+	replica string
+	design  string
+}
+
+// openFleetSessions opens sessions with distinct designs until both
+// replicas hold at least `want` each (distinct design → distinct ring
+// key, so placement spreads).
+func openFleetSessions(t *testing.T, frontURL string, want int) []fleetSession {
+	t.Helper()
+	var out []fleetSession
+	byReplica := map[string]int{}
+	for k := 5; k < 64; k++ {
+		if byReplica["r1"] >= want && byReplica["r2"] >= want {
+			break
+		}
+		design := chainSrc(k)
+		status, hdr, m := fleetJSON(t, "POST", frontURL+"/v1/sessions", map[string]any{"design": design})
+		if status != http.StatusCreated {
+			t.Fatalf("open chain(%d): %d %v", k, status, m)
+		}
+		replica := hdr.Get("X-Hb-Replica")
+		if replica == "" {
+			t.Fatal("open response lacks X-Hb-Replica")
+		}
+		out = append(out, fleetSession{id: m["session"].(string), replica: replica, design: design})
+		byReplica[replica]++
+	}
+	if byReplica["r1"] < want || byReplica["r2"] < want {
+		t.Fatalf("placement never spread: %v", byReplica)
+	}
+	return out
+}
+
+// TestFleetFailoverServesDisplacedSessions is the fleet acceptance
+// chaos test: SIGKILL one replica while its sessions have live edits in
+// flight, then check (a) the displaced session's next request is served
+// by the journal-stream peer under the same session id, (b) the peer's
+// slack report is bit-identical to a fresh single daemon replaying a
+// copy of the same journal, and (c) sessions pinned to the survivor
+// never saw a 5xx.
+func TestFleetFailoverServesDisplacedSessions(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	_, front := fleetFront(t, []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}})
+
+	sessions := openFleetSessions(t, front.URL, 2)
+
+	// Same design must land on the same replica (that is the point of
+	// hashing on the design: a shared compile).
+	first := sessions[0]
+	if status, hdr, _ := fleetJSON(t, "POST", front.URL+"/v1/sessions", map[string]any{"design": first.design}); status != http.StatusCreated {
+		t.Fatalf("duplicate-design open: %d", status)
+	} else if got := hdr.Get("X-Hb-Replica"); got != first.replica {
+		t.Fatalf("same design split across replicas: %s vs %s", got, first.replica)
+	}
+
+	// One acked edit per session, so every journal has frames to stream.
+	for _, s := range sessions {
+		status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "100ps"))
+		if status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+	}
+	var victims, bystanders []fleetSession
+	for _, s := range sessions {
+		if s.replica == "r1" {
+			victims = append(victims, s)
+		} else {
+			bystanders = append(bystanders, s)
+		}
+	}
+
+	// Hammer the survivor's sessions for the whole kill window; any 5xx
+	// on a non-displaced session fails the test.
+	var server5xx atomic.Int64
+	stopHammer := make(chan struct{})
+	var hammerWG sync.WaitGroup
+	hammerWG.Add(1)
+	go func() {
+		defer hammerWG.Done()
+		client := &http.Client{Timeout: 10 * time.Second}
+		for i := 0; ; i++ {
+			select {
+			case <-stopHammer:
+				return
+			default:
+			}
+			s := bystanders[i%len(bystanders)]
+			resp, err := client.Get(front.URL + "/v1/sessions/" + s.id)
+			if err != nil {
+				continue // router gone would fail elsewhere
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				server5xx.Add(1)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// SIGKILL r1 while an edit batch races toward it. The batch may have
+	// been acked (200) or died with the replica — then the router answers
+	// 409 (retry the batch) because blind replay could double-apply. It
+	// must never surface a 5xx.
+	victim := victims[0]
+	inflight := make(chan int, 1)
+	go func() {
+		b, _ := json.Marshal(adjustEdit("g2", "50ps"))
+		resp, err := http.Post(front.URL+"/v1/sessions/"+victim.id+"/edits", "application/json", bytes.NewReader(b))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	time.Sleep(2 * time.Millisecond)
+	d1.kill9(t)
+	inflightStatus := <-inflight
+	if inflightStatus >= 500 {
+		t.Errorf("in-flight edit during kill answered %d; want 2xx or 409", inflightStatus)
+	}
+
+	// The displaced session's next request must succeed, served by the
+	// peer under the same id.
+	status, hdr, m := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+victim.id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("displaced session next request: %d %v", status, m)
+	}
+	if got := hdr.Get("X-Hb-Replica"); got != "r2" {
+		t.Fatalf("displaced session served by %q, want r2", got)
+	}
+	if m["session"] != victim.id {
+		t.Fatalf("displaced session identity changed: %v", m)
+	}
+
+	// Every other displaced session re-homes too.
+	for _, s := range victims[1:] {
+		if status, _, m := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+s.id, nil); status != http.StatusOK {
+			t.Fatalf("displaced session %s: %d %v", s.id, status, m)
+		}
+	}
+
+	// Bit-identical replay check: the adopted session's slack report on
+	// the peer must equal a fresh standalone daemon's report after
+	// replaying a copy of the same journal.
+	status, _, adopted := fleetDoReport(t, front.URL, victim.id)
+	if status != http.StatusOK {
+		t.Fatalf("adopted report: %d", status)
+	}
+	exStatus, _, journalBytes := fleetDo(t, "GET", d2.base+"/v1/sessions/"+victim.id+"/journal", nil)
+	if exStatus != http.StatusOK {
+		t.Fatalf("journal export from peer: %d", exStatus)
+	}
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, victim.id+".journal"), journalBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d3 := startDaemon(t, "-journal-dir", dir3)
+	refStatus, _, reference := fleetDoReport(t, d3.base, victim.id)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference replay report: %d", refStatus)
+	}
+	if !bytes.Equal(adopted, reference) {
+		t.Fatalf("adopted report differs from single-replica replay of the same journal:\nadopted:   %s\nreference: %s",
+			truncForLog(adopted), truncForLog(reference))
+	}
+
+	// The adopted session keeps taking edits.
+	if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+victim.id+"/edits", adjustEdit("g0", "25ps")); status != http.StatusOK {
+		t.Fatalf("edit after failover: %d %v", status, m)
+	}
+
+	close(stopHammer)
+	hammerWG.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d request(s) on non-displaced sessions got a 5xx during failover", n)
+	}
+}
+
+// fleetDoReport fetches the raw slack report bytes for a session.
+func fleetDoReport(t *testing.T, base, id string) (int, http.Header, []byte) {
+	t.Helper()
+	return fleetDo(t, "GET", base+"/v1/sessions/"+id+"/report", nil)
+}
+
+func truncForLog(b []byte) string {
+	if len(b) > 400 {
+		return string(b[:400]) + "..."
+	}
+	return string(b)
+}
+
+// TestFleetDrainMigratesSessions rolls one replica via the router's
+// drain endpoint and checks its sessions re-home onto the peer with
+// state intact, then return to service after undrain (new placements
+// only — migrated sessions stay where they are).
+func TestFleetDrainMigratesSessions(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	_, front := fleetFront(t, []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}})
+
+	sessions := openFleetSessions(t, front.URL, 1)
+	hashes := map[string]any{}
+	for _, s := range sessions {
+		status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "75ps"))
+		if status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+		status, _, sum := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("summary %s: %d", s.id, status)
+		}
+		hashes[s.id] = sum["state_hash"]
+	}
+
+	status, _, m := fleetJSON(t, "POST", front.URL+"/fleet/drain/r1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("drain r1: %d %v", status, m)
+	}
+
+	// Every session — including the ones that lived on r1 — must answer
+	// from r2 with an unchanged state hash.
+	for _, s := range sessions {
+		status, hdr, sum := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("post-drain summary %s: %d %v", s.id, status, sum)
+		}
+		if got := hdr.Get("X-Hb-Replica"); got != "r2" {
+			t.Fatalf("session %s served by %q after drain, want r2", s.id, got)
+		}
+		if sum["state_hash"] != hashes[s.id] {
+			t.Fatalf("session %s state changed across migration: %v != %v", s.id, sum["state_hash"], hashes[s.id])
+		}
+	}
+
+	// Undrain and verify new sessions may land on r1 again.
+	if status, _, m := fleetJSON(t, "POST", front.URL+"/fleet/undrain/r1", nil); status != http.StatusOK {
+		t.Fatalf("undrain r1: %d %v", status, m)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _, rdy := fleetJSON(t, "GET", front.URL+"/readyz", nil)
+		members, _ := rdy["members"].(map[string]any)
+		r1, _ := members["r1"].(map[string]any)
+		if status == http.StatusOK && r1 != nil && r1["up"] == true && r1["state"] == "ready" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("r1 never became routable again: %d %v", status, rdy)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	saw := map[string]bool{}
+	for k := 100; k < 140 && !(saw["r1"] && saw["r2"]); k++ {
+		status, hdr, m := fleetJSON(t, "POST", front.URL+"/v1/sessions", map[string]any{"design": chainSrc(k)})
+		if status != http.StatusCreated {
+			t.Fatalf("post-undrain open: %d %v", status, m)
+		}
+		saw[hdr.Get("X-Hb-Replica")] = true
+	}
+	if !saw["r1"] {
+		t.Fatal("no new session landed on r1 after undrain")
+	}
+
+	// One sanity edit per migrated session: the streams re-attached on
+	// the new primary keep accepting work.
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g0", "10ps")); status != http.StatusOK {
+			t.Fatalf("edit after migration %s: %d %v", s.id, status, m)
+		}
+	}
+}

@@ -89,6 +89,7 @@ import (
 	"hummingbird/internal/cluster"
 	"hummingbird/internal/core"
 	"hummingbird/internal/failpoint"
+	"hummingbird/internal/fleet"
 	"hummingbird/internal/incremental"
 	"hummingbird/internal/journal"
 	"hummingbird/internal/netlist"
@@ -122,6 +123,7 @@ var requestTimers = map[string]*telemetry.Timer{
 	"report":      telemetry.NewTimer("server.request.report"),
 	"constraints": telemetry.NewTimer("server.request.constraints"),
 	"close":       telemetry.NewTimer("server.request.close"),
+	"park":        telemetry.NewTimer("server.request.park"),
 }
 
 // traceSeq disambiguates trace ids generated within one millisecond.
@@ -186,6 +188,7 @@ func run(args []string, w, errW io.Writer) error {
 		mutexFrac   = fs.Int("mutex-profile-fraction", 0, "runtime mutex contention sampling rate for /debug/pprof/mutex (0 = off)")
 		blockRate   = fs.Int("block-profile-rate", 0, "runtime blocking sampling rate in ns for /debug/pprof/block (0 = off)")
 		drainGrace  = fs.Duration("drain-grace", 0, "how long /readyz advertises draining before the listener stops accepting (0 = immediate)")
+		replicaID   = fs.String("replica-id", "", "stable replica id in a fleet (prefixes session ids, labels metrics; empty = standalone)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -216,6 +219,11 @@ func run(args []string, w, errW io.Writer) error {
 	telemetry.Enable()
 	defer telemetry.Disable()
 	telemetry.RegisterRuntimeGauges()
+	if *replicaID != "" {
+		// Every Prometheus sample this process exposes carries the replica
+		// label, so a fleet-wide scrape can tell the members apart.
+		telemetry.SetConstLabels(map[string]string{"replica": *replicaID})
+	}
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -232,6 +240,7 @@ func run(args []string, w, errW io.Writer) error {
 		failpoints:     *failpoints,
 		traceDir:       *traceDir,
 		slowThreshold:  *slowThresh,
+		replicaID:      *replicaID,
 		errLog:         errW,
 	}
 	if *journalDir != "" {
@@ -375,6 +384,7 @@ type serverConfig struct {
 	failpoints     bool             // expose /debug/failpoints
 	traceDir       string           // Chrome trace-event export dir; "" = off
 	slowThreshold  time.Duration    // slow-request log threshold; 0 = off
+	replicaID      string           // fleet replica id; "" = standalone
 	errLog         io.Writer        // panic stacks and replay diagnostics
 }
 
@@ -407,6 +417,14 @@ type server struct {
 	// independent of s.mu so engine release callbacks (fired under a
 	// session's mutex) can never deadlock against the session table.
 	compile *compileCache
+
+	// Fleet replication (see replication.go): outbound journal streams by
+	// session, inbound standby journals from peers, and the HTTP client
+	// the streams share. adoptMu serializes adopt promotions.
+	streams      *fleet.StreamSet
+	standby      *standbyStore
+	streamClient *http.Client
+	adoptMu      sync.Mutex
 }
 
 func newServer(lib *celllib.Library, cfg serverConfig) *server {
@@ -429,6 +447,21 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 	}
 	if cfg.journal == nil {
 		s.ready.Store(true) // nothing to replay
+	} else {
+		s.streams = fleet.NewStreamSet()
+		s.streamClient = &http.Client{Timeout: 5 * time.Second}
+		st, err := newStandbyStore(cfg.journal.Dir())
+		if err != nil {
+			fmt.Fprintf(cfg.errLog, "hummingbirdd: %v (journal replication disabled)\n", err)
+		} else {
+			s.standby = st
+		}
+		telemetry.NewGaugeFunc("fleet.stream_lag_frames", func() float64 {
+			return float64(s.streams.TotalLag())
+		})
+		telemetry.NewGaugeFunc("fleet.streams_active", func() float64 {
+			return float64(s.streams.Len())
+		})
 	}
 	// Server-health gauges. NewGaugeFunc replaces by name, so tests that
 	// build several servers in one process always read the newest one.
@@ -478,6 +511,17 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/constraints", s.guard("constraints", s.handleConstraints))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.guard("close", s.handleClose))
 	mux.HandleFunc("GET /v1/sessions/{id}/trace/last", s.handleTraceLast)
+	// Fleet control plane (replication.go). Park runs under the guard
+	// (it mutates a session, so it gets tracing, quarantine fast-fail
+	// and panic isolation); the replication endpoints are unguarded like
+	// /readyz — the router's failover orchestration must keep working
+	// while the service lanes are saturated.
+	mux.HandleFunc("POST /v1/sessions/{id}/park", s.guard("park", s.handlePark))
+	mux.HandleFunc("GET /v1/sessions/{id}/journal", s.handleJournalExport)
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/frames", s.handleReplFrames)
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/adopt", s.handleReplAdopt)
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/release", s.handleReplRelease)
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/forget", s.handleReplForget)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -491,8 +535,10 @@ func (s *server) handler() http.Handler {
 		telemetry.WriteSnapshot(w)
 	})
 	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		buildinfo.WriteJSON(w)
+		writeJSON(w, http.StatusOK, struct {
+			buildinfo.Info
+			Replica string `json:"replica,omitempty"`
+		}{buildinfo.Collect(), s.cfg.replicaID})
 	})
 	if s.cfg.failpoints {
 		mux.HandleFunc("GET /debug/failpoints", func(w http.ResponseWriter, r *http.Request) {
@@ -700,14 +746,18 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"ready":        ready,
 		"state":        state,
 		"replayed":     s.ready.Load(),
 		"quarantined":  quarantined,
 		"inflight":     inflight,
 		"max_inflight": ceiling,
-	})
+	}
+	if s.cfg.replicaID != "" {
+		body["replica"] = s.cfg.replicaID
+	}
+	writeJSON(w, status, body)
 }
 
 // handleTraceLast serves the span tree of the session's most recent
@@ -752,6 +802,7 @@ func (s *server) quarantine(id, diag string) {
 	s.quarantined[id] = diag
 	s.mu.Unlock()
 	mQuarantined.Inc()
+	s.detachStream(id)
 	if ss != nil {
 		ss.mu.Lock()
 		jw := ss.jw
@@ -798,9 +849,13 @@ func (s *server) clearQuarantine(id string) {
 	s.mu.Unlock()
 }
 
-// shutdown flushes and closes every session journal and drops the parked
-// LRU state (shutdown path; the HTTP listener is already drained).
+// shutdown flushes and closes every session journal, stops outbound
+// replication streams, and drops the parked LRU state (shutdown path;
+// the HTTP listener is already drained).
 func (s *server) shutdown() {
+	if s.streams != nil {
+		s.streams.CloseAll()
+	}
 	s.mu.Lock()
 	sessions := make([]*sess, 0, len(s.sessions))
 	for _, ss := range s.sessions {
@@ -822,6 +877,17 @@ func (s *server) shutdown() {
 		}
 		ss.mu.Unlock()
 	}
+}
+
+// sidPrefix is the prefix of every session id this replica allocates:
+// "s" standalone, "<replica-id>-s" in a fleet — so ids stay unique
+// fleet-wide and a failed-over session keeps its id on the peer without
+// colliding with the peer's own allocations.
+func (s *server) sidPrefix() string {
+	if s.cfg.replicaID != "" {
+		return s.cfg.replicaID + "-s"
+	}
+	return "s"
 }
 
 type openRequest struct {
@@ -876,7 +942,7 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
+	id := fmt.Sprintf("%s%d", s.sidPrefix(), s.nextID)
 	// Probe the parked-state cache before paying for an elaboration.
 	key := incremental.StateKey(design, opts.Adjustments)
 	eng := s.cache.take(key)
@@ -921,6 +987,10 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ss.jw = jw
+		// Fleet replication: when the router names a journal peer, stream
+		// this session's frames to it. Attached before the session is
+		// visible, so no committed frame can miss the stream.
+		s.attachStream(id, jw, r.Header.Get(fleet.PeerHeader), r.Header.Get(fleet.PeerIDHeader))
 	}
 	ss.rememberSlacks()
 	s.mu.Lock()
@@ -956,9 +1026,13 @@ func (s *server) recoverSessions() int {
 	for _, id := range ids {
 		// Every journal on disk claims its id — replayable or not — so a
 		// freshly allocated session id can never collide with one that
-		// ends up quarantined below.
-		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > maxID {
-			maxID = n
+		// ends up quarantined below. Only ids carrying this replica's own
+		// prefix advance the allocator; adopted foreign journals live in a
+		// different namespace.
+		if rest, ok := strings.CutPrefix(id, s.sidPrefix()); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > maxID {
+				maxID = n
+			}
 		}
 		ss, req, batches, err := s.replaySession(id)
 		if err != nil {
@@ -1445,6 +1519,7 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mSessionsClosed.Inc()
+	s.detachStream(id)
 	ss.mu.Lock()
 	eng := ss.eng
 	ss.eng = nil
@@ -1460,25 +1535,7 @@ func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(s.cfg.errLog, "hummingbirdd: remove journal %s: %v\n", id, err)
 		}
 	}
-	parked := false
-	if eng != nil && eng.Report() != nil {
-		s.mu.Lock()
-		evicted, stored := s.cache.put(eng.StateHash(), eng)
-		s.mu.Unlock()
-		parked = stored
-		// A parked engine keeps its reference on the shared compiled
-		// design; engines the cache would not hold (duplicate key, zero
-		// capacity) and evicted ones drop theirs.
-		if !stored {
-			eng.ReleaseShared()
-		}
-		if evicted != nil {
-			mCacheEvictions.Inc()
-			evicted.ReleaseShared()
-		}
-	} else if eng != nil {
-		eng.ReleaseShared()
-	}
+	parked := s.parkEngine(eng)
 	writeJSON(w, http.StatusOK, map[string]any{"session": id, "closed": true, "parked": parked})
 }
 

@@ -1,0 +1,487 @@
+// Fleet replication endpoints: this file is the daemon side of
+// internal/fleet's journal streaming and hot failover.
+//
+//	POST /v1/replication/sessions/{id}/frames   append streamed frames to a standby journal
+//	POST /v1/replication/sessions/{id}/adopt    promote a standby (or parked) journal to a live session
+//	POST /v1/replication/sessions/{id}/release  drop a standby journal
+//	POST /v1/replication/sessions/{id}/forget   drop a parked session's live journal (post-migration)
+//	POST /v1/sessions/{id}/park                 park a live session, keep its journal (migration step 1)
+//	GET  /v1/sessions/{id}/journal              export a session's framed journal bytes
+//
+// A replica holds standby journals — byte-identical copies of sessions
+// whose primary is another replica — under <journal-dir>/standby. They
+// are written frame-at-a-time as the primary streams commits, and are
+// promoted into the live journal directory (rename + replay) when the
+// router orders an adopt after the primary dies or drains.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hummingbird/internal/fleet"
+	"hummingbird/internal/incremental"
+	"hummingbird/internal/journal"
+	"hummingbird/internal/telemetry"
+)
+
+var (
+	mFramesReceived  = telemetry.NewCounter("fleet.frames_received")
+	mFramesRejected  = telemetry.NewCounter("fleet.frames_rejected")
+	mSessionsAdopted = telemetry.NewCounter("fleet.sessions_adopted")
+	mSessionsParked  = telemetry.NewCounter("fleet.sessions_parked")
+)
+
+// maxReplicationBody bounds one frames POST (a whole journal can arrive
+// in one push during migration).
+const maxReplicationBody = 64 << 20
+
+// standbyStore owns the standby journals replicated from peers. It
+// tracks each file's next expected sequence in memory (recovered lazily
+// from the file itself after a restart) so appends stay O(frame), and
+// serializes all mutations under one mutex — replication throughput is
+// bounded by the network, not this lock.
+type standbyStore struct {
+	dir  string
+	mu   sync.Mutex
+	next map[string]int64
+}
+
+func newStandbyStore(journalDir string) (*standbyStore, error) {
+	dir := filepath.Join(journalDir, "standby")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("standby dir: %w", err)
+	}
+	return &standbyStore{dir: dir, next: make(map[string]int64)}, nil
+}
+
+func (st *standbyStore) path(id string) string {
+	return filepath.Join(st.dir, id+".journal")
+}
+
+// loadNext returns the next expected sequence for the session's standby
+// journal; on first touch after a restart it recounts the intact frames
+// on disk. Caller holds st.mu.
+func (st *standbyStore) loadNext(id string) int64 {
+	if n, ok := st.next[id]; ok {
+		return n
+	}
+	frames, err := journal.ReadFrames(st.path(id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Unreadable standby: treat as empty; the primary will re-push
+		// from sequence 0.
+		frames = nil
+	}
+	st.next[id] = int64(len(frames))
+	return st.next[id]
+}
+
+// appendFrames validates and appends streamed frames. firstSeq is the
+// sequence of frames[0]. Frames the standby already holds are skipped
+// (at-least-once delivery); a gap returns conflict=true with the
+// sequence the primary must resend from. The returned next is always
+// the standby's next expected sequence.
+func (st *standbyStore) appendFrames(id string, frames [][]byte, firstSeq int64) (next int64, conflict bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	next = st.loadNext(id)
+	if firstSeq > next {
+		return next, true, nil
+	}
+	skip := next - firstSeq
+	if skip >= int64(len(frames)) {
+		return next, false, nil // everything already held
+	}
+	fresh := frames[skip:]
+	for i, fr := range fresh {
+		seq := next + int64(i)
+		kind, cerr := journal.CheckFrame(fr, seq)
+		if cerr != nil {
+			return next, false, cerr
+		}
+		if seq == 0 && kind != journal.KindOpen {
+			return next, false, fmt.Errorf("first frame kind %q, want %q", kind, journal.KindOpen)
+		}
+	}
+	f, err := os.OpenFile(st.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return next, false, err
+	}
+	defer f.Close()
+	if _, err := f.Write(bytes.Join(fresh, nil)); err != nil {
+		return next, false, err
+	}
+	if err := f.Sync(); err != nil {
+		return next, false, err
+	}
+	next += int64(len(fresh))
+	st.next[id] = next
+	return next, false, nil
+}
+
+// release drops the session's standby journal.
+func (st *standbyStore) release(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.next, id)
+	os.Remove(st.path(id))
+}
+
+// promote moves the standby journal into the live journal location so
+// the ordinary replay path can restore the session. Returns
+// os.ErrNotExist when there is no standby for the id.
+func (st *standbyStore) promote(id, livePath string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := os.Rename(st.path(id), livePath); err != nil {
+		return err
+	}
+	delete(st.next, id)
+	// Best-effort directory syncs: the rename must survive a crash or
+	// the session would silently vanish from both places.
+	for _, d := range []string{st.dir, filepath.Dir(livePath)} {
+		if dh, err := os.Open(d); err == nil {
+			dh.Sync()
+			dh.Close()
+		}
+	}
+	return nil
+}
+
+// sessionIDOK guards replication ids that arrive over the network and
+// become file names: the daemon's own id alphabet plus '-' (replica
+// prefixes), nothing that can traverse paths.
+func sessionIDOK(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitFrames cuts a replication body into newline-terminated frames.
+func splitFrames(body []byte) [][]byte {
+	var frames [][]byte
+	for len(body) > 0 {
+		i := bytes.IndexByte(body, '\n')
+		if i < 0 {
+			frames = append(frames, body) // torn tail; CheckFrame rejects it
+			break
+		}
+		frames = append(frames, body[:i+1])
+		body = body[i+1:]
+	}
+	return frames
+}
+
+// attachStream wires a session's journal writer to a replication stream
+// toward peerURL, primed with every frame already in the file. Called
+// before the session becomes visible to concurrent appenders, so no
+// committed frame can fall between the priming read and the sink
+// attach. The initial flush happens off the request path.
+func (s *server) attachStream(id string, jw *journal.Writer, peerURL, peerID string) {
+	if s.streams == nil || jw == nil || peerURL == "" {
+		return
+	}
+	primed, err := journal.ReadFrames(jw.Path())
+	if err != nil {
+		fmt.Fprintf(s.cfg.errLog, "hummingbirdd: prime stream %s: %v\n", id, err)
+		return
+	}
+	st := fleet.NewSessionStream(s.streamClient, strings.TrimRight(peerURL, "/"), peerID, id, primed)
+	jw.SetSink(st)
+	s.streams.Attach(id, st)
+	go st.Flush()
+}
+
+// detachStream removes and closes the session's replication stream.
+func (s *server) detachStream(id string) {
+	if s.streams == nil {
+		return
+	}
+	if st := s.streams.Detach(id); st != nil {
+		st.Close()
+	}
+}
+
+// handleReplFrames appends streamed journal frames to the session's
+// standby journal. Responses always carry the standby's next expected
+// sequence: 200 when the push is (now) fully held, 409 on a gap the
+// primary must refill.
+func (s *server) handleReplFrames(w http.ResponseWriter, r *http.Request) {
+	if s.standby == nil {
+		httpError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	id := r.PathValue("id")
+	if !sessionIDOK(id) {
+		httpError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	firstSeq, err := strconv.ParseInt(r.Header.Get(fleet.FirstSeqHeader), 10, 64)
+	if err != nil || firstSeq < 0 {
+		httpError(w, http.StatusBadRequest, "missing or bad %s header", fleet.FirstSeqHeader)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicationBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "read frames: %v", err)
+		return
+	}
+	frames := splitFrames(body)
+	if len(frames) == 0 {
+		st := s.standby
+		st.mu.Lock()
+		next := st.loadNext(id)
+		st.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"session": id, "next": next})
+		return
+	}
+	next, conflict, err := s.standby.appendFrames(id, frames, firstSeq)
+	switch {
+	case err != nil:
+		mFramesRejected.Inc()
+		httpError(w, http.StatusUnprocessableEntity, "frame rejected: %v", err)
+	case conflict:
+		writeJSON(w, http.StatusConflict, map[string]any{"session": id, "next": next})
+	default:
+		mFramesReceived.Add(int64(len(frames)))
+		writeJSON(w, http.StatusOK, map[string]any{"session": id, "next": next})
+	}
+}
+
+// handleReplAdopt promotes a session onto this replica: from its
+// streamed standby journal (failover), or from a live-directory journal
+// left by park (migration rollback / drain hand-off). The journal is
+// replayed and compacted exactly like crash recovery, so the adopted
+// session's analysis state is bit-identical to a single-replica replay
+// of the same journal. Idempotent: adopting a session this replica
+// already serves reports already=true.
+func (s *server) handleReplAdopt(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.journal == nil || s.standby == nil {
+		httpError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	id := r.PathValue("id")
+	if !sessionIDOK(id) {
+		httpError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	// Serialize adopts: two racing adopts for one id must not both replay.
+	s.adoptMu.Lock()
+	defer s.adoptMu.Unlock()
+	if ss := s.session(id); ss != nil {
+		writeJSON(w, http.StatusOK, map[string]any{"session": id, "adopted": false, "already": true})
+		return
+	}
+	if diag, quarantined := s.quarantineInfo(id); quarantined {
+		httpError(w, http.StatusConflict, "session %s quarantined here: %s", id, diag)
+		return
+	}
+	livePath := s.cfg.journal.Path(id)
+	if _, err := os.Stat(livePath); err != nil {
+		if err := s.standby.promote(id, livePath); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				httpError(w, http.StatusNotFound, "no journal for session %s on this replica", id)
+				return
+			}
+			httpError(w, http.StatusInternalServerError, "promote standby %s: %v", id, err)
+			return
+		}
+	}
+	ss, req, batches, err := s.replaySession(id)
+	if err != nil {
+		s.quarantineUnserved(id, fmt.Sprintf("adopt replay failed: %v", err))
+		httpError(w, http.StatusInternalServerError, "adopt %s: replay: %v", id, err)
+		return
+	}
+	jw, err := s.cfg.journal.Rewrite(id, req, batches)
+	if err != nil {
+		s.quarantineUnserved(id, fmt.Sprintf("adopt rewrite failed: %v", err))
+		httpError(w, http.StatusInternalServerError, "adopt %s: rewrite: %v", id, err)
+		return
+	}
+	ss.jw = jw
+	// Onward replication toward the new peer the router designated;
+	// attached before the session is visible so no frame is skipped.
+	s.attachStream(id, jw, r.Header.Get(fleet.PeerHeader), r.Header.Get(fleet.PeerIDHeader))
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.maxSessions {
+		s.mu.Unlock()
+		s.detachStream(id)
+		jw.Close()
+		httpError(w, http.StatusServiceUnavailable, "session limit (%d) reached", s.cfg.maxSessions)
+		return
+	}
+	s.sessions[id] = ss
+	// An adopted id bearing this replica's own prefix (the session came
+	// home after a failover round-trip) must keep nextID ahead of it.
+	if rest, ok := strings.CutPrefix(id, s.sidPrefix()); ok {
+		if n, err := strconv.Atoi(rest); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.mu.Unlock()
+	mSessionsAdopted.Inc()
+	fmt.Fprintf(s.cfg.errLog, "hummingbirdd: adopted session %s (%d records)\n", id, len(batches)+1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": id, "adopted": true, "records": len(batches) + 1,
+	})
+}
+
+// handleReplRelease drops the session's standby journal (the session
+// closed, or re-homed so this replica is no longer its peer).
+func (s *server) handleReplRelease(w http.ResponseWriter, r *http.Request) {
+	if s.standby == nil {
+		httpError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	id := r.PathValue("id")
+	if !sessionIDOK(id) {
+		httpError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	s.standby.release(id)
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "released": true})
+}
+
+// handleReplForget removes the live-directory journal of a session that
+// is not being served here (parked, then migrated away). Refuses while
+// the session is live — that journal is the session's durability.
+func (s *server) handleReplForget(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.journal == nil {
+		httpError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	id := r.PathValue("id")
+	if !sessionIDOK(id) {
+		httpError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	if ss := s.session(id); ss != nil {
+		httpError(w, http.StatusConflict, "session %s is live on this replica", id)
+		return
+	}
+	if err := s.cfg.journal.Remove(id); err != nil {
+		httpError(w, http.StatusInternalServerError, "remove journal %s: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "forgotten": true})
+}
+
+// handlePark closes a session's live serving state while keeping its
+// journal on disk: the engine parks in the LRU (same as close), the
+// replication stream is flushed and detached, and the response reports
+// residual stream lag so the router knows whether the peer's standby is
+// complete. Step one of a planned migration.
+func (s *server) handlePark(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	lag, peer := 0, ""
+	if s.streams != nil {
+		if st := s.streams.Detach(id); st != nil {
+			st.Flush()
+			lag, peer = st.Lag(), st.Peer()
+			st.Close()
+		}
+	}
+	ss.mu.Lock()
+	eng := ss.eng
+	ss.eng = nil
+	jw := ss.jw
+	ss.jw = nil
+	ss.mu.Unlock()
+	// Unlike close, the journal file stays: it is the session's truth for
+	// the adopt that follows.
+	if jw != nil {
+		jw.Close()
+	}
+	parked := s.parkEngine(eng)
+	mSessionsParked.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": id, "parked": parked, "stream_lag": lag, "stream_peer": peer,
+	})
+}
+
+// handleJournalExport serves the session's framed journal bytes — live
+// journal first (flushed before reading), then standby. The router uses
+// it to hand a lagging or unstreamed journal to a migration target.
+func (s *server) handleJournalExport(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.journal == nil {
+		httpError(w, http.StatusServiceUnavailable, "journaling is off")
+		return
+	}
+	id := r.PathValue("id")
+	if !sessionIDOK(id) {
+		httpError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	if ss := s.session(id); ss != nil {
+		ss.mu.Lock()
+		jw := ss.jw
+		ss.mu.Unlock()
+		if jw != nil {
+			jw.Sync()
+		}
+	}
+	frames, err := journal.ReadFrames(s.cfg.journal.Path(id))
+	if errors.Is(err, os.ErrNotExist) && s.standby != nil {
+		frames, err = journal.ReadFrames(s.standby.path(id))
+	}
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no journal for session %s: %v", id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Hb-Frames", strconv.Itoa(len(frames)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(bytes.Join(frames, nil))
+}
+
+// parkEngine transfers a detached engine into the parked-state LRU;
+// reports whether the cache kept it. Engines without a report (never
+// analyzed), cache rejections, and LRU evictions release their
+// shared-design reference — ownership mirrors handleClose exactly.
+func (s *server) parkEngine(eng *incremental.Engine) bool {
+	if eng == nil {
+		return false
+	}
+	if eng.Report() == nil {
+		eng.ReleaseShared()
+		return false
+	}
+	s.mu.Lock()
+	evicted, stored := s.cache.put(eng.StateHash(), eng)
+	s.mu.Unlock()
+	if !stored {
+		eng.ReleaseShared()
+	}
+	if evicted != nil {
+		mCacheEvictions.Inc()
+		evicted.ReleaseShared()
+	}
+	return stored
+}

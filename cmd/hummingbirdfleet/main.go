@@ -1,0 +1,132 @@
+// Command hummingbirdfleet is the fleet router in front of N hummingbirdd
+// replicas: it pins sessions to replicas on a consistent-hash ring keyed
+// by design hash (same design + adjustments → same replica → one shared
+// compile), tells each primary which peer to stream its journal to, and
+// re-homes sessions onto that peer when a replica dies or drains — the
+// peer replays the streamed journal and serves the same session id.
+//
+// Protocol: the full hummingbirdd session surface, proxied
+// (POST/GET/DELETE /v1/sessions...), plus fleet-level endpoints:
+//
+//	GET  /readyz              aggregated member readiness ("state": ready/degraded/down)
+//	GET  /metrics             router telemetry + per-replica liveness gauges
+//	GET  /fleet/members       member detail (up, draining, readyz state, ring membership)
+//	POST /fleet/drain/{id}    take a member out of the ring and migrate its sessions away
+//	POST /fleet/undrain/{id}  return a drained member to the ring
+//
+// See docs/FLEET.md for topology, replication guarantees, failover
+// semantics, and the rolling-drain runbook.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hummingbird/internal/buildinfo"
+	"hummingbird/internal/fleet"
+	"hummingbird/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hummingbirdfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("hummingbirdfleet", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var members []fleet.Member
+	fs.Func("member", "replica as id=url (repeatable), e.g. -member r1=http://127.0.0.1:8091", func(v string) error {
+		id, url, ok := strings.Cut(v, "=")
+		if !ok || id == "" || url == "" {
+			return fmt.Errorf("want id=url, got %q", v)
+		}
+		members = append(members, fleet.Member{ID: id, URL: url})
+		return nil
+	})
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7070", "router listen address")
+		vnodes     = fs.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+		healthIvl  = fs.Duration("health-interval", 500*time.Millisecond, "member /readyz poll interval")
+		failAfter  = fs.Int("fail-after", 2, "consecutive failed probes before a member is marked down")
+		proxyTO    = fs.Duration("proxy-timeout", 60*time.Second, "per-request upstream timeout")
+		shutGrace  = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections")
+		metricsOut = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on shutdown")
+		version    = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		buildinfo.WriteVersion(w, "hummingbirdfleet")
+		return nil
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("at least one -member id=url is required")
+	}
+	telemetry.Enable()
+	defer telemetry.Disable()
+	telemetry.RegisterRuntimeGauges()
+
+	router, err := fleet.NewRouter(fleet.Config{
+		Members:        members,
+		Vnodes:         *vnodes,
+		Client:         &http.Client{Timeout: *proxyTO},
+		HealthInterval: *healthIvl,
+		FailAfter:      *failAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errW, "hummingbirdfleet: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: router.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(w, "hummingbirdfleet listening on %s (%d members)\n", *addr, len(members))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "hummingbirdfleet: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutGrace)
+	defer cancel()
+	err = httpSrv.Shutdown(shutCtx)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if *metricsOut != "" {
+		mf, cerr := os.Create(*metricsOut)
+		if cerr != nil {
+			return cerr
+		}
+		if cerr := telemetry.WriteSnapshot(mf); cerr != nil {
+			mf.Close()
+			return cerr
+		}
+		if cerr := mf.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(w, "wrote telemetry snapshot to %s\n", *metricsOut)
+	}
+	return nil
+}

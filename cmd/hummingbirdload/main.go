@@ -53,7 +53,9 @@ func run(args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("hummingbirdload", flag.ContinueOnError)
 	fs.SetOutput(errW)
 	var (
-		addr      = fs.String("addr", "http://127.0.0.1:7077", "base URL of the target hummingbirdd")
+		addr      = fs.String("addr", "http://127.0.0.1:7077", "base URL of the target hummingbirdd (or fleet router)")
+		readyzAdr = fs.String("readyz-addr", "", "base URL whose /readyz the drain poller watches (default: -addr); point at one replica when -addr is a fleet router")
+		replicas  = fs.Int("replicas", 0, "fleet size behind -addr, recorded on bench rows (0 = standalone)")
 		wlName    = fs.String("workload", "sm1f", "target design: des, alu, sm1f or sm1h")
 		rate      = fs.Float64("rate", 200, "scheduled arrival rate, operations/sec")
 		duration  = fs.Duration("duration", 10*time.Second, "steady-state run length (after session ramp)")
@@ -143,7 +145,11 @@ func run(args []string, w, errW io.Writer) error {
 		Mix:           mix,
 		Seed:          *seed,
 		TraceTag:      *traceTag,
+		Replicas:      *replicas,
 		Log:           w,
+	}
+	if *readyzAdr != "" {
+		cfg.ReadyzURL = strings.TrimRight(*readyzAdr, "/") + "/readyz"
 	}
 	res, err := loadgen.Run(ctx, cfg)
 	if err != nil {

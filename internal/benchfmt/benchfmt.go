@@ -128,7 +128,12 @@ type LoadRow struct {
 	// TargetRate is the scheduled arrival rate for this class, ops/sec.
 	TargetRate float64 `json:"targetRate"`
 	Sessions   int     `json:"sessions"`
-	DurationNs int64   `json:"durationNs"`
+	// Replicas is the fleet size behind the driven endpoint: 0/absent for
+	// a standalone daemon, N when the load went through a fleet router
+	// fronting N replicas. Part of the row identity — single-replica and
+	// fleet rows for the same workload never overwrite each other.
+	Replicas   int   `json:"replicas,omitempty"`
+	DurationNs int64 `json:"durationNs"`
 	// Ops counts completed operations (including errored ones); Scheduled
 	// counts intents the generator issued (Scheduled - Ops = still in
 	// flight or dropped at harness overload).
@@ -200,13 +205,13 @@ func ReadFile(path string) (*Run, error) {
 }
 
 // MergeLoad appends load rows to the run, replacing any existing row
-// with the same (workload, op class, arrivals) key so a re-run of one
-// workload updates its rows in place.
+// with the same (workload, op class, arrivals, replicas) key so a
+// re-run of one workload updates its rows in place.
 func (r *Run) MergeLoad(rows []LoadRow) {
 	for _, nr := range rows {
 		replaced := false
 		for i, old := range r.Load {
-			if old.Workload == nr.Workload && old.OpClass == nr.OpClass && old.Arrivals == nr.Arrivals {
+			if old.Workload == nr.Workload && old.OpClass == nr.OpClass && old.Arrivals == nr.Arrivals && old.Replicas == nr.Replicas {
 				r.Load[i] = nr
 				replaced = true
 				break

@@ -100,14 +100,20 @@ func Compare(old, new *Run, noise float64) []Regression {
 			regs = append(regs, Regression{Where: w, Metric: "ok", Old: 1, New: 0})
 		}
 	}
-	type loadKey struct{ w, c, a string }
+	type loadKey struct {
+		w, c, a  string
+		replicas int
+	}
 	newLoad := make(map[loadKey]LoadRow, len(new.Load))
 	for _, r := range new.Load {
-		newLoad[loadKey{r.Workload, r.OpClass, r.Arrivals}] = r
+		newLoad[loadKey{r.Workload, r.OpClass, r.Arrivals, r.Replicas}] = r
 	}
 	for _, o := range old.Load {
-		n, ok := newLoad[loadKey{o.Workload, o.OpClass, o.Arrivals}]
+		n, ok := newLoad[loadKey{o.Workload, o.OpClass, o.Arrivals, o.Replicas}]
 		w := fmt.Sprintf("%s/%s/%s", o.Workload, o.OpClass, o.Arrivals)
+		if o.Replicas > 0 {
+			w = fmt.Sprintf("%s/x%d", w, o.Replicas)
+		}
 		if !ok {
 			regs = append(regs, Regression{Where: w, Metric: "missing"})
 			continue

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("design-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement: the same member set — in any order —
+// and the same key always map to the same member, across ring rebuilds.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"r1", "r2", "r3"}, 0)
+	b := NewRing([]string{"r3", "r1", "r2"}, 0)
+	c := NewRing([]string{"r2", "r3", "r1", "r1"}, 0) // duplicate collapses
+	for _, k := range keys(1000) {
+		pa, pb, pc := a.Lookup(k), b.Lookup(k), c.Lookup(k)
+		if pa != pb || pa != pc {
+			t.Fatalf("key %q: placements diverge: %q %q %q", k, pa, pb, pc)
+		}
+		if pa == "" {
+			t.Fatalf("key %q: empty placement on a populated ring", k)
+		}
+	}
+}
+
+// TestRingCoLocation: keys equal as strings land on the same member —
+// the property that makes same-design-hash sessions share a replica and
+// therefore one refcounted compiled design.
+func TestRingCoLocation(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3", "r4", "r5"}, 0)
+	for _, k := range keys(200) {
+		if r.Lookup(k) != r.Lookup(k) {
+			t.Fatalf("key %q: lookup not stable", k)
+		}
+	}
+	// Distinct session ids carrying the same design hash route by the
+	// hash, not the session — simulated by looking the hash up twice from
+	// two call sites.
+	h := "designhash-abc123"
+	if r.Lookup(h) != r.Lookup(h) {
+		t.Fatal("same design hash did not co-locate")
+	}
+}
+
+// TestRingBoundedMovement: adding or removing one member moves at most
+// ~K/N keys (with generous slack for hash variance) and never moves a
+// key between two members that are present in both rings.
+func TestRingBoundedMovement(t *testing.T) {
+	const K = 20000
+	ks := keys(K)
+	members := []string{"r1", "r2", "r3", "r4"}
+	before := NewRing(members, 0)
+	after := NewRing(append(append([]string{}, members...), "r5"), 0)
+
+	moved := 0
+	for _, k := range ks {
+		was, now := before.Lookup(k), after.Lookup(k)
+		if was == now {
+			continue
+		}
+		moved++
+		// Every moved key must have moved TO the new member; a move
+		// between surviving members would be unbounded churn.
+		if now != "r5" {
+			t.Fatalf("key %q moved %q -> %q, not to the joining member", k, was, now)
+		}
+	}
+	// Expectation is K/5 = 4000; allow 40% slack for vnode variance.
+	if lim := K / 5 * 14 / 10; moved > lim {
+		t.Fatalf("join moved %d/%d keys, want <= %d (~K/N)", moved, K, lim)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; ring is ignoring the new member")
+	}
+
+	// Leave: removing r5 again restores the original placement exactly.
+	shrunk := NewRing(members, 0)
+	for _, k := range ks {
+		if before.Lookup(k) != shrunk.Lookup(k) {
+			t.Fatalf("key %q did not return to its pre-join member after leave", k)
+		}
+	}
+}
+
+// TestRingSpread: with vnodes on, no member owns a pathological share.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 0)
+	counts := map[string]int{}
+	const K = 30000
+	for _, k := range keys(K) {
+		counts[r.Lookup(k)]++
+	}
+	for m, n := range counts {
+		frac := float64(n) / K
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("member %s owns %.1f%% of keys; spread too skewed: %v", m, frac*100, counts)
+		}
+	}
+}
+
+// TestRingSuccessor: the peer is deterministic, never the primary, and
+// lives on the ring.
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 0)
+	onRing := map[string]bool{"r1": true, "r2": true, "r3": true}
+	for _, k := range keys(500) {
+		p := r.Lookup(k)
+		peer := r.Successor(k, p)
+		if peer == p {
+			t.Fatalf("key %q: peer equals primary %q", k, p)
+		}
+		if !onRing[peer] {
+			t.Fatalf("key %q: peer %q not a member", k, peer)
+		}
+		if peer != r.Successor(k, p) {
+			t.Fatalf("key %q: successor not deterministic", k)
+		}
+	}
+	single := NewRing([]string{"only"}, 0)
+	if got := single.Successor("k", "only"); got != "" {
+		t.Fatalf("single-member ring returned peer %q, want none", got)
+	}
+	if got := NewRing(nil, 0).Lookup("k"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+}

@@ -1,0 +1,1011 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hummingbird/internal/telemetry"
+)
+
+var (
+	mRouted         = telemetry.NewCounter("fleet.requests_routed")
+	mOpens          = telemetry.NewCounter("fleet.opens_routed")
+	mProxyErrors    = telemetry.NewCounter("fleet.proxy_errors")
+	mFailovers      = telemetry.NewCounter("fleet.failovers")
+	mFailoverErrors = telemetry.NewCounter("fleet.failover_errors")
+	mMigrations     = telemetry.NewCounter("fleet.migrations")
+	mMemberDown     = telemetry.NewCounter("fleet.member_down_events")
+	mMemberUp       = telemetry.NewCounter("fleet.member_up_events")
+)
+
+// Member names one hummingbirdd replica: its stable replica id (the
+// ring key and the value of its -replica-id flag) and its base URL.
+type Member struct {
+	ID  string
+	URL string // e.g. http://127.0.0.1:8091, no trailing slash
+}
+
+// Config configures a Router.
+type Config struct {
+	Members []Member
+	// Vnodes per member; DefaultVnodes when <= 0.
+	Vnodes int
+	// Client proxies session traffic. nil uses a default with a 60s
+	// timeout (report recomputes on large designs are slow).
+	Client *http.Client
+	// HealthClient probes /readyz and /healthz; nil uses a 2s-timeout
+	// client. Kept separate so a slow proxy cannot starve health checks.
+	HealthClient *http.Client
+	// HealthInterval between member polls (default 500ms).
+	HealthInterval time.Duration
+	// FailAfter is the consecutive probe-failure count that marks a
+	// member down (default 2). Proxy transport errors confirm with a
+	// single /healthz probe instead, so failover latency is one RTT.
+	FailAfter int
+	// MaxBody bounds buffered request/response bodies (default 16 MiB,
+	// matching the daemon's own open limit).
+	MaxBody int64
+	// Logf receives router life-cycle events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// memberState is the router's view of one replica.
+type memberState struct {
+	Member
+	up       bool
+	draining bool
+	fails    int
+	state    string // last /readyz "state"
+}
+
+// sessionRoute pins one session to its primary and journal peer. The
+// per-route mutex single-flights failover and migration: concurrent
+// requests against a dying primary elect exactly one re-homing.
+type sessionRoute struct {
+	mu      sync.Mutex
+	id      string
+	key     string
+	primary string
+	peer    string
+}
+
+// Router is the fleet front-end: it owns the consistent-hash ring over
+// healthy members, pins each opened session to a primary (+ journal
+// peer), proxies the session protocol, and re-homes sessions on member
+// failure or drain.
+type Router struct {
+	cfg      Config
+	client   *http.Client
+	healthc  *http.Client
+	mu       sync.Mutex // members, ring, sessions
+	members  map[string]*memberState
+	ring     *Ring
+	sessions map[string]*sessionRoute
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over the configured members. Members start
+// optimistically up; call PollOnce (or Start) to correct that view
+// before serving.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("fleet: no members configured")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.HealthClient == nil {
+		cfg.HealthClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 16 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Router{
+		cfg:      cfg,
+		client:   cfg.Client,
+		healthc:  cfg.HealthClient,
+		members:  make(map[string]*memberState, len(cfg.Members)),
+		sessions: make(map[string]*sessionRoute),
+		stop:     make(chan struct{}),
+	}
+	for _, m := range cfg.Members {
+		id := m.ID
+		if id == "" || r.members[id] != nil {
+			return nil, fmt.Errorf("fleet: member ids must be unique and non-empty (got %q)", id)
+		}
+		r.members[id] = &memberState{Member: Member{ID: id, URL: strings.TrimRight(m.URL, "/")}, up: true, state: "ready"}
+	}
+	r.rebuildRingLocked()
+	// Callback gauges; re-registering replaces, so routers rebuilt within
+	// one process (tests) re-point them at the live instance.
+	telemetry.NewGaugeFunc("fleet.members_up", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		n := 0
+		for _, m := range r.members {
+			if m.up {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	telemetry.NewGaugeFunc("fleet.sessions_routed", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(len(r.sessions))
+	})
+	return r, nil
+}
+
+// Start launches the health loop; it polls every member once
+// synchronously first so the initial ring reflects reality.
+func (r *Router) Start() {
+	r.PollOnce()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.PollOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the health loop.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// rebuildRingLocked recomputes the ring from members that are up and
+// not draining. Caller holds r.mu.
+func (r *Router) rebuildRingLocked() {
+	ids := make([]string, 0, len(r.members))
+	for id, m := range r.members {
+		if m.up && !m.draining && m.state != "starting" {
+			ids = append(ids, id)
+		}
+	}
+	r.ring = NewRing(ids, r.cfg.Vnodes)
+}
+
+func (r *Router) member(id string) *memberState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[id]
+}
+
+// memberURL returns the base URL for a live member id, or "".
+func (r *Router) memberURL(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.members[id]; m != nil {
+		return m.URL
+	}
+	return ""
+}
+
+// markDown flips a member down and rebuilds the ring. Returns true when
+// the state changed.
+func (r *Router) markDown(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.members[id]
+	if m == nil || !m.up {
+		return false
+	}
+	m.up = false
+	mMemberDown.Inc()
+	r.rebuildRingLocked()
+	r.cfg.Logf("fleet: member %s down", id)
+	return true
+}
+
+// markUp flips a member up and rebuilds the ring.
+func (r *Router) markUp(id string) {
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil || m.up {
+		r.mu.Unlock()
+		return
+	}
+	m.up = true
+	m.fails = 0
+	mMemberUp.Inc()
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	r.cfg.Logf("fleet: member %s up", id)
+	go r.reconcileRejoined(id)
+}
+
+// PollOnce probes every member's /readyz once and updates membership.
+func (r *Router) PollOnce() {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		r.pollMember(id)
+	}
+}
+
+func (r *Router) pollMember(id string) {
+	m := r.member(id)
+	if m == nil {
+		return
+	}
+	state, err := r.probeReadyz(m.URL)
+	r.mu.Lock()
+	wasUp, wasState := m.up, m.state
+	if err != nil {
+		m.fails++
+		failed := m.fails >= r.cfg.FailAfter && m.up
+		if failed {
+			m.up = false
+			mMemberDown.Inc()
+			r.rebuildRingLocked()
+		}
+		r.mu.Unlock()
+		if failed {
+			r.cfg.Logf("fleet: member %s down (%v)", id, err)
+			r.failoverAll(id)
+		}
+		return
+	}
+	m.fails = 0
+	m.state = state
+	selfDraining := state == "draining" && !m.draining
+	if selfDraining {
+		m.draining = true
+	}
+	if !m.up || wasState != state || selfDraining {
+		m.up = true
+		r.rebuildRingLocked()
+	}
+	r.mu.Unlock()
+	if !wasUp {
+		mMemberUp.Inc()
+		r.cfg.Logf("fleet: member %s up (state %s)", id, state)
+		go r.reconcileRejoined(id)
+	}
+	if selfDraining {
+		r.cfg.Logf("fleet: member %s draining; migrating its sessions", id)
+		go r.drainMember(id)
+	}
+}
+
+// probeReadyz fetches a member's /readyz and returns its "state" field;
+// both 200 and 503 are live answers (draining replicas answer 503).
+func (r *Router) probeReadyz(base string) (string, error) {
+	resp, err := r.healthc.Get(base + "/readyz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
+		return "", fmt.Errorf("readyz decode: %w", err)
+	}
+	if body.State == "" {
+		body.State = "ready"
+	}
+	return body.State, nil
+}
+
+// probeAlive distinguishes a dead member from a flaky connection with
+// one cheap /healthz round trip.
+func (r *Router) probeAlive(base string) bool {
+	resp, err := r.healthc.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// DesignKey derives the ring key from an open-session request body:
+// the FNV-1a 64 hash of the netlist text plus the sorted adjustment
+// set. Two sessions opening the same design + adjustments get the same
+// key, land on the same replica, and share one refcounted compile.
+func DesignKey(body []byte) string {
+	var req struct {
+		Design      string            `json:"design"`
+		Adjustments map[string]string `json:"adjustments"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Design == "" {
+		// Unparseable bodies still need a deterministic home; the primary
+		// rejects them with its own 4xx.
+		return fmt.Sprintf("raw:%016x", hash64(string(body)))
+	}
+	h := fnv.New64a()
+	io.WriteString(h, req.Design)
+	adj := make([]string, 0, len(req.Adjustments))
+	for k, v := range req.Adjustments {
+		adj = append(adj, k+"="+v)
+	}
+	sort.Strings(adj)
+	for _, kv := range adj {
+		io.WriteString(h, "\x00"+kv)
+	}
+	return fmt.Sprintf("design:%016x", h.Sum64())
+}
+
+// Handler returns the router's HTTP surface: the daemon session
+// protocol proxied by session pin, plus fleet-level health, metrics,
+// and drain orchestration.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", r.handleOpen)
+	mux.HandleFunc("GET /v1/sessions", r.handleList)
+	mux.HandleFunc("/v1/sessions/{id}", r.handleSession)
+	mux.HandleFunc("/v1/sessions/{id}/{rest...}", r.handleSession)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "fleet-router"})
+	})
+	mux.HandleFunc("GET /readyz", r.handleReadyz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /fleet/members", r.handleMembers)
+	mux.HandleFunc("POST /fleet/drain/{id}", r.handleDrain)
+	mux.HandleFunc("POST /fleet/undrain/{id}", r.handleUndrain)
+	return mux
+}
+
+// handleOpen routes a session-open by design key, pins the session, and
+// tells the primary where to stream its journal.
+func (r *Router) handleOpen(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBody+1))
+	if err != nil || int64(len(body)) > r.cfg.MaxBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "open body unreadable or over %d bytes", r.cfg.MaxBody)
+		return
+	}
+	key := DesignKey(body)
+	for attempt := 0; attempt < 2; attempt++ {
+		r.mu.Lock()
+		primary := r.ring.Lookup(key)
+		peer := r.ring.Successor(key, primary)
+		var pm, peerM *memberState
+		if primary != "" {
+			pm = r.members[primary]
+		}
+		if peer != "" {
+			peerM = r.members[peer]
+		}
+		r.mu.Unlock()
+		if pm == nil {
+			httpError(w, http.StatusServiceUnavailable, "no ready replicas")
+			return
+		}
+		hdr := http.Header{}
+		copyRequestHeaders(hdr, req.Header)
+		if peerM != nil {
+			hdr.Set(PeerHeader, peerM.URL)
+			hdr.Set(PeerIDHeader, peerM.ID)
+		}
+		resp, rerr := r.forward(pm.URL, http.MethodPost, "/v1/sessions", hdr, body)
+		if rerr != nil {
+			mProxyErrors.Inc()
+			if !r.probeAlive(pm.URL) && r.markDown(pm.ID) {
+				go r.failoverAll(pm.ID)
+			}
+			continue
+		}
+		sid := resp.sessionID()
+		if resp.status == http.StatusCreated && sid != "" {
+			rt := &sessionRoute{id: sid, key: key, primary: pm.ID, peer: peer}
+			r.mu.Lock()
+			r.sessions[sid] = rt
+			r.mu.Unlock()
+			w.Header().Set("X-Hb-Replica", pm.ID)
+		}
+		mOpens.Inc()
+		resp.writeTo(w)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "no replica could open the session")
+}
+
+// handleList reports the router's own session table — the fleet-level
+// view, one row per pinned session.
+func (r *Router) handleList(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	out := make([]map[string]any, 0, len(r.sessions))
+	for _, rt := range r.sessions {
+		out = append(out, map[string]any{
+			"session": rt.id,
+			"replica": rt.primary,
+			"peer":    rt.peer,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i]["session"].(string) < out[j]["session"].(string) })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+// handleSession proxies a session-scoped request to its pinned primary,
+// failing over to the journal peer when the primary is unreachable.
+func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
+	sid := req.PathValue("id")
+	r.mu.Lock()
+	rt := r.sessions[sid]
+	r.mu.Unlock()
+	if rt == nil {
+		httpError(w, http.StatusNotFound, "session %s is not routed by this fleet", sid)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBody+1))
+	if err != nil || int64(len(body)) > r.cfg.MaxBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "body unreadable or over %d bytes", r.cfg.MaxBody)
+		return
+	}
+	uri := req.URL.RequestURI()
+	hdr := http.Header{}
+	copyRequestHeaders(hdr, req.Header)
+
+	rt.mu.Lock()
+	primary := rt.primary
+	rt.mu.Unlock()
+	pm := r.member(primary)
+	attempted := false
+	if pm != nil && pm.up {
+		resp, rerr := r.forward(pm.URL, req.Method, uri, hdr, body)
+		if rerr == nil {
+			r.finishSession(w, req, sid, rt, pm.ID, resp)
+			return
+		}
+		mProxyErrors.Inc()
+		attempted = true
+		if r.probeAlive(pm.URL) {
+			// The member is alive; the failure was transient transport. One
+			// retry, any method — the request never reached a handler.
+			if resp, rerr = r.forward(pm.URL, req.Method, uri, hdr, body); rerr == nil {
+				r.finishSession(w, req, sid, rt, pm.ID, resp)
+				return
+			}
+			mProxyErrors.Inc()
+		}
+		if r.markDown(pm.ID) {
+			go r.failoverAll(pm.ID)
+		}
+	}
+
+	// Primary is down: fail the session over to its journal peer (a
+	// no-op returning the current pin when the health loop got there
+	// first).
+	newPrimary, ferr := r.failoverSession(sid, rt, primary)
+	if ferr != nil {
+		mFailoverErrors.Inc()
+		httpError(w, http.StatusServiceUnavailable, "session %s: primary down, failover failed: %v", sid, ferr)
+		return
+	}
+	if attempted && req.Method == http.MethodPost {
+		// Our own POST (edit batch) died mid-flight: it may have committed
+		// on the dying primary and replicated before the crash, so blindly
+		// replaying it on the peer could double-apply. The client owns the
+		// retry decision. POSTs that never left the router (attempted ==
+		// false: the session was re-homed before we forwarded anything)
+		// proceed normally below.
+		w.Header().Set("Retry-After", "0")
+		httpError(w, http.StatusConflict, "session %s re-homed to %s mid-request; retry the batch", sid, newPrimary)
+		return
+	}
+	npm := r.member(newPrimary)
+	if npm == nil {
+		httpError(w, http.StatusServiceUnavailable, "session %s: new primary %s vanished", sid, newPrimary)
+		return
+	}
+	resp, rerr := r.forward(npm.URL, req.Method, uri, hdr, body)
+	if rerr != nil {
+		mProxyErrors.Inc()
+		httpError(w, http.StatusServiceUnavailable, "session %s: retry on %s failed: %v", sid, newPrimary, rerr)
+		return
+	}
+	r.finishSession(w, req, sid, rt, newPrimary, resp)
+}
+
+// finishSession writes a proxied response and maintains the session
+// table on close.
+func (r *Router) finishSession(w http.ResponseWriter, req *http.Request, sid string, rt *sessionRoute, servedBy string, resp *bufferedResponse) {
+	mRouted.Inc()
+	if req.Method == http.MethodDelete && resp.status < 300 {
+		rt.mu.Lock()
+		peer := rt.peer
+		rt.mu.Unlock()
+		r.mu.Lock()
+		delete(r.sessions, sid)
+		r.mu.Unlock()
+		// Best-effort: the peer's standby journal is garbage once the
+		// session is closed.
+		if u := r.memberURL(peer); u != "" {
+			r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+		}
+	}
+	w.Header().Set("X-Hb-Replica", servedBy)
+	resp.writeTo(w)
+}
+
+// failoverAll re-homes every session pinned to a dead member.
+func (r *Router) failoverAll(dead string) {
+	r.mu.Lock()
+	routes := make([]*sessionRoute, 0)
+	for _, rt := range r.sessions {
+		routes = append(routes, rt)
+	}
+	r.mu.Unlock()
+	for _, rt := range routes {
+		rt.mu.Lock()
+		primary := rt.primary
+		rt.mu.Unlock()
+		if primary != dead {
+			continue
+		}
+		if _, err := r.failoverSession(rt.id, rt, dead); err != nil {
+			mFailoverErrors.Inc()
+			r.cfg.Logf("fleet: failover %s off %s: %v", rt.id, dead, err)
+		}
+	}
+}
+
+// failoverSession moves one session from its dead primary to the
+// journal peer: the peer adopts the streamed standby journal, replays
+// it, and serves the same session id. Single-flighted per session;
+// returns the (possibly already updated) primary.
+func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.primary != failed {
+		return rt.primary, nil // lost the race; someone already re-homed it
+	}
+	target := rt.peer
+	if target == "" {
+		return "", fmt.Errorf("no journal peer")
+	}
+	tm := r.member(target)
+	if tm == nil || !tm.up {
+		return "", fmt.Errorf("journal peer %s is down", target)
+	}
+	r.mu.Lock()
+	newPeer := r.ring.Successor(rt.key, target)
+	var newPeerM *memberState
+	if newPeer != "" {
+		newPeerM = r.members[newPeer]
+	}
+	r.mu.Unlock()
+	hdr := http.Header{}
+	if newPeerM != nil {
+		hdr.Set(PeerHeader, newPeerM.URL)
+		hdr.Set(PeerIDHeader, newPeerM.ID)
+	}
+	resp, err := r.forward(tm.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+	if err != nil {
+		return "", fmt.Errorf("adopt on %s: %w", target, err)
+	}
+	if resp.status != http.StatusOK {
+		return "", fmt.Errorf("adopt on %s: status %d: %s", target, resp.status, truncate(resp.body, 200))
+	}
+	rt.primary, rt.peer = target, newPeer
+	mFailovers.Inc()
+	r.cfg.Logf("fleet: session %s re-homed %s -> %s (peer %s)", sid, failed, target, newPeer)
+	return target, nil
+}
+
+// drainMember migrates every session off a draining (but still live)
+// member via park → journal hand-off → adopt.
+func (r *Router) drainMember(id string) (migrated int, errs []string) {
+	r.mu.Lock()
+	routes := make([]*sessionRoute, 0)
+	for _, rt := range r.sessions {
+		routes = append(routes, rt)
+	}
+	r.mu.Unlock()
+	for _, rt := range routes {
+		rt.mu.Lock()
+		primary := rt.primary
+		rt.mu.Unlock()
+		if primary != id {
+			continue
+		}
+		if err := r.migrateSession(rt, id); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", rt.id, err))
+			r.cfg.Logf("fleet: migrate %s off %s: %v", rt.id, id, err)
+			continue
+		}
+		migrated++
+	}
+	return migrated, errs
+}
+
+// migrateSession is the planned (primary still alive) re-homing: park
+// the session on the old primary, make sure the target holds the full
+// journal (streamed standby when caught up, explicit export otherwise),
+// adopt on the target, then forget the journal on the old primary.
+func (r *Router) migrateSession(rt *sessionRoute, from string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.primary != from {
+		return nil
+	}
+	fm := r.member(from)
+	if fm == nil || !fm.up {
+		return fmt.Errorf("old primary %s not reachable; use failover", from)
+	}
+	r.mu.Lock()
+	target := r.ring.Lookup(rt.key) // from is already off the ring (draining)
+	var tm *memberState
+	if target != "" {
+		tm = r.members[target]
+	}
+	r.mu.Unlock()
+	if tm == nil || target == from {
+		return fmt.Errorf("no migration target")
+	}
+
+	// 1. Park on the old primary: flushes the replication stream and
+	// reports any residual lag.
+	presp, err := r.control(fm.URL, http.MethodPost, "/v1/sessions/"+rt.id+"/park", nil)
+	if err != nil {
+		return fmt.Errorf("park on %s: %w", from, err)
+	}
+	if presp.status != http.StatusOK {
+		return fmt.Errorf("park on %s: status %d: %s", from, presp.status, truncate(presp.body, 200))
+	}
+	var park struct {
+		StreamLag  int    `json:"stream_lag"`
+		StreamPeer string `json:"stream_peer"`
+	}
+	_ = json.Unmarshal(presp.body, &park)
+
+	// 2. Guarantee the target holds the complete journal. The streamed
+	// standby suffices only when the target was the stream peer and the
+	// flush drained fully; otherwise export and push the frames.
+	if target != park.StreamPeer || park.StreamLag > 0 {
+		exp, err := r.control(fm.URL, http.MethodGet, "/v1/sessions/"+rt.id+"/journal", nil)
+		if err != nil || exp.status != http.StatusOK {
+			r.rollbackPark(fm.URL, rt.id)
+			return fmt.Errorf("journal export from %s failed (err=%v status=%d)", from, err, exp.statusOr0())
+		}
+		hdr := http.Header{}
+		hdr.Set(FirstSeqHeader, "0")
+		push, err := r.forward(tm.URL, http.MethodPost, framesPath(rt.id), hdr, exp.body)
+		if err != nil || push.status != http.StatusOK {
+			r.rollbackPark(fm.URL, rt.id)
+			return fmt.Errorf("journal push to %s failed (err=%v status=%d)", target, err, push.statusOr0())
+		}
+	}
+
+	// 3. Adopt on the target, wiring its onward replication stream.
+	r.mu.Lock()
+	newPeer := r.ring.Successor(rt.key, target)
+	var npm *memberState
+	if newPeer != "" {
+		npm = r.members[newPeer]
+	}
+	r.mu.Unlock()
+	hdr := http.Header{}
+	if npm != nil {
+		hdr.Set(PeerHeader, npm.URL)
+		hdr.Set(PeerIDHeader, npm.ID)
+	}
+	aresp, err := r.forward(tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
+	if err != nil || aresp.status != http.StatusOK {
+		r.rollbackPark(fm.URL, rt.id)
+		return fmt.Errorf("adopt on %s failed (err=%v status=%d)", target, err, aresp.statusOr0())
+	}
+
+	// 4. The old primary's journal (and any stale standby on the old
+	// peer) are now shadows; drop them so a restart cannot resurrect the
+	// session in two places.
+	r.control(fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/forget", nil)
+	if oldPeer := rt.peer; oldPeer != "" && oldPeer != target {
+		if u := r.memberURL(oldPeer); u != "" {
+			r.control(u, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
+		}
+	}
+	rt.primary, rt.peer = target, newPeer
+	mMigrations.Inc()
+	r.cfg.Logf("fleet: session %s migrated %s -> %s (peer %s)", rt.id, from, target, newPeer)
+	return nil
+}
+
+// rollbackPark re-adopts a parked session on its own primary after a
+// failed migration, so the session keeps serving where it was.
+func (r *Router) rollbackPark(baseURL, sid string) {
+	r.control(baseURL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", nil)
+}
+
+// reconcileRejoined clears sessions a rejoining member still holds from
+// a pre-failover life: any session it serves that the router has pinned
+// elsewhere (or forgotten) is closed there so one session id never runs
+// on two replicas.
+func (r *Router) reconcileRejoined(id string) {
+	m := r.member(id)
+	if m == nil {
+		return
+	}
+	resp, err := r.control(m.URL, http.MethodGet, "/v1/sessions", nil)
+	if err != nil || resp.status != http.StatusOK {
+		return
+	}
+	var list struct {
+		Sessions []struct {
+			Session string `json:"session"`
+		} `json:"sessions"`
+	}
+	if json.Unmarshal(resp.body, &list) != nil {
+		return
+	}
+	for _, s := range list.Sessions {
+		r.mu.Lock()
+		rt := r.sessions[s.Session]
+		r.mu.Unlock()
+		stale := rt == nil
+		if rt != nil {
+			rt.mu.Lock()
+			stale = rt.primary != id
+			rt.mu.Unlock()
+		}
+		if stale {
+			r.cfg.Logf("fleet: closing stale copy of %s on rejoined %s", s.Session, id)
+			r.control(m.URL, http.MethodDelete, "/v1/sessions/"+s.Session, nil)
+		}
+	}
+}
+
+// handleReadyz aggregates member readiness into fleet-level health.
+func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	members := make(map[string]any, len(r.members))
+	up, routable := 0, 0
+	for id, m := range r.members {
+		st := m.state
+		if !m.up {
+			st = "down"
+		} else if m.draining {
+			st = "draining"
+		}
+		members[id] = map[string]any{"up": m.up, "state": st}
+		if m.up {
+			up++
+			if !m.draining && m.state != "starting" {
+				routable++
+			}
+		}
+	}
+	total := len(r.members)
+	nsess := len(r.sessions)
+	r.mu.Unlock()
+
+	state := "ready"
+	switch {
+	case routable == 0:
+		state = "down"
+	case up < total:
+		state = "degraded"
+	}
+	status := http.StatusOK
+	if routable == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    routable > 0,
+		"state":    state,
+		"members":  members,
+		"up":       up,
+		"total":    total,
+		"sessions": nsess,
+	})
+}
+
+// handleMetrics renders the router's own telemetry plus per-member
+// liveness gauges in Prometheus text exposition.
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	telemetry.WritePrometheus(&buf)
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(&buf, "# HELP hb_fleet_member_up Member liveness by replica (1 up, 0 down).\n# TYPE hb_fleet_member_up gauge\n")
+	for _, id := range ids {
+		v := 0
+		if r.members[id].up {
+			v = 1
+		}
+		fmt.Fprintf(&buf, "hb_fleet_member_up{replica=%q} %d\n", id, v)
+	}
+	fmt.Fprintf(&buf, "# HELP hb_fleet_member_sessions Sessions currently pinned to each replica.\n# TYPE hb_fleet_member_sessions gauge\n")
+	counts := make(map[string]int, len(ids))
+	for _, rt := range r.sessions {
+		counts[rt.primary]++
+	}
+	for _, id := range ids {
+		fmt.Fprintf(&buf, "hb_fleet_member_sessions{replica=%q} %d\n", id, counts[id])
+	}
+	r.mu.Unlock()
+	w.Write(buf.Bytes())
+}
+
+// handleMembers reports full member detail for operators.
+func (r *Router) handleMembers(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	out := make([]map[string]any, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, map[string]any{
+			"id": m.ID, "url": m.URL, "up": m.up,
+			"draining": m.draining, "state": m.state,
+		})
+	}
+	ringMembers := r.ring.Members()
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i]["id"].(string) < out[j]["id"].(string) })
+	writeJSON(w, http.StatusOK, map[string]any{"members": out, "ring": ringMembers})
+}
+
+// handleDrain marks a member draining (no new sessions) and migrates
+// its sessions to ring targets. The replica itself stays up; the
+// operator stops it afterwards.
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown member %q", id)
+		return
+	}
+	m.draining = true
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	migrated, errs := r.drainMember(id)
+	status := http.StatusOK
+	if len(errs) > 0 {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]any{
+		"member": id, "draining": true, "migrated": migrated, "errors": errs,
+	})
+}
+
+// handleUndrain returns a drained member to the ring.
+func (r *Router) handleUndrain(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown member %q", id)
+		return
+	}
+	m.draining = false
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"member": id, "draining": false})
+}
+
+// bufferedResponse is a fully buffered upstream response, so a
+// transport failure can never leave a half-written downstream reply and
+// retries stay safe.
+type bufferedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (b *bufferedResponse) statusOr0() int {
+	if b == nil {
+		return 0
+	}
+	return b.status
+}
+
+func (b *bufferedResponse) sessionID() string {
+	var m struct {
+		Session string `json:"session"`
+	}
+	if json.Unmarshal(b.body, &m) != nil {
+		return ""
+	}
+	return m.Session
+}
+
+func (b *bufferedResponse) writeTo(w http.ResponseWriter) {
+	for _, k := range []string{"Content-Type", "X-Trace-Id", "Retry-After"} {
+		if v := b.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body)
+}
+
+// forward proxies one request to a member and buffers the reply.
+func (r *Router) forward(baseURL, method, uri string, hdr http.Header, body []byte) (*bufferedResponse, error) {
+	req, err := http.NewRequest(method, baseURL+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	if req.Header.Get("Content-Type") == "" && len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxBody))
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedResponse{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// control issues a short fleet-control request (park, adopt, release,
+// forget, export) against a member.
+func (r *Router) control(baseURL, method, uri string, body []byte) (*bufferedResponse, error) {
+	return r.forward(baseURL, method, uri, nil, body)
+}
+
+// copyRequestHeaders forwards the client headers the daemon cares
+// about; hop-by-hop and routing headers stay out.
+func copyRequestHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "X-Trace-Id", "Accept"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+func truncate(b []byte, n int) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hummingbird/internal/telemetry"
+)
+
+var (
+	mStreamFramesSent = telemetry.NewCounter("fleet.stream_frames_sent")
+	mStreamAcks       = telemetry.NewCounter("fleet.stream_acks")
+	mStreamErrors     = telemetry.NewCounter("fleet.stream_errors")
+)
+
+// FirstSeqHeader carries the sequence number of the first frame in a
+// replication POST body; PeerHeader tells a replica where to stream a
+// session's journal (base URL of the peer replica); PeerIDHeader names
+// that peer for diagnostics.
+const (
+	FirstSeqHeader = "X-Hb-First-Seq"
+	PeerHeader     = "X-Hb-Peer"
+	PeerIDHeader   = "X-Hb-Peer-Id"
+)
+
+// framesPath is the replication endpoint for a session on a replica.
+func framesPath(session string) string {
+	return "/v1/replication/sessions/" + session + "/frames"
+}
+
+// SessionStream replicates one session's journal frames to a peer
+// replica's standby endpoint. It implements journal.Sink: Commit is
+// called by the journal writer after each group-commit fsync with the
+// freshly durable frames, pushes everything unacknowledged to the peer
+// and waits for the ack — so in the healthy path a client-acknowledged
+// edit is on two machines before the HTTP response leaves the primary.
+// When the peer is unreachable the frames stay buffered (Lag grows, the
+// error is counted) and every later Commit or Flush retries the whole
+// backlog; replication degrades, the session keeps serving.
+type SessionStream struct {
+	client  *http.Client
+	peerURL string // peer base URL, no trailing slash
+	peerID  string
+	session string
+
+	mu     sync.Mutex
+	base   int64 // sequence number of buf[0]
+	buf    [][]byte
+	closed bool
+}
+
+// NewSessionStream builds a stream to peerURL for the session, primed
+// with the journal's existing frames (see journal.ReadFrames) so a
+// stream attached after the open record — or after an adopt-time
+// rewrite — replicates the whole file, not just the tail. The primed
+// backlog is pushed on the first Commit or Flush.
+func NewSessionStream(client *http.Client, peerURL, peerID, session string, primed [][]byte) *SessionStream {
+	s := &SessionStream{
+		client:  client,
+		peerURL: peerURL,
+		peerID:  peerID,
+		session: session,
+		buf:     append([][]byte(nil), primed...),
+	}
+	return s
+}
+
+// Commit implements journal.Sink.
+func (s *SessionStream) Commit(frames [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.buf = append(s.buf, frames...)
+	s.flushLocked()
+}
+
+// Flush pushes the buffered backlog; it returns an error when frames
+// remain unacknowledged afterwards. Park and drain paths call it so a
+// migration never adopts a stale standby silently.
+func (s *SessionStream) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.flushLocked()
+	if n := len(s.buf); n > 0 {
+		return fmt.Errorf("fleet: stream to %s lagging %d frame(s)", s.peerID, n)
+	}
+	return nil
+}
+
+// Lag is the number of locally durable frames the peer has not yet
+// acknowledged.
+func (s *SessionStream) Lag() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Peer returns the peer replica id the stream replicates to.
+func (s *SessionStream) Peer() string { return s.peerID }
+
+// PeerURL returns the peer base URL.
+func (s *SessionStream) PeerURL() string { return s.peerURL }
+
+// Close stops the stream; buffered frames are dropped (the session is
+// closing or quarantined — the standby is released by the router).
+func (s *SessionStream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.buf = nil
+	s.mu.Unlock()
+}
+
+// flushLocked pushes the whole buffer in one POST and advances past the
+// peer's acknowledged sequence. On a sequence conflict (the peer expects
+// frames we still hold) it realigns and retries once; on transport or
+// server errors it leaves the buffer intact for the next attempt.
+func (s *SessionStream) flushLocked() {
+	for attempt := 0; attempt < 2; attempt++ {
+		if len(s.buf) == 0 {
+			return
+		}
+		next, status, err := s.post()
+		if err != nil {
+			mStreamErrors.Inc()
+			return
+		}
+		switch {
+		case status == http.StatusOK, status == http.StatusConflict:
+			// The peer tells us its next expected sequence either way;
+			// drop what it holds and, after a conflict realign, retry.
+			drop := next - s.base
+			if drop < 0 {
+				drop = 0
+			}
+			if drop > int64(len(s.buf)) {
+				drop = int64(len(s.buf))
+			}
+			mStreamFramesSent.Add(drop)
+			s.buf = s.buf[drop:]
+			s.base = next
+			if status == http.StatusOK {
+				mStreamAcks.Inc()
+				return
+			}
+		default:
+			mStreamErrors.Inc()
+			return
+		}
+	}
+}
+
+// post sends the buffered frames; returns the peer's next expected
+// sequence.
+func (s *SessionStream) post() (next int64, status int, err error) {
+	body := bytes.Join(s.buf, nil)
+	req, err := http.NewRequest(http.MethodPost, s.peerURL+framesPath(s.session), bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(FirstSeqHeader, strconv.FormatInt(s.base, 10))
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Next int64 `json:"next"`
+	}
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&m); derr != nil {
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
+			return 0, 0, fmt.Errorf("fleet: frames ack without next seq: %w", derr)
+		}
+	}
+	return m.Next, resp.StatusCode, nil
+}
+
+// StreamSet tracks the live replication streams of one replica, for the
+// fleet.stream_lag_frames and fleet.streams_active gauges and for
+// shutdown.
+type StreamSet struct {
+	mu sync.Mutex
+	m  map[string]*SessionStream
+}
+
+// NewStreamSet returns an empty set.
+func NewStreamSet() *StreamSet { return &StreamSet{m: make(map[string]*SessionStream)} }
+
+// Attach registers the session's stream, closing any previous one.
+func (t *StreamSet) Attach(session string, s *SessionStream) {
+	t.mu.Lock()
+	old := t.m[session]
+	t.m[session] = s
+	t.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Detach removes and returns the session's stream (nil when absent).
+func (t *StreamSet) Detach(session string) *SessionStream {
+	t.mu.Lock()
+	s := t.m[session]
+	delete(t.m, session)
+	t.mu.Unlock()
+	return s
+}
+
+// Get returns the session's stream (nil when absent).
+func (t *StreamSet) Get(session string) *SessionStream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[session]
+}
+
+// Len is the number of active streams.
+func (t *StreamSet) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// TotalLag sums the unacknowledged frames across every stream — the
+// replication-lag gauge.
+func (t *StreamSet) TotalLag() int {
+	t.mu.Lock()
+	streams := make([]*SessionStream, 0, len(t.m))
+	for _, s := range t.m {
+		streams = append(streams, s)
+	}
+	t.mu.Unlock()
+	lag := 0
+	for _, s := range streams {
+		lag += s.Lag()
+	}
+	return lag
+}
+
+// CloseAll closes every stream (replica shutdown).
+func (t *StreamSet) CloseAll() {
+	t.mu.Lock()
+	streams := make([]*SessionStream, 0, len(t.m))
+	for _, s := range t.m {
+		streams = append(streams, s)
+	}
+	t.m = make(map[string]*SessionStream)
+	t.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}

@@ -80,6 +80,20 @@ const (
 	KindEdits = "edits"
 )
 
+// A Sink receives a session's committed journal frames for replication.
+// Commit is called with one or more complete framed lines (each
+// "<crc32c-hex> <payload-json>\n"), strictly in sequence order, and only
+// after the frames are durable in the local journal (the group-commit
+// fsync covering them has returned). Delivery is serialized: Commit is
+// never called concurrently for one writer. A sink must not block
+// indefinitely — it runs on the request path between fsync and the HTTP
+// response — and it owns its own retry/buffering policy; Commit has no
+// error return because replication failure must degrade (lag grows),
+// never poison the local session.
+type Sink interface {
+	Commit(frames [][]byte)
+}
+
 // Record is one replayed journal entry.
 type Record struct {
 	Kind string          `json:"kind"`
@@ -100,6 +114,40 @@ type Writer struct {
 	syncMu   sync.Mutex
 	writeGen int64
 	syncGen  int64
+
+	// replication: frames written while a sink is set queue in pending
+	// (under mu, so they carry sequence order) and are handed to the sink
+	// after the fsync barrier, under sinkMu so delivery order matches
+	// write order even when appenders race through the barrier.
+	sinkMu  sync.Mutex
+	sink    Sink
+	pending [][]byte
+}
+
+// SetSink attaches (or, with nil, detaches) the replication sink. Frames
+// appended from now on are delivered to it after they are durable;
+// frames already in the file are the caller's to prime (see ReadFrames).
+// Callers attach the sink before the writer is visible to concurrent
+// appenders.
+func (w *Writer) SetSink(s Sink) {
+	w.mu.Lock()
+	w.sink = s
+	w.mu.Unlock()
+}
+
+// deliver drains the pending frame queue into the sink, preserving
+// order. Called after a successful barrier; a no-op without a sink.
+func (w *Writer) deliver() {
+	w.sinkMu.Lock()
+	defer w.sinkMu.Unlock()
+	w.mu.Lock()
+	sink := w.sink
+	frames := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	if sink != nil && len(frames) > 0 {
+		sink.Commit(frames)
+	}
 }
 
 // Manager owns a directory of session journals, one file per session id.
@@ -130,6 +178,11 @@ func (m *Manager) Dir() string { return m.dir }
 func (m *Manager) path(session string) string {
 	return filepath.Join(m.dir, session+".journal")
 }
+
+// Path returns the on-disk path of the session's journal file (which may
+// not exist yet). Replication uses it to prime streams and to promote an
+// adopted standby journal into the live directory.
+func (m *Manager) Path(session string) string { return m.path(session) }
 
 // Create starts a fresh journal for the session, writing (and syncing) the
 // open record. An existing journal for the same id is truncated — the
@@ -326,9 +379,16 @@ func (w *Writer) append(ctx context.Context, kind string, body any) error {
 	w.seq++
 	w.writeGen++
 	gen := w.writeGen
+	if w.sink != nil {
+		w.pending = append(w.pending, []byte(line))
+	}
 	w.mu.Unlock()
 	mAppends.Inc()
-	return w.barrier(ctx, gen)
+	if err := w.barrier(ctx, gen); err != nil {
+		return err
+	}
+	w.deliver()
+	return nil
 }
 
 // barrier is the group-commit fsync: returns once a sync covering write
@@ -368,12 +428,17 @@ func (w *Writer) barrier(ctx context.Context, gen int64) error {
 	return nil
 }
 
-// Sync forces an fsync of everything appended so far (shutdown flush).
+// Sync forces an fsync of everything appended so far (shutdown flush);
+// any frames still queued for the replication sink are delivered.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	gen := w.writeGen
 	w.mu.Unlock()
-	return w.barrier(nil, gen)
+	if err := w.barrier(nil, gen); err != nil {
+		return err
+	}
+	w.deliver()
+	return nil
 }
 
 // Close syncs and closes the file; the journal stays on disk for replay.
@@ -387,3 +452,63 @@ func (w *Writer) Close() error {
 
 // Path returns the journal file's path (diagnostics).
 func (w *Writer) Path() string { return w.path }
+
+// CheckFrame validates one framed journal line (with or without its
+// trailing newline): the checksum must cover the payload and the payload
+// must decode to a record carrying sequence wantSeq (any sequence when
+// wantSeq < 0). Returns the record kind. This is the admission check a
+// replica runs on every replicated frame before appending it to a
+// standby journal — a frame that fails here must be rejected, not
+// stored, or the standby would replay differently from the primary.
+func CheckFrame(line []byte, wantSeq int64) (string, error) {
+	s := strings.TrimSuffix(string(line), "\n")
+	crcHex, payload, ok := strings.Cut(s, " ")
+	if !ok {
+		return "", fmt.Errorf("journal: frame has no checksum separator")
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return "", fmt.Errorf("journal: bad frame checksum %q", crcHex)
+	}
+	if crc32.Checksum([]byte(payload), castagnoli) != uint32(want) {
+		return "", fmt.Errorf("journal: frame checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return "", fmt.Errorf("journal: decode frame: %w", err)
+	}
+	if wantSeq >= 0 && rec.Seq != wantSeq {
+		return "", fmt.Errorf("journal: frame seq %d, want %d", rec.Seq, wantSeq)
+	}
+	return rec.Kind, nil
+}
+
+// ReadFrames returns the intact framed lines of the journal file at
+// path, trailing newlines included, stopping silently at the first torn
+// or corrupt line (same tolerance as Read, without decoding bodies).
+// Callers use it to prime a replication stream with a journal's existing
+// frames and to recover a standby journal's next-expected sequence.
+func ReadFrames(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var frames [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if _, err := CheckFrame(line, int64(len(frames))); err != nil {
+			break
+		}
+		frame := make([]byte, len(line)+1)
+		copy(frame, line)
+		frame[len(line)] = '\n'
+		frames = append(frames, frame)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return frames, err
+	}
+	return frames, nil
+}

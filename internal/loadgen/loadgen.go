@@ -130,6 +130,15 @@ type Config struct {
 	Log io.Writer
 	// DrainPoll is the /readyz polling interval. 0 = 250ms.
 	DrainPoll time.Duration
+	// ReadyzURL is the full URL the drain poller watches. It defaults to
+	// BaseURL+"/readyz", which is right for a single replica; when
+	// driving a fleet router, point it at one member's /readyz (or the
+	// router's aggregate) so the drain ramp reacts to the replica being
+	// rolled rather than to fleet-wide state.
+	ReadyzURL string
+	// Replicas labels the emitted bench rows with the fleet size behind
+	// BaseURL (0 = standalone daemon, omitted from the row).
+	Replicas int
 }
 
 func (c *Config) defaults() {
@@ -157,6 +166,9 @@ func (c *Config) defaults() {
 	if c.DrainPoll <= 0 {
 		c.DrainPoll = 250 * time.Millisecond
 	}
+	if c.ReadyzURL == "" {
+		c.ReadyzURL = c.BaseURL + "/readyz"
+	}
 }
 
 // ClassResult is one op class's accumulated outcome.
@@ -178,6 +190,7 @@ type Result struct {
 	Arrivals string
 	Rate     float64
 	Sessions int
+	Replicas int           // fleet size behind the target (0 = standalone)
 	Duration time.Duration // measured steady-state window
 	Classes  map[string]*ClassResult
 	// ServerBefore/ServerAfter are the daemon's telemetry snapshots
@@ -214,6 +227,7 @@ func (r *Result) BenchRows() []benchfmt.LoadRow {
 			OpClass:    name,
 			Arrivals:   r.Arrivals,
 			Sessions:   r.Sessions,
+			Replicas:   r.Replicas,
 			DurationNs: r.Duration.Nanoseconds(),
 			Scheduled:  c.Scheduled,
 			Ops:        c.Completed,
@@ -417,6 +431,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Arrivals:      cfg.Arrivals,
 		Rate:          cfg.Rate,
 		Sessions:      cfg.Sessions,
+		Replicas:      cfg.Replicas,
 		Duration:      elapsed,
 		Classes:       make(map[string]*ClassResult, len(r.classes)),
 		ServerBefore:  before,
@@ -834,7 +849,7 @@ func (r *runner) pollReadyz(ctx context.Context) {
 			return
 		case <-t.C:
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/readyz", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.ReadyzURL, nil)
 		if err != nil {
 			continue
 		}

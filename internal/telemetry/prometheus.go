@@ -14,7 +14,54 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// constLabels are rendered on every sample WritePrometheus emits, e.g.
+// replica="r1" so each member of a fleet is distinguishable in one
+// aggregated scrape. Set once at process startup.
+var constLabels struct {
+	mu sync.Mutex
+	s  string // pre-rendered `k="v",k2="v2"` without braces
+}
+
+// SetConstLabels sets (or, with an empty map, clears) the constant
+// labels attached to every exposed sample. Label values are escaped per
+// the exposition format.
+func SetConstLabels(labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		// %q escapes backslash, quote and newline exactly as the text
+		// exposition format requires.
+		parts = append(parts, fmt.Sprintf("%s=%q", promLabelName(k), labels[k]))
+	}
+	constLabels.mu.Lock()
+	constLabels.s = strings.Join(parts, ",")
+	constLabels.mu.Unlock()
+}
+
+// promLabelName sanitises a label name ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_',
+			r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
 
 // promName sanitises an instrument name into a Prometheus metric name.
 func promName(name string) string {
@@ -72,20 +119,39 @@ func WritePrometheus(w io.Writer) error {
 	registry.mu.Unlock()
 	sort.Strings(gaugeNames)
 
+	// lbl renders the brace-wrapped label set for one sample: the
+	// process-wide constant labels plus any sample-specific labels (the
+	// histogram "le" stays last, per convention).
+	constLabels.mu.Lock()
+	cl := constLabels.s
+	constLabels.mu.Unlock()
+	lbl := func(extra string) string {
+		switch {
+		case cl == "" && extra == "":
+			return ""
+		case cl == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + cl + "}"
+		default:
+			return "{" + cl + "," + extra + "}"
+		}
+	}
+
 	bw := bufio.NewWriter(w)
 	enabledVal := 0
 	if enabled.Load() {
 		enabledVal = 1
 	}
 	fmt.Fprintf(bw, "# HELP hb_telemetry_enabled Whether metric collection is on (instruments only accumulate while 1).\n")
-	fmt.Fprintf(bw, "# TYPE hb_telemetry_enabled gauge\nhb_telemetry_enabled %d\n", enabledVal)
+	fmt.Fprintf(bw, "# TYPE hb_telemetry_enabled gauge\nhb_telemetry_enabled%s %d\n", lbl(""), enabledVal)
 	for _, c := range counters {
 		n := promName(c.name) + "_total"
-		fmt.Fprintf(bw, "# HELP %s Event count for %s.\n# TYPE %s counter\n%s %d\n", n, c.name, n, n, c.v)
+		fmt.Fprintf(bw, "# HELP %s Event count for %s.\n# TYPE %s counter\n%s%s %d\n", n, c.name, n, n, lbl(""), c.v)
 	}
 	for _, g := range gaugeNames {
 		n := promName(g)
-		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %s\n", n, g, n, n, formatFloat(gaugeFns[g]()))
+		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s%s %s\n", n, g, n, n, lbl(""), formatFloat(gaugeFns[g]()))
 	}
 	for _, t := range timers {
 		n := promName(t.name) + "_seconds"
@@ -94,11 +160,11 @@ func WritePrometheus(w io.Writer) error {
 		for i := 0; i < timerBuckets; i++ {
 			cum += t.buckets[i]
 			le := formatFloat(float64(int64(1)<<(timerMinShift+i)) / 1e9)
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, le, cum)
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", n, lbl(fmt.Sprintf("le=%q", le)), cum)
 		}
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, t.count)
-		fmt.Fprintf(bw, "%s_sum %s\n", n, formatFloat(float64(t.totalNs)/1e9))
-		fmt.Fprintf(bw, "%s_count %d\n", n, t.count)
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", n, lbl(`le="+Inf"`), t.count)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", n, lbl(""), formatFloat(float64(t.totalNs)/1e9))
+		fmt.Fprintf(bw, "%s_count%s %d\n", n, lbl(""), t.count)
 	}
 	return bw.Flush()
 }
