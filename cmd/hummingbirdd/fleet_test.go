@@ -373,3 +373,357 @@ func TestFleetDrainMigratesSessions(t *testing.T) {
 		}
 	}
 }
+
+// sessionHashes records each session's state hash through the router.
+func sessionHashes(t *testing.T, frontURL string, sessions []fleetSession) map[string]any {
+	t.Helper()
+	hashes := map[string]any{}
+	for _, s := range sessions {
+		status, _, sum := fleetJSON(t, "GET", frontURL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("summary %s: %d", s.id, status)
+		}
+		hashes[s.id] = sum["state_hash"]
+	}
+	return hashes
+}
+
+// TestFleetRouterCrashRecovery kills the router (the component holding
+// the only copy of the pin table) and starts a fresh one over the same
+// members. The new router must rebuild every pin from the members'
+// replication inventories — including resolving a session that two
+// replicas both claim live, which this test manufactures by adopting a
+// standby behind the old router's back. Zero sessions may be lost and
+// every state hash must survive the rebuild.
+func TestFleetRouterCrashRecovery(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	members := []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}}
+	router, front := fleetFront(t, members)
+
+	sessions := openFleetSessions(t, front.URL, 2)
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "60ps")); status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+	}
+	hashes := sessionHashes(t, front.URL, sessions)
+
+	// Manufacture a double-claim: adopt one r1 session's standby directly
+	// on r2, bypassing the router. Both replicas now serve it live.
+	var dup fleetSession
+	for _, s := range sessions {
+		if s.replica == "r1" {
+			dup = s
+			break
+		}
+	}
+	if status, _, m := fleetJSON(t, "POST", d2.base+"/v1/replication/sessions/"+dup.id+"/adopt", nil); status != http.StatusOK || m["adopted"] != true {
+		t.Fatalf("rogue adopt on r2: %d %v", status, m)
+	}
+
+	// Crash the router: its in-memory pin table dies with it.
+	front.Close()
+	router.Close()
+
+	// A fresh router over the same member list reconciles at start.
+	_, front2 := fleetFront(t, members)
+
+	// The double-claim resolved to exactly one serving replica: the ring
+	// owner (journal sequences tie — the standby was fully caught up).
+	status, hdr, m := fleetJSON(t, "GET", front2.URL+"/v1/sessions/"+dup.id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("double-claimed session after rebuild: %d %v", status, m)
+	}
+	if got := hdr.Get("X-Hb-Replica"); got != "r1" {
+		t.Fatalf("double-claim resolved to %q, want the ring owner r1", got)
+	}
+	if status, _, list := fleetJSON(t, "GET", d2.base+"/v1/sessions", nil); status == http.StatusOK {
+		if rows, ok := list["sessions"].([]any); ok {
+			for _, row := range rows {
+				if rm, ok := row.(map[string]any); ok && rm["session"] == dup.id {
+					t.Fatalf("loser replica r2 still serves %s after reconcile", dup.id)
+				}
+			}
+		}
+	}
+
+	// Every session answers through the new router, from its pre-crash
+	// replica, with its pre-crash state.
+	for _, s := range sessions {
+		status, hdr, sum := fleetJSON(t, "GET", front2.URL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("session %s lost across router restart: %d %v", s.id, status, sum)
+		}
+		if got := hdr.Get("X-Hb-Replica"); got != s.replica {
+			t.Fatalf("session %s moved %s -> %s across a router restart (nothing failed)", s.id, s.replica, got)
+		}
+		if sum["state_hash"] != hashes[s.id] {
+			t.Fatalf("session %s state changed across router restart: %v != %v", s.id, sum["state_hash"], hashes[s.id])
+		}
+	}
+
+	// The rebuilt pin table keeps taking writes and new sessions.
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front2.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g0", "15ps")); status != http.StatusOK {
+			t.Fatalf("edit after rebuild %s: %d %v", s.id, status, m)
+		}
+	}
+	if status, _, m := fleetJSON(t, "POST", front2.URL+"/v1/sessions", map[string]any{"design": chainSrc(90)}); status != http.StatusCreated {
+		t.Fatalf("open after rebuild: %d %v", status, m)
+	}
+}
+
+// TestFleetJoinMigratesBounded adds a third replica to a loaded
+// two-replica fleet at runtime. The bulk migration moves only displaced
+// sessions (every move targets the joining member — a session moving
+// between the two surviving members would be unbounded churn), state
+// hashes survive the moves, no request sees a 5xx, and the ring serves
+// new placements on the joined member.
+func TestFleetJoinMigratesBounded(t *testing.T) {
+	dir1, dir2, dir3 := t.TempDir(), t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	_, front := fleetFront(t, []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}})
+
+	sessions := openFleetSessions(t, front.URL, 2)
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "45ps")); status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+	}
+	hashes := sessionHashes(t, front.URL, sessions)
+
+	// Hammer every session across the join; any 5xx fails the test.
+	var server5xx atomic.Int64
+	stopHammer := make(chan struct{})
+	var hammerWG sync.WaitGroup
+	hammerWG.Add(1)
+	go func() {
+		defer hammerWG.Done()
+		client := &http.Client{Timeout: 10 * time.Second}
+		for i := 0; ; i++ {
+			select {
+			case <-stopHammer:
+				return
+			default:
+			}
+			s := sessions[i%len(sessions)]
+			resp, err := client.Get(front.URL + "/v1/sessions/" + s.id)
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				server5xx.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	d3 := startDaemon(t, "-journal-dir", dir3, "-replica-id", "r3")
+	status, _, m := fleetJSON(t, "POST", front.URL+"/fleet/members/join",
+		map[string]any{"id": "r3", "url": d3.base})
+	if status != http.StatusOK || m["joined"] != true {
+		t.Fatalf("join r3: %d %v", status, m)
+	}
+	if errs, ok := m["errors"].([]any); ok && len(errs) > 0 {
+		t.Fatalf("join migration errors: %v", errs)
+	}
+	close(stopHammer)
+	hammerWG.Wait()
+	if n := server5xx.Load(); n > 0 {
+		t.Fatalf("%d request(s) got a 5xx during the join", n)
+	}
+
+	// Bounded migration: every session either stayed put or moved to the
+	// joining member, and the join reported exactly the moved count.
+	moved := 0
+	for _, s := range sessions {
+		status, hdr, sum := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("post-join session %s: %d %v", s.id, status, sum)
+		}
+		got := hdr.Get("X-Hb-Replica")
+		if got != s.replica {
+			if got != "r3" {
+				t.Fatalf("session %s moved %s -> %s; only moves to the joining member are bounded", s.id, s.replica, got)
+			}
+			moved++
+		}
+		if sum["state_hash"] != hashes[s.id] {
+			t.Fatalf("session %s state changed across join migration: %v != %v", s.id, sum["state_hash"], hashes[s.id])
+		}
+	}
+	if reported, ok := m["migrated"].(float64); !ok || int(reported) != moved {
+		t.Fatalf("join reported migrated=%v, observed %d moved sessions", m["migrated"], moved)
+	}
+
+	// Migrated sessions keep taking edits, and new placements reach r3.
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g0", "20ps")); status != http.StatusOK {
+			t.Fatalf("edit after join %s: %d %v", s.id, status, m)
+		}
+	}
+	sawR3 := false
+	for k := 200; k < 280 && !sawR3; k++ {
+		status, hdr, m := fleetJSON(t, "POST", front.URL+"/v1/sessions", map[string]any{"design": chainSrc(k)})
+		if status != http.StatusCreated {
+			t.Fatalf("post-join open: %d %v", status, m)
+		}
+		sawR3 = hdr.Get("X-Hb-Replica") == "r3"
+	}
+	if !sawR3 {
+		t.Fatal("no new session landed on the joined member")
+	}
+}
+
+// TestFleetLeaveMigratesSessions removes a member at runtime: its
+// sessions migrate away with state intact, the member leaves the ring
+// and the member list, and new placements avoid it.
+func TestFleetLeaveMigratesSessions(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	_, front := fleetFront(t, []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}})
+
+	sessions := openFleetSessions(t, front.URL, 1)
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "35ps")); status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+	}
+	hashes := sessionHashes(t, front.URL, sessions)
+
+	status, _, m := fleetJSON(t, "POST", front.URL+"/fleet/members/leave", map[string]any{"id": "r1"})
+	if status != http.StatusOK || m["left"] != true {
+		t.Fatalf("leave r1: %d %v", status, m)
+	}
+
+	for _, s := range sessions {
+		status, hdr, sum := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+s.id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("post-leave session %s: %d %v", s.id, status, sum)
+		}
+		if got := hdr.Get("X-Hb-Replica"); got != "r2" {
+			t.Fatalf("session %s served by %q after r1 left", s.id, got)
+		}
+		if sum["state_hash"] != hashes[s.id] {
+			t.Fatalf("session %s state changed across leave migration: %v != %v", s.id, sum["state_hash"], hashes[s.id])
+		}
+	}
+
+	if status, _, mm := fleetJSON(t, "GET", front.URL+"/fleet/members", nil); status == http.StatusOK {
+		if rows, ok := mm["members"].([]any); ok {
+			for _, row := range rows {
+				if rm, ok := row.(map[string]any); ok && rm["id"] == "r1" {
+					t.Fatalf("r1 still in the member list after leave: %v", mm)
+				}
+			}
+		}
+	}
+	for k := 300; k < 310; k++ {
+		status, hdr, m := fleetJSON(t, "POST", front.URL+"/v1/sessions", map[string]any{"design": chainSrc(k)})
+		if status != http.StatusCreated {
+			t.Fatalf("post-leave open: %d %v", status, m)
+		}
+		if got := hdr.Get("X-Hb-Replica"); got != "r2" {
+			t.Fatalf("new session placed on %q after r1 left", got)
+		}
+	}
+}
+
+// TestFleetChainedStandbyDoubleFailure is the chained-replication
+// acceptance test: with a chain of two standbys over three replicas,
+// kill the session's primary, then kill the replica that adopted it.
+// The session must survive both deaths on the last replica, and its
+// slack report must be byte-identical to an independent replay of the
+// exported journal on a fresh standalone daemon.
+func TestFleetChainedStandbyDoubleFailure(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	daemons := map[string]*daemon{
+		"r1": startDaemon(t, "-journal-dir", dirs[0], "-replica-id", "r1"),
+		"r2": startDaemon(t, "-journal-dir", dirs[1], "-replica-id", "r2"),
+		"r3": startDaemon(t, "-journal-dir", dirs[2], "-replica-id", "r3"),
+	}
+	_, front := fleetFront(t, []fleet.Member{
+		{ID: "r1", URL: daemons["r1"].base},
+		{ID: "r2", URL: daemons["r2"].base},
+		{ID: "r3", URL: daemons["r3"].base},
+	})
+
+	status, hdr, m := fleetJSON(t, "POST", front.URL+"/v1/sessions", map[string]any{"design": chainSrc(31)})
+	if status != http.StatusCreated {
+		t.Fatalf("open: %d %v", status, m)
+	}
+	sid := m["session"].(string)
+	primary := hdr.Get("X-Hb-Replica")
+	if primary == "" {
+		t.Fatal("open response lacks X-Hb-Replica")
+	}
+	for i := 0; i < 3; i++ {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+sid+"/edits", adjustEdit("g1", "80ps")); status != http.StatusOK {
+			t.Fatalf("edit %d: %d %v", i, status, m)
+		}
+	}
+
+	// First death: the primary. Failover must adopt from the standby
+	// chain (both remaining replicas hold a streamed copy).
+	daemons[primary].kill9(t)
+	status, hdr, m = fleetJSON(t, "GET", front.URL+"/v1/sessions/"+sid, nil)
+	if status != http.StatusOK {
+		t.Fatalf("session after first kill: %d %v", status, m)
+	}
+	second := hdr.Get("X-Hb-Replica")
+	if second == primary || second == "" {
+		t.Fatalf("first failover served by %q (primary was %q)", second, primary)
+	}
+	// More edits on the adopter: the re-attached chain must replicate
+	// them to the one replica left standing behind it.
+	for i := 0; i < 2; i++ {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+sid+"/edits", adjustEdit("g2", "40ps")); status != http.StatusOK {
+			t.Fatalf("edit after first failover %d: %d %v", i, status, m)
+		}
+	}
+
+	// Second death: the adopter. Only one replica remains.
+	daemons[second].kill9(t)
+	status, hdr, m = fleetJSON(t, "GET", front.URL+"/v1/sessions/"+sid, nil)
+	if status != http.StatusOK {
+		t.Fatalf("session after second kill: %d %v", status, m)
+	}
+	last := hdr.Get("X-Hb-Replica")
+	if last == primary || last == second || last == "" {
+		t.Fatalf("second failover served by %q (dead: %q, %q)", last, primary, second)
+	}
+	if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+sid+"/edits", adjustEdit("g0", "10ps")); status != http.StatusOK {
+		t.Fatalf("edit after second failover: %d %v", status, m)
+	}
+
+	// Byte-identical state: the twice-failed-over session's report must
+	// equal a fresh standalone daemon's report after replaying the
+	// surviving replica's exported journal.
+	status, _, adopted := fleetDoReport(t, front.URL, sid)
+	if status != http.StatusOK {
+		t.Fatalf("report after double failure: %d", status)
+	}
+	exStatus, _, journalBytes := fleetDo(t, "GET", daemons[last].base+"/v1/sessions/"+sid+"/journal", nil)
+	if exStatus != http.StatusOK {
+		t.Fatalf("journal export from survivor: %d", exStatus)
+	}
+	refDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(refDir, sid+".journal"), journalBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := startDaemon(t, "-journal-dir", refDir)
+	refStatus, _, reference := fleetDoReport(t, ref.base, sid)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference replay report: %d", refStatus)
+	}
+	if !bytes.Equal(adopted, reference) {
+		t.Fatalf("report after double failure differs from journal replay:\nadopted:   %s\nreference: %s",
+			truncForLog(adopted), truncForLog(reference))
+	}
+}

@@ -363,6 +363,10 @@ type sess struct {
 	jw      *journal.Writer // nil when journaling is off
 	edits   int
 	created time.Time
+	// designKey is the fleet routing key (hash of design + adjustments);
+	// reported in the replication inventory so a reconciling router can
+	// re-pin the session without replaying its journal.
+	designKey string
 	// prevSlack maps net name → slack after the previous analysis, for
 	// delta reports (by name so full rebuilds that renumber nets still
 	// diff correctly).
@@ -425,6 +429,13 @@ type server struct {
 	standby      *standbyStore
 	streamClient *http.Client
 	adoptMu      sync.Mutex
+
+	// warm holds compile-cache references pre-acquired from streamed
+	// standby frame 0, so adopting a session here finds its
+	// CompiledDesign hot. Guarded by warmMu; a nil value marks a warm
+	// build in flight (see warmStandby in replication.go).
+	warmMu sync.Mutex
+	warm   map[string]func()
 }
 
 func newServer(lib *celllib.Library, cfg serverConfig) *server {
@@ -441,6 +452,7 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 		quarantined: make(map[string]string),
 		cache:       newLRU(cfg.cacheSize),
 		compile:     newCompileCache(),
+		warm:        make(map[string]func()),
 	}
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
@@ -522,6 +534,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/replication/sessions/{id}/adopt", s.handleReplAdopt)
 	mux.HandleFunc("POST /v1/replication/sessions/{id}/release", s.handleReplRelease)
 	mux.HandleFunc("POST /v1/replication/sessions/{id}/forget", s.handleReplForget)
+	mux.HandleFunc("GET /v1/replication/inventory", s.handleReplInventory)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -856,6 +869,16 @@ func (s *server) shutdown() {
 	if s.streams != nil {
 		s.streams.CloseAll()
 	}
+	// Drop any compile references held for pre-warmed standbys.
+	s.warmMu.Lock()
+	warm := s.warm
+	s.warm = make(map[string]func())
+	s.warmMu.Unlock()
+	for _, release := range warm {
+		if release != nil {
+			release()
+		}
+	}
 	s.mu.Lock()
 	sessions := make([]*sess, 0, len(s.sessions))
 	for _, ss := range s.sessions {
@@ -978,6 +1001,9 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ss := &sess{id: id, eng: eng, created: time.Now()}
+	if b, merr := json.Marshal(&req); merr == nil {
+		ss.designKey = fleet.DesignKey(b)
+	}
 	if s.cfg.journal != nil {
 		// The open record is fsynced before the session becomes visible, so
 		// a crash can never leave an acknowledged session without a journal.
@@ -987,10 +1013,10 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ss.jw = jw
-		// Fleet replication: when the router names a journal peer, stream
-		// this session's frames to it. Attached before the session is
-		// visible, so no committed frame can miss the stream.
-		s.attachStream(id, jw, r.Header.Get(fleet.PeerHeader), r.Header.Get(fleet.PeerIDHeader))
+		// Fleet replication: when the router names a standby chain, stream
+		// this session's frames to every chain member. Attached before the
+		// session is visible, so no committed frame can miss the streams.
+		s.attachStreams(id, jw, fleet.ParsePeers(r.Header))
 	}
 	ss.rememberSlacks()
 	s.mu.Lock()
@@ -1082,7 +1108,21 @@ func (s *server) replaySession(id string) (*sess, *openRequest, []json.RawMessag
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	eng, err := incremental.Open(s.lib, design, opts)
+	// Route replay through the compile cache exactly like a live open:
+	// recovery and adoption then share CompiledDesigns across sessions —
+	// and find the one a standby pre-warm already built (replication.go).
+	key := incremental.StateKey(design, opts.Adjustments)
+	var eng *incremental.Engine
+	if cd, release := s.compile.acquire(key); cd != nil {
+		eng, err = incremental.OpenShared(s.lib, design, opts, cd, release)
+	} else {
+		eng, err = incremental.Open(s.lib, design, opts)
+		if err == nil {
+			if release, ok := s.compile.publish(key, eng.CompiledDesign()); ok {
+				eng.ShareCompiled(release)
+			}
+		}
+	}
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("reopen design: %w", err)
 	}
@@ -1109,6 +1149,7 @@ func (s *server) replaySession(id string) (*sess, *openRequest, []json.RawMessag
 		batches = append(batches, rec.Body)
 	}
 	ss := &sess{id: id, eng: eng, created: time.Now()}
+	ss.designKey = fleet.DesignKey(recs[0].Body)
 	ss.edits = 0
 	for _, b := range batches {
 		var ejs []editJSON

@@ -17,12 +17,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,6 +40,7 @@ var (
 	mFramesRejected  = telemetry.NewCounter("fleet.frames_rejected")
 	mSessionsAdopted = telemetry.NewCounter("fleet.sessions_adopted")
 	mSessionsParked  = telemetry.NewCounter("fleet.sessions_parked")
+	mStandbyWarms    = telemetry.NewCounter("fleet.standby_warms")
 )
 
 // maxReplicationBody bounds one frames POST (a whole journal can arrive
@@ -135,6 +138,22 @@ func (st *standbyStore) release(id string) {
 	os.Remove(st.path(id))
 }
 
+// sessionIDs lists the sessions with a standby journal on disk, sorted.
+func (st *standbyStore) sessionIDs() []string {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	ids := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".journal"); ok && sessionIDOK(name) {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // promote moves the standby journal into the live journal location so
 // the ordinary replay path can restore the session. Returns
 // os.ErrNotExist when there is no standby for the id.
@@ -189,13 +208,14 @@ func splitFrames(body []byte) [][]byte {
 	return frames
 }
 
-// attachStream wires a session's journal writer to a replication stream
-// toward peerURL, primed with every frame already in the file. Called
-// before the session becomes visible to concurrent appenders, so no
-// committed frame can fall between the priming read and the sink
-// attach. The initial flush happens off the request path.
-func (s *server) attachStream(id string, jw *journal.Writer, peerURL, peerID string) {
-	if s.streams == nil || jw == nil || peerURL == "" {
+// attachStreams wires a session's journal writer to its replication
+// chain: one stream per peer, each primed with every frame already in
+// the file, fanned out behind one journal sink. Called before the
+// session becomes visible to concurrent appenders, so no committed
+// frame can fall between the priming read and the sink attach. The
+// initial flush happens off the request path.
+func (s *server) attachStreams(id string, jw *journal.Writer, peers []fleet.Member) {
+	if s.streams == nil || jw == nil || len(peers) == 0 {
 		return
 	}
 	primed, err := journal.ReadFrames(jw.Path())
@@ -203,10 +223,14 @@ func (s *server) attachStream(id string, jw *journal.Writer, peerURL, peerID str
 		fmt.Fprintf(s.cfg.errLog, "hummingbirdd: prime stream %s: %v\n", id, err)
 		return
 	}
-	st := fleet.NewSessionStream(s.streamClient, strings.TrimRight(peerURL, "/"), peerID, id, primed)
-	jw.SetSink(st)
-	s.streams.Attach(id, st)
-	go st.Flush()
+	hops := make([]*fleet.SessionStream, 0, len(peers))
+	for _, p := range peers {
+		hops = append(hops, fleet.NewSessionStream(s.streamClient, strings.TrimRight(p.URL, "/"), p.ID, id, primed))
+	}
+	ms := fleet.NewMultiStream(hops...)
+	jw.SetSink(ms)
+	s.streams.Attach(id, ms)
+	go ms.Flush()
 }
 
 // detachStream removes and closes the session's replication stream.
@@ -261,7 +285,96 @@ func (s *server) handleReplFrames(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, map[string]any{"session": id, "next": next})
 	default:
 		mFramesReceived.Add(int64(len(frames)))
+		if firstSeq == 0 && next > 0 {
+			// A push that began at the open record: pre-warm the shared
+			// compile off the request path, so an adopt after the primary
+			// dies skips the cold elaboration.
+			go s.warmStandby(id, frames[0])
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"session": id, "next": next})
+	}
+}
+
+// warmStandby pre-warms the shared CompiledDesign named by a standby
+// journal's open frame, holding one compile-cache reference in s.warm
+// until the standby is adopted or released. One warm attempt per
+// standby: concurrent re-pushes of frame 0 are deduplicated by the
+// reservation entry.
+func (s *server) warmStandby(id string, frame0 []byte) {
+	s.warmMu.Lock()
+	_, held := s.warm[id]
+	if !held {
+		s.warm[id] = nil // reserve the slot while the compile runs
+	}
+	s.warmMu.Unlock()
+	if held {
+		return
+	}
+	release := s.buildWarm(frame0)
+	s.warmMu.Lock()
+	if _, still := s.warm[id]; still && release != nil {
+		s.warm[id] = release
+		s.warmMu.Unlock()
+		return
+	}
+	if release == nil {
+		delete(s.warm, id) // failed warm; a later frame-0 push may retry
+		s.warmMu.Unlock()
+		return
+	}
+	// The standby was adopted or released while compiling; drop the hold.
+	s.warmMu.Unlock()
+	release()
+}
+
+// buildWarm resolves a compile-cache hold for the design in an open
+// frame: an existing cached compile is referenced, otherwise the design
+// is compiled once and published. Returns nil when the frame does not
+// yield a usable design.
+func (s *server) buildWarm(frame0 []byte) func() {
+	rec, err := journal.ParseFrame(frame0)
+	if err != nil || rec.Kind != journal.KindOpen {
+		return nil
+	}
+	var req openRequest
+	if json.Unmarshal(rec.Body, &req) != nil {
+		return nil
+	}
+	design, opts, err := s.parseOpen(&req)
+	if err != nil {
+		return nil
+	}
+	key := incremental.StateKey(design, opts.Adjustments)
+	if cd, release := s.compile.acquire(key); cd != nil {
+		mStandbyWarms.Inc()
+		return release
+	}
+	eng, err := incremental.Open(s.lib, design, opts)
+	if err != nil {
+		return nil
+	}
+	// Only the immutable CompiledDesign matters; the throwaway engine's
+	// analysis state is dropped with it.
+	if release, ok := s.compile.publish(key, eng.CompiledDesign()); ok {
+		mStandbyWarms.Inc()
+		return release
+	}
+	if _, release := s.compile.acquire(key); release != nil {
+		// A racing open published first; hold a reference on that one.
+		mStandbyWarms.Inc()
+		return release
+	}
+	return nil
+}
+
+// dropWarm releases the session's warm compile hold, if any.
+func (s *server) dropWarm(id string) {
+	s.warmMu.Lock()
+	release := s.warm[id]
+	delete(s.warm, id)
+	s.warmMu.Unlock()
+	if release != nil {
+		release()
 	}
 }
 
@@ -317,9 +430,12 @@ func (s *server) handleReplAdopt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.jw = jw
-	// Onward replication toward the new peer the router designated;
+	// Onward replication toward the chain the router designated;
 	// attached before the session is visible so no frame is skipped.
-	s.attachStream(id, jw, r.Header.Get(fleet.PeerHeader), r.Header.Get(fleet.PeerIDHeader))
+	s.attachStreams(id, jw, fleet.ParsePeers(r.Header))
+	// The warm compile hold served its purpose: the replay above acquired
+	// its own reference, so releasing here frees nothing prematurely.
+	s.dropWarm(id)
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.maxSessions {
@@ -358,7 +474,67 @@ func (s *server) handleReplRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.standby.release(id)
+	s.dropWarm(id)
 	writeJSON(w, http.StatusOK, map[string]any{"session": id, "released": true})
+}
+
+// handleReplInventory reports everything this replica holds for the
+// fleet: live sessions — with design key, journal sequence, and active
+// stream peers — and standby journals with their contiguous frame
+// count. A restarted router rebuilds its whole pin table from these.
+func (s *server) handleReplInventory(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.journal == nil {
+		httpError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	live := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		ss := s.session(id)
+		if ss == nil {
+			continue
+		}
+		ss.mu.Lock()
+		jw, key := ss.jw, ss.designKey
+		ss.mu.Unlock()
+		var seq int64
+		if jw != nil {
+			seq = jw.Seq()
+		}
+		var peers []string
+		if s.streams != nil {
+			if ms := s.streams.Get(id); ms != nil {
+				peers = ms.Peers()
+			}
+		}
+		live = append(live, map[string]any{
+			"session": id, "seq": seq, "key": key, "peers": peers,
+		})
+	}
+	standby := make([]map[string]any, 0)
+	if st := s.standby; st != nil {
+		for _, id := range st.sessionIDs() {
+			st.mu.Lock()
+			next := st.loadNext(id)
+			st.mu.Unlock()
+			key := ""
+			if frames, err := journal.ReadFrames(st.path(id)); err == nil && len(frames) > 0 {
+				if rec, rerr := journal.ParseFrame(frames[0]); rerr == nil && rec.Kind == journal.KindOpen {
+					key = fleet.DesignKey(rec.Body)
+				}
+			}
+			standby = append(standby, map[string]any{"session": id, "next": next, "key": key})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replica": s.cfg.replicaID, "live": live, "standby": standby,
+	})
 }
 
 // handleReplForget removes the live-directory journal of a session that
@@ -401,10 +577,15 @@ func (s *server) handlePark(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lag, peer := 0, ""
+	var hops []fleet.HopLag
 	if s.streams != nil {
 		if st := s.streams.Detach(id); st != nil {
 			st.Flush()
-			lag, peer = st.Lag(), st.Peer()
+			hops = st.HopLags()
+			lag = st.Lag()
+			if len(hops) > 0 {
+				peer = hops[0].Peer
+			}
 			st.Close()
 		}
 	}
@@ -422,7 +603,7 @@ func (s *server) handlePark(w http.ResponseWriter, r *http.Request) {
 	parked := s.parkEngine(eng)
 	mSessionsParked.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"session": id, "parked": parked, "stream_lag": lag, "stream_peer": peer,
+		"session": id, "parked": parked, "stream_lag": lag, "stream_peer": peer, "hops": hops,
 	})
 }
 

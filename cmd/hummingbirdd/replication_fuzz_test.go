@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"hummingbird/internal/journal"
+)
+
+// fuzzFrame builds one framed journal line the way journal.Writer does:
+// "<crc32c-hex> <record-json>\n". Used only to seed the fuzz corpus with
+// well-formed input so mutation starts from the interesting region.
+func fuzzFrame(kind string, seq int64, body string) []byte {
+	payload := fmt.Sprintf(`{"kind":%q,"seq":%d,"body":%s}`, kind, seq, body)
+	crc := crc32.Checksum([]byte(payload), crc32.MakeTable(crc32.Castagnoli))
+	return []byte(fmt.Sprintf("%08x %s\n", crc, payload))
+}
+
+// FuzzStandbyAppend throws arbitrary replication bodies at the standby
+// store's frame-append path — the surface a primary (or an attacker on
+// the replication port) controls byte-for-byte. Invariants, regardless
+// of input:
+//
+//   - no panic, and the reported next sequence never decreases;
+//   - a conflict report never mutates the journal;
+//   - the on-disk standby journal is always a fully intact frame
+//     sequence: every line passes the CRC-32C + seq-continuity check and
+//     the intact count equals the reported next (no torn or skipped
+//     frames are ever admitted).
+func FuzzStandbyAppend(f *testing.F) {
+	open := fuzzFrame(journal.KindOpen, 0, `{"design":"design d1\nend"}`)
+	edit := fuzzFrame(journal.KindEdits, 1, `[{"op":"adjust","inst":"u1","delta":100}]`)
+	f.Add(open, int64(0), edit, int64(1))
+	f.Add(append(append([]byte{}, open...), edit...), int64(0), edit, int64(5))
+	f.Add(edit, int64(1), open, int64(0))
+	f.Add([]byte("00000000 {\"kind\":\"open\",\"seq\":0}"), int64(0), []byte("torn"), int64(-3))
+
+	f.Fuzz(func(t *testing.T, body1 []byte, seq1 int64, body2 []byte, seq2 int64) {
+		st, err := newStandbyStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const id = "fz-s1"
+		prev := int64(0)
+		for i, push := range []struct {
+			body []byte
+			seq  int64
+		}{{body1, seq1}, {body2, seq2}} {
+			next, conflict, aerr := st.appendFrames(id, splitFrames(push.body), push.seq)
+			if next < prev {
+				t.Fatalf("push %d: next went backwards: %d -> %d", i, prev, next)
+			}
+			frames, rerr := journal.ReadFrames(st.path(id))
+			if rerr != nil && next > 0 {
+				t.Fatalf("push %d: next=%d but standby unreadable: %v", i, next, rerr)
+			}
+			if conflict && int64(len(frames)) != prev {
+				t.Fatalf("push %d: conflict mutated the journal: %d -> %d frames", i, prev, len(frames))
+			}
+			if aerr == nil && !conflict && int64(len(frames)) != next {
+				t.Fatalf("push %d: reported next=%d but %d intact frames on disk", i, next, len(frames))
+			}
+			// ReadFrames already enforces CRC + contiguity; recheck
+			// explicitly so a loosened reader can't mask admission bugs.
+			for j, fr := range frames {
+				if _, cerr := journal.CheckFrame(fr, int64(j)); cerr != nil {
+					t.Fatalf("push %d: admitted frame %d fails recheck: %v", i, j, cerr)
+				}
+			}
+			prev = next
+		}
+	})
+}

@@ -11,8 +11,15 @@
 //	GET  /readyz              aggregated member readiness ("state": ready/degraded/down)
 //	GET  /metrics             router telemetry + per-replica liveness gauges
 //	GET  /fleet/members       member detail (up, draining, readyz state, ring membership)
+//	POST /fleet/members/join  {"id","url"}: add a replica at runtime, rebalance displaced sessions
+//	POST /fleet/members/leave {"id"}: drain and remove a replica at runtime
+//	POST /fleet/reconcile     rebuild the session pin table from member inventories
 //	POST /fleet/drain/{id}    take a member out of the ring and migrate its sessions away
 //	POST /fleet/undrain/{id}  return a drained member to the ring
+//
+// The router keeps no persistent state: at startup it reconciles the pin
+// table from the replicas themselves, so a crashed router can simply be
+// restarted with the same member list.
 //
 // See docs/FLEET.md for topology, replication guarantees, failover
 // semantics, and the rolling-drain runbook.
@@ -61,6 +68,8 @@ func run(args []string, w, errW io.Writer) error {
 		healthIvl  = fs.Duration("health-interval", 500*time.Millisecond, "member /readyz poll interval")
 		failAfter  = fs.Int("fail-after", 2, "consecutive failed probes before a member is marked down")
 		proxyTO    = fs.Duration("proxy-timeout", 60*time.Second, "per-request upstream timeout")
+		standbys   = fs.Int("standbys", 2, "replication-chain length: journal frames stream to this many ring successors")
+		migrateCC  = fs.Int("migrate-concurrency", 4, "sessions migrated at once during drain/join/leave rebalancing")
 		shutGrace  = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections")
 		metricsOut = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on shutdown")
 		version    = fs.Bool("version", false, "print version and exit")
@@ -80,11 +89,13 @@ func run(args []string, w, errW io.Writer) error {
 	telemetry.RegisterRuntimeGauges()
 
 	router, err := fleet.NewRouter(fleet.Config{
-		Members:        members,
-		Vnodes:         *vnodes,
-		Client:         &http.Client{Timeout: *proxyTO},
-		HealthInterval: *healthIvl,
-		FailAfter:      *failAfter,
+		Members:            members,
+		Vnodes:             *vnodes,
+		Client:             &http.Client{Timeout: *proxyTO},
+		HealthInterval:     *healthIvl,
+		FailAfter:          *failAfter,
+		Standbys:           *standbys,
+		MigrateConcurrency: *migrateCC,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(errW, "hummingbirdfleet: "+format+"\n", args...)
 		},

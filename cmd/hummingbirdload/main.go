@@ -22,9 +22,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -155,6 +157,16 @@ func run(args []string, w, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// When the target is a fleet router, record the member count the
+	// router actually ended the run with — join/leave during the run make
+	// the -replicas flag stale, and bench rows keyed by a wrong fleet
+	// size poison perf comparisons.
+	if n, ok := liveMemberCount(cfg.BaseURL); ok {
+		if *replicas != 0 && n != *replicas {
+			fmt.Fprintf(w, "fleet members: %d live (overriding -replicas %d on bench rows)\n", n, *replicas)
+		}
+		res.Replicas = n
+	}
 	res.WriteText(w)
 
 	if *jsonOut != "" {
@@ -191,6 +203,33 @@ func run(args []string, w, errW io.Writer) error {
 		return fmt.Errorf("assertion failed: %s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// liveMemberCount asks the target for GET /fleet/members and returns how
+// many members the ring holds. ok is false when the target is a plain
+// hummingbirdd (404) or the probe fails — the -replicas flag then stands.
+func liveMemberCount(baseURL string) (int, bool) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(baseURL + "/fleet/members")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var body struct {
+		Members []struct {
+			ID string `json:"id"`
+		} `json:"members"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) != nil {
+		return 0, false
+	}
+	if len(body.Members) == 0 {
+		return 0, false
+	}
+	return len(body.Members), true
 }
 
 // buildWorkload generates one of the paper's Table-1 designs by name.

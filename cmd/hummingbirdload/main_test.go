@@ -105,6 +105,11 @@ func fakeServer() *httptest.Server {
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]any{"enabled": true, "counters": map[string]int64{}})
 	})
+	mux.HandleFunc("GET /fleet/members", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"members": []map[string]any{
+			{"id": "r1", "up": true}, {"id": "r2", "up": true},
+		}})
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		io.Copy(io.Discard, r.Body)
 		json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": "x"})
@@ -131,6 +136,9 @@ func TestRunWritesAndMergesJSON(t *testing.T) {
 		"-mix", "edit_delay=0.7,report=0.3", "-trace-tag", "",
 		"-json-in", outPath, "-json-out", outPath,
 		"-assert-no-5xx", "-assert-max-p99", "5s",
+		// Deliberately wrong: the live /fleet/members probe (2 members in
+		// fakeServer) must override this on the recorded rows.
+		"-replicas", "7",
 	}
 	var out bytes.Buffer
 	if err := run(args, &out, io.Discard); err != nil {
@@ -150,6 +158,9 @@ func TestRunWritesAndMergesJSON(t *testing.T) {
 	for _, lr := range got.Load {
 		if lr.Workload != "sm1f" || lr.Ops == 0 && lr.OpClass != "open" {
 			t.Fatalf("bad load row %+v", lr)
+		}
+		if lr.Replicas != 2 {
+			t.Fatalf("load row kept -replicas flag instead of live member count: %+v", lr)
 		}
 	}
 	// Re-running replaces rows by key instead of duplicating them.

@@ -125,6 +125,29 @@ func (r *Ring) Successor(key, exclude string) string {
 	return ""
 }
 
+// Successors returns the first n distinct members clockwise from key,
+// skipping exclude — the session's replication chain: frames stream to
+// each in ring order, and failover adopts from whichever holds the
+// highest contiguous sequence. Fewer than n members remain after the
+// exclusion, the chain is just shorter; it is never padded.
+func (r *Ring) Successors(key, exclude string, n int) []string {
+	if n <= 0 || len(r.members) < 2 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{exclude: true}
+	i := r.search(hash64(key))
+	for step := 0; step < len(r.points) && len(out) < n; step++ {
+		p := r.points[(i+step)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}
+
 // search returns the index of the first point with hash >= h, wrapping
 // to 0 past the last point.
 func (r *Ring) search(h uint64) int {

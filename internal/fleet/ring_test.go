@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -129,5 +130,123 @@ func TestRingSuccessor(t *testing.T) {
 	}
 	if got := NewRing(nil, 0).Lookup("k"); got != "" {
 		t.Fatalf("empty ring returned %q", got)
+	}
+}
+
+// TestRingSuccessors: the chain is deterministic, holds distinct
+// members, never contains the excluded primary, starts with the
+// single-peer Successor (failover order is an extension, not a
+// different answer), and is exactly min(n, N-1) long — never padded.
+func TestRingSuccessors(t *testing.T) {
+	members := []string{"r1", "r2", "r3", "r4", "r5"}
+	r := NewRing(members, 0)
+	onRing := map[string]bool{}
+	for _, m := range members {
+		onRing[m] = true
+	}
+	for _, k := range keys(500) {
+		p := r.Lookup(k)
+		for n := 0; n <= len(members)+2; n++ {
+			chain := r.Successors(k, p, n)
+			want := n
+			if max := len(members) - 1; want > max {
+				want = max
+			}
+			if len(chain) != want {
+				t.Fatalf("key %q n=%d: chain %v has %d members, want %d", k, n, chain, len(chain), want)
+			}
+			seen := map[string]bool{}
+			for _, m := range chain {
+				if m == p {
+					t.Fatalf("key %q: chain %v contains the primary %q", k, chain, p)
+				}
+				if seen[m] || !onRing[m] {
+					t.Fatalf("key %q: chain %v has duplicate or foreign member %q", k, chain, m)
+				}
+				seen[m] = true
+			}
+			if n >= 1 && chain[0] != r.Successor(k, p) {
+				t.Fatalf("key %q: chain head %q != Successor %q", k, chain[0], r.Successor(k, p))
+			}
+		}
+	}
+}
+
+// TestRingSuccessorsEdgeCases: single member, empty ring, zero/negative
+// n, and an exclude that is not on the ring at all.
+func TestRingSuccessorsEdgeCases(t *testing.T) {
+	if got := NewRing([]string{"only"}, 0).Successors("k", "only", 2); got != nil {
+		t.Fatalf("single-member ring returned chain %v, want nil", got)
+	}
+	if got := NewRing(nil, 0).Successors("k", "x", 2); got != nil {
+		t.Fatalf("empty ring returned chain %v, want nil", got)
+	}
+	two := NewRing([]string{"a", "b"}, 0)
+	if got := two.Successors("k", "a", 0); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	if got := two.Successors("k", "a", -3); got != nil {
+		t.Fatalf("negative n returned %v, want nil", got)
+	}
+	// Excluding a non-member: the chain may legitimately contain the
+	// key's owner (it is not the exclude), and caps at the member count.
+	chain := two.Successors("k", "not-a-member", 5)
+	if len(chain) != 2 {
+		t.Fatalf("foreign exclude: chain %v, want both members", chain)
+	}
+}
+
+// TestRingChurnProperty: across a randomized join/leave sequence, every
+// single membership change moves at most ~K/N keys (with slack for
+// vnode variance), and keys never move between two members that are in
+// both the before and after rings.
+func TestRingChurnProperty(t *testing.T) {
+	const K = 10000
+	ks := keys(K)
+	rng := rand.New(rand.NewSource(42))
+	members := []string{"r1", "r2", "r3"}
+	nextID := 4
+	ring := NewRing(members, 0)
+
+	for step := 0; step < 12; step++ {
+		prev, prevN := ring, len(members)
+		join := rng.Intn(2) == 0 || len(members) <= 2
+		var joined string
+		if join {
+			joined = fmt.Sprintf("r%d", nextID)
+			nextID++
+			members = append(members, joined)
+		} else {
+			gone := rng.Intn(len(members))
+			members = append(members[:gone], members[gone+1:]...)
+		}
+		ring = NewRing(members, 0)
+
+		moved := 0
+		for _, k := range ks {
+			was, now := prev.Lookup(k), ring.Lookup(k)
+			if was == now {
+				continue
+			}
+			moved++
+			if join && now != joined {
+				t.Fatalf("step %d: key %q moved %q -> %q, not to the joining member %q", step, k, was, now, joined)
+			}
+			if !join && ring.Lookup(k) == "" {
+				t.Fatalf("step %d: key %q unplaced after leave", step, k)
+			}
+		}
+		// The displaced share is K/N of the larger ring; allow 50% slack.
+		n := prevN
+		if len(members) > n {
+			n = len(members)
+		}
+		if lim := K / n * 15 / 10; moved > lim {
+			t.Fatalf("step %d (%d->%d members): moved %d/%d keys, want <= %d (~K/N)",
+				step, prevN, len(members), moved, K, lim)
+		}
+		if moved == 0 {
+			t.Fatalf("step %d: membership change moved no keys", step)
+		}
 	}
 }

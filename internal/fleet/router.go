@@ -24,6 +24,11 @@ var (
 	mMigrations     = telemetry.NewCounter("fleet.migrations")
 	mMemberDown     = telemetry.NewCounter("fleet.member_down_events")
 	mMemberUp       = telemetry.NewCounter("fleet.member_up_events")
+	mJoins          = telemetry.NewCounter("fleet.members_joined")
+	mLeaves         = telemetry.NewCounter("fleet.members_left")
+	mReconciles     = telemetry.NewCounter("fleet.reconciles")
+	mReconConflicts = telemetry.NewCounter("fleet.reconcile_conflicts")
+	mReconAdopts    = telemetry.NewCounter("fleet.reconcile_adopts")
 )
 
 // Member names one hummingbirdd replica: its stable replica id (the
@@ -53,6 +58,13 @@ type Config struct {
 	// MaxBody bounds buffered request/response bodies (default 16 MiB,
 	// matching the daemon's own open limit).
 	MaxBody int64
+	// Standbys is the replication-chain length: each session's journal
+	// streams to this many ring successors (default 2). With fewer
+	// members available the chain is shorter, never padded.
+	Standbys int
+	// MigrateConcurrency bounds how many sessions a bulk migration
+	// (drain, leave, join rebalance) moves at once (default 4).
+	MigrateConcurrency int
 	// Logf receives router life-cycle events; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -66,7 +78,8 @@ type memberState struct {
 	state    string // last /readyz "state"
 }
 
-// sessionRoute pins one session to its primary and journal peer. The
+// sessionRoute pins one session to its primary and replication chain
+// (the standby members its journal streams to, in ring order). The
 // per-route mutex single-flights failover and migration: concurrent
 // requests against a dying primary elect exactly one re-homing.
 type sessionRoute struct {
@@ -74,7 +87,7 @@ type sessionRoute struct {
 	id      string
 	key     string
 	primary string
-	peer    string
+	peers   []string
 }
 
 // Router is the fleet front-end: it owns the consistent-hash ring over
@@ -116,6 +129,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 16 << 20
 	}
+	if cfg.Standbys <= 0 {
+		cfg.Standbys = 2
+	}
+	if cfg.MigrateConcurrency <= 0 {
+		cfg.MigrateConcurrency = 4
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -156,10 +175,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// Start launches the health loop; it polls every member once
-// synchronously first so the initial ring reflects reality.
+// Start reconciles the pin table against the fleet (which polls every
+// member once synchronously, so the initial ring reflects reality) and
+// launches the health loop. A router restarted after a crash rebuilds
+// every session pin here before it serves a single request.
 func (r *Router) Start() {
-	r.PollOnce()
+	r.Reconcile()
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
@@ -208,6 +229,66 @@ func (r *Router) memberURL(id string) string {
 		return m.URL
 	}
 	return ""
+}
+
+// chainLocked resolves a session's replication chain: the first
+// Standbys distinct up members clockwise from key, skipping the
+// primary. Caller holds r.mu.
+func (r *Router) chainLocked(key, primary string) []Member {
+	ids := r.ring.Successors(key, primary, r.cfg.Standbys)
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		if m := r.members[id]; m != nil && m.up {
+			out = append(out, m.Member)
+		}
+	}
+	return out
+}
+
+// setPeerHeaders writes a replication chain onto an outbound request:
+// the multi-hop PeersHeader plus the legacy single-peer pair for hop 1.
+func setPeerHeaders(hdr http.Header, peers []Member) {
+	if len(peers) == 0 {
+		return
+	}
+	hdr.Set(PeersHeader, FormatPeers(peers))
+	hdr.Set(PeerHeader, peers[0].URL)
+	hdr.Set(PeerIDHeader, peers[0].ID)
+}
+
+func memberIDs(peers []Member) []string {
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, p.ID)
+	}
+	return out
+}
+
+// releaseStandbys drops the session's standby journal on each member —
+// stale copies from a previous epoch must never pollute the fresh
+// streams an adopt attaches.
+func (r *Router) releaseStandbys(sid string, peers []Member) {
+	for _, p := range peers {
+		r.control(p.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+	}
+}
+
+// probeStandbySeq asks a replica how many contiguous frames its standby
+// journal for the session holds; an empty frames POST mutates nothing.
+func (r *Router) probeStandbySeq(baseURL, sid string) (int64, bool) {
+	hdr := http.Header{}
+	hdr.Set(FirstSeqHeader, "0")
+	resp, err := r.forward(baseURL, http.MethodPost, framesPath(sid), hdr, nil)
+	if err != nil || resp.status != http.StatusOK {
+		return 0, false
+	}
+	var m struct {
+		Next int64 `json:"next"`
+	}
+	if json.Unmarshal(resp.body, &m) != nil {
+		return 0, false
+	}
+	return m.Next, true
 }
 
 // markDown flips a member down and rebuilds the ring. Returns true when
@@ -375,9 +456,120 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", r.handleReadyz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /fleet/members", r.handleMembers)
+	mux.HandleFunc("POST /fleet/members/join", r.handleJoin)
+	mux.HandleFunc("POST /fleet/members/leave", r.handleLeave)
+	mux.HandleFunc("POST /fleet/reconcile", r.handleReconcile)
 	mux.HandleFunc("POST /fleet/drain/{id}", r.handleDrain)
 	mux.HandleFunc("POST /fleet/undrain/{id}", r.handleUndrain)
 	return mux
+}
+
+// handleJoin adds a member to the fleet at runtime: the ring is rebuilt
+// and the ~K/N sessions the new topology displaces are bulk-migrated to
+// their new owners through park → journal hand-off → adopt.
+func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&body); err != nil || body.ID == "" || body.URL == "" {
+		httpError(w, http.StatusBadRequest, `join wants {"id":"rN","url":"http://host:port"}`)
+		return
+	}
+	url := strings.TrimRight(body.URL, "/")
+	state, err := r.probeReadyz(url)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "member %s not reachable at %s: %v", body.ID, url, err)
+		return
+	}
+	r.mu.Lock()
+	if r.members[body.ID] != nil {
+		r.mu.Unlock()
+		httpError(w, http.StatusConflict, "member %q already present", body.ID)
+		return
+	}
+	r.members[body.ID] = &memberState{Member: Member{ID: body.ID, URL: url}, up: true, state: state}
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	mJoins.Inc()
+	r.cfg.Logf("fleet: member %s joined at %s (state %s)", body.ID, url, state)
+	migrated, errs := r.rebalance()
+	status := http.StatusOK
+	if len(errs) > 0 {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]any{
+		"member": body.ID, "joined": true, "state": state, "migrated": migrated, "errors": errs,
+	})
+}
+
+// handleLeave removes a member at runtime: a live member drains first
+// (park → hand-off → adopt for each pinned session), a dead one has its
+// sessions failed over to their standbys; the member leaves the table
+// only once no session pins to it, so a stuck migration never strands a
+// session on a forgotten replica.
+func (r *Router) handleLeave(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&body); err != nil || body.ID == "" {
+		httpError(w, http.StatusBadRequest, `leave wants {"id":"rN"}`)
+		return
+	}
+	id := body.ID
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown member %q", id)
+		return
+	}
+	wasUp := m.up
+	m.draining = true
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	var migrated int
+	var errs []string
+	if wasUp {
+		migrated, errs = r.drainMember(id)
+	} else {
+		r.failoverAll(id)
+	}
+	r.mu.Lock()
+	routes := make([]*sessionRoute, 0, len(r.sessions))
+	for _, rt := range r.sessions {
+		routes = append(routes, rt)
+	}
+	r.mu.Unlock()
+	pinned := 0
+	for _, rt := range routes {
+		rt.mu.Lock()
+		if rt.primary == id {
+			pinned++
+		}
+		rt.mu.Unlock()
+	}
+	if pinned > 0 {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"member": id, "left": false, "migrated": migrated, "pinned": pinned, "errors": errs,
+		})
+		return
+	}
+	r.mu.Lock()
+	delete(r.members, id)
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	mLeaves.Inc()
+	r.cfg.Logf("fleet: member %s left (%d session(s) migrated)", id, migrated)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"member": id, "left": true, "migrated": migrated, "errors": errs,
+	})
+}
+
+// handleReconcile rebuilds the pin table from member inventories on
+// demand (see Reconcile).
+func (r *Router) handleReconcile(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Reconcile())
 }
 
 // handleOpen routes a session-open by design key, pins the session, and
@@ -392,13 +584,10 @@ func (r *Router) handleOpen(w http.ResponseWriter, req *http.Request) {
 	for attempt := 0; attempt < 2; attempt++ {
 		r.mu.Lock()
 		primary := r.ring.Lookup(key)
-		peer := r.ring.Successor(key, primary)
-		var pm, peerM *memberState
+		chain := r.chainLocked(key, primary)
+		var pm *memberState
 		if primary != "" {
 			pm = r.members[primary]
-		}
-		if peer != "" {
-			peerM = r.members[peer]
 		}
 		r.mu.Unlock()
 		if pm == nil {
@@ -407,10 +596,7 @@ func (r *Router) handleOpen(w http.ResponseWriter, req *http.Request) {
 		}
 		hdr := http.Header{}
 		copyRequestHeaders(hdr, req.Header)
-		if peerM != nil {
-			hdr.Set(PeerHeader, peerM.URL)
-			hdr.Set(PeerIDHeader, peerM.ID)
-		}
+		setPeerHeaders(hdr, chain)
 		resp, rerr := r.forward(pm.URL, http.MethodPost, "/v1/sessions", hdr, body)
 		if rerr != nil {
 			mProxyErrors.Inc()
@@ -421,7 +607,7 @@ func (r *Router) handleOpen(w http.ResponseWriter, req *http.Request) {
 		}
 		sid := resp.sessionID()
 		if resp.status == http.StatusCreated && sid != "" {
-			rt := &sessionRoute{id: sid, key: key, primary: pm.ID, peer: peer}
+			rt := &sessionRoute{id: sid, key: key, primary: pm.ID, peers: memberIDs(chain)}
 			r.mu.Lock()
 			r.sessions[sid] = rt
 			r.mu.Unlock()
@@ -440,11 +626,15 @@ func (r *Router) handleList(w http.ResponseWriter, _ *http.Request) {
 	r.mu.Lock()
 	out := make([]map[string]any, 0, len(r.sessions))
 	for _, rt := range r.sessions {
-		out = append(out, map[string]any{
+		row := map[string]any{
 			"session": rt.id,
 			"replica": rt.primary,
-			"peer":    rt.peer,
-		})
+			"peers":   append([]string(nil), rt.peers...),
+		}
+		if len(rt.peers) > 0 {
+			row["peer"] = rt.peers[0]
+		}
+		out = append(out, row)
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i]["session"].(string) < out[j]["session"].(string) })
@@ -538,15 +728,17 @@ func (r *Router) finishSession(w http.ResponseWriter, req *http.Request, sid str
 	mRouted.Inc()
 	if req.Method == http.MethodDelete && resp.status < 300 {
 		rt.mu.Lock()
-		peer := rt.peer
+		peers := append([]string(nil), rt.peers...)
 		rt.mu.Unlock()
 		r.mu.Lock()
 		delete(r.sessions, sid)
 		r.mu.Unlock()
-		// Best-effort: the peer's standby journal is garbage once the
-		// session is closed.
-		if u := r.memberURL(peer); u != "" {
-			r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+		// Best-effort: every chain member's standby journal is garbage
+		// once the session is closed.
+		for _, peer := range peers {
+			if u := r.memberURL(peer); u != "" {
+				r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+			}
 		}
 	}
 	w.Header().Set("X-Hb-Replica", servedBy)
@@ -575,72 +767,121 @@ func (r *Router) failoverAll(dead string) {
 	}
 }
 
-// failoverSession moves one session from its dead primary to the
-// journal peer: the peer adopts the streamed standby journal, replays
-// it, and serves the same session id. Single-flighted per session;
-// returns the (possibly already updated) primary.
+// failoverSession moves one session from its dead primary onto its
+// replication chain: every reachable chain member is asked how many
+// contiguous frames its standby journal holds, the earliest hop with
+// the highest sequence adopts (promote + replay + compact), and the
+// adopter's onward streams are wired to the key's new successors.
+// Single-flighted per session; returns the (possibly already updated)
+// primary.
 func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (string, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.primary != failed {
 		return rt.primary, nil // lost the race; someone already re-homed it
 	}
-	target := rt.peer
-	if target == "" {
-		return "", fmt.Errorf("no journal peer")
+	if len(rt.peers) == 0 {
+		return "", fmt.Errorf("no journal peers")
 	}
-	tm := r.member(target)
-	if tm == nil || !tm.up {
-		return "", fmt.Errorf("journal peer %s is down", target)
+	var best *memberState
+	var bestNext int64
+	for _, pid := range rt.peers {
+		m := r.member(pid)
+		if m == nil || !m.up {
+			continue
+		}
+		next, ok := r.probeStandbySeq(m.URL, sid)
+		if !ok || next < 1 {
+			continue
+		}
+		if best == nil || next > bestNext {
+			best, bestNext = m, next
+		}
 	}
+	if best == nil {
+		return "", fmt.Errorf("no reachable standby holds session %s (chain %v)", sid, rt.peers)
+	}
+	target := best.ID
 	r.mu.Lock()
-	newPeer := r.ring.Successor(rt.key, target)
-	var newPeerM *memberState
-	if newPeer != "" {
-		newPeerM = r.members[newPeer]
-	}
+	newChain := r.chainLocked(rt.key, target)
 	r.mu.Unlock()
+	// Standby copies from the failed primary's epoch must not pollute the
+	// fresh streams the adopter attaches.
+	r.releaseStandbys(sid, newChain)
 	hdr := http.Header{}
-	if newPeerM != nil {
-		hdr.Set(PeerHeader, newPeerM.URL)
-		hdr.Set(PeerIDHeader, newPeerM.ID)
-	}
-	resp, err := r.forward(tm.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+	setPeerHeaders(hdr, newChain)
+	resp, err := r.forward(best.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
 	if err != nil {
 		return "", fmt.Errorf("adopt on %s: %w", target, err)
 	}
 	if resp.status != http.StatusOK {
 		return "", fmt.Errorf("adopt on %s: status %d: %s", target, resp.status, truncate(resp.body, 200))
 	}
-	rt.primary, rt.peer = target, newPeer
+	rt.primary, rt.peers = target, memberIDs(newChain)
 	mFailovers.Inc()
-	r.cfg.Logf("fleet: session %s re-homed %s -> %s (peer %s)", sid, failed, target, newPeer)
+	r.cfg.Logf("fleet: session %s re-homed %s -> %s at seq %d (chain %v)", sid, failed, target, bestNext, rt.peers)
 	return target, nil
 }
 
 // drainMember migrates every session off a draining (but still live)
 // member via park → journal hand-off → adopt.
 func (r *Router) drainMember(id string) (migrated int, errs []string) {
+	return r.migrateMatching(func(_ *sessionRoute, primary string) bool {
+		return primary == id
+	})
+}
+
+// rebalance migrates every session whose ring owner changed (a member
+// joined or left) to its new owner — the displaced ~K/N, nothing else.
+func (r *Router) rebalance() (migrated int, errs []string) {
+	return r.migrateMatching(func(rt *sessionRoute, primary string) bool {
+		r.mu.Lock()
+		desired := r.ring.Lookup(rt.key)
+		m := r.members[primary]
+		r.mu.Unlock()
+		return m != nil && m.up && desired != "" && desired != primary
+	})
+}
+
+// migrateMatching bulk-migrates every pinned session whose current
+// primary matches, MigrateConcurrency sessions at a time; each failure
+// rolls that one session back and is reported, the rest proceed.
+func (r *Router) migrateMatching(match func(rt *sessionRoute, primary string) bool) (migrated int, errs []string) {
 	r.mu.Lock()
-	routes := make([]*sessionRoute, 0)
+	routes := make([]*sessionRoute, 0, len(r.sessions))
 	for _, rt := range r.sessions {
 		routes = append(routes, rt)
 	}
 	r.mu.Unlock()
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, r.cfg.MigrateConcurrency)
+	)
 	for _, rt := range routes {
 		rt.mu.Lock()
 		primary := rt.primary
 		rt.mu.Unlock()
-		if primary != id {
+		if !match(rt, primary) {
 			continue
 		}
-		if err := r.migrateSession(rt, id); err != nil {
-			errs = append(errs, fmt.Sprintf("%s: %v", rt.id, err))
-			r.cfg.Logf("fleet: migrate %s off %s: %v", rt.id, id, err)
-			continue
-		}
-		migrated++
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rt *sessionRoute, from string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			err := r.migrateSession(rt, from)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %v", rt.id, err))
+				r.cfg.Logf("fleet: migrate %s off %s: %v", rt.id, from, err)
+				return
+			}
+			migrated++
+		}(rt, primary)
 	}
+	wg.Wait()
 	return migrated, errs
 }
 
@@ -659,18 +900,21 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 		return fmt.Errorf("old primary %s not reachable; use failover", from)
 	}
 	r.mu.Lock()
-	target := r.ring.Lookup(rt.key) // from is already off the ring (draining)
+	target := r.ring.Lookup(rt.key)
 	var tm *memberState
 	if target != "" {
 		tm = r.members[target]
 	}
 	r.mu.Unlock()
-	if tm == nil || target == from {
+	if tm == nil {
 		return fmt.Errorf("no migration target")
 	}
+	if target == from {
+		return nil // the ring still wants it here; nothing displaced
+	}
 
-	// 1. Park on the old primary: flushes the replication stream and
-	// reports any residual lag.
+	// 1. Park on the old primary: flushes the replication chain and
+	// reports each hop's residual lag.
 	presp, err := r.control(fm.URL, http.MethodPost, "/v1/sessions/"+rt.id+"/park", nil)
 	if err != nil {
 		return fmt.Errorf("park on %s: %w", from, err)
@@ -679,67 +923,320 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 		return fmt.Errorf("park on %s: status %d: %s", from, presp.status, truncate(presp.body, 200))
 	}
 	var park struct {
-		StreamLag  int    `json:"stream_lag"`
-		StreamPeer string `json:"stream_peer"`
+		StreamLag  int      `json:"stream_lag"`
+		StreamPeer string   `json:"stream_peer"`
+		Hops       []HopLag `json:"hops"`
 	}
 	_ = json.Unmarshal(presp.body, &park)
 
 	// 2. Guarantee the target holds the complete journal. The streamed
-	// standby suffices only when the target was the stream peer and the
-	// flush drained fully; otherwise export and push the frames.
-	if target != park.StreamPeer || park.StreamLag > 0 {
+	// standby suffices only when the target was a chain hop whose flush
+	// drained fully; otherwise drop whatever stale copy it may hold and
+	// push the exported frames.
+	caughtUp := false
+	for _, h := range park.Hops {
+		if h.Peer == target && h.Lag == 0 {
+			caughtUp = true
+		}
+	}
+	if !caughtUp && target == park.StreamPeer && park.StreamLag == 0 {
+		caughtUp = true // legacy single-hop park response
+	}
+	if !caughtUp {
 		exp, err := r.control(fm.URL, http.MethodGet, "/v1/sessions/"+rt.id+"/journal", nil)
 		if err != nil || exp.status != http.StatusOK {
-			r.rollbackPark(fm.URL, rt.id)
+			r.rollbackPark(fm, rt)
 			return fmt.Errorf("journal export from %s failed (err=%v status=%d)", from, err, exp.statusOr0())
 		}
+		r.control(tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
 		hdr := http.Header{}
 		hdr.Set(FirstSeqHeader, "0")
 		push, err := r.forward(tm.URL, http.MethodPost, framesPath(rt.id), hdr, exp.body)
 		if err != nil || push.status != http.StatusOK {
-			r.rollbackPark(fm.URL, rt.id)
+			r.rollbackPark(fm, rt)
 			return fmt.Errorf("journal push to %s failed (err=%v status=%d)", target, err, push.statusOr0())
 		}
 	}
 
-	// 3. Adopt on the target, wiring its onward replication stream.
+	// 3. Adopt on the target, wiring its onward replication chain. Chain
+	// members' stale standbys are dropped first so the fresh streams
+	// start clean.
 	r.mu.Lock()
-	newPeer := r.ring.Successor(rt.key, target)
-	var npm *memberState
-	if newPeer != "" {
-		npm = r.members[newPeer]
-	}
+	newChain := r.chainLocked(rt.key, target)
 	r.mu.Unlock()
+	r.releaseStandbys(rt.id, newChain)
 	hdr := http.Header{}
-	if npm != nil {
-		hdr.Set(PeerHeader, npm.URL)
-		hdr.Set(PeerIDHeader, npm.ID)
-	}
+	setPeerHeaders(hdr, newChain)
 	aresp, err := r.forward(tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
 	if err != nil || aresp.status != http.StatusOK {
-		r.rollbackPark(fm.URL, rt.id)
+		r.rollbackPark(fm, rt)
 		return fmt.Errorf("adopt on %s failed (err=%v status=%d)", target, err, aresp.statusOr0())
 	}
 
-	// 4. The old primary's journal (and any stale standby on the old
-	// peer) are now shadows; drop them so a restart cannot resurrect the
-	// session in two places.
+	// 4. The old primary's journal (and any stale standby on old chain
+	// members the new chain does not reuse) are now shadows; drop them so
+	// a restart cannot resurrect the session in two places.
 	r.control(fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/forget", nil)
-	if oldPeer := rt.peer; oldPeer != "" && oldPeer != target {
-		if u := r.memberURL(oldPeer); u != "" {
+	reused := map[string]bool{target: true}
+	for _, p := range newChain {
+		reused[p.ID] = true
+	}
+	for _, old := range rt.peers {
+		if reused[old] {
+			continue
+		}
+		if u := r.memberURL(old); u != "" {
 			r.control(u, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
 		}
 	}
-	rt.primary, rt.peer = target, newPeer
+	rt.primary, rt.peers = target, memberIDs(newChain)
 	mMigrations.Inc()
-	r.cfg.Logf("fleet: session %s migrated %s -> %s (peer %s)", rt.id, from, target, newPeer)
+	r.cfg.Logf("fleet: session %s migrated %s -> %s (chain %v)", rt.id, from, target, rt.peers)
 	return nil
 }
 
 // rollbackPark re-adopts a parked session on its own primary after a
-// failed migration, so the session keeps serving where it was.
-func (r *Router) rollbackPark(baseURL, sid string) {
-	r.control(baseURL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", nil)
+// failed migration, so the session keeps serving where it was; its
+// replication chain is rebuilt from the current ring. Caller holds
+// rt.mu.
+func (r *Router) rollbackPark(fm *memberState, rt *sessionRoute) {
+	r.mu.Lock()
+	chain := r.chainLocked(rt.key, fm.ID)
+	r.mu.Unlock()
+	r.releaseStandbys(rt.id, chain)
+	hdr := http.Header{}
+	setPeerHeaders(hdr, chain)
+	r.forward(fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
+}
+
+// inventory mirrors the daemon's GET /v1/replication/inventory reply.
+type inventory struct {
+	Replica string `json:"replica"`
+	Live    []struct {
+		Session string   `json:"session"`
+		Seq     int64    `json:"seq"`
+		Key     string   `json:"key"`
+		Peers   []string `json:"peers"`
+	} `json:"live"`
+	Standby []struct {
+		Session string `json:"session"`
+		Next    int64  `json:"next"`
+		Key     string `json:"key"`
+	} `json:"standby"`
+}
+
+// Reconcile rebuilds the session pin table from the fleet itself, so a
+// router restarted after a crash (or started against an already-running
+// fleet) recovers every pin without any persistent state of its own.
+// Every up member reports the sessions it serves — with design key,
+// journal sequence, and active stream peers — and the standby journals
+// it holds. Sessions served by exactly one member are pinned there;
+// double-claims resolve to the highest journal sequence (ties prefer
+// the ring owner, then the smaller id) and the loser's copy is
+// force-closed; sessions surviving only as standby journals are adopted
+// on the holder with the highest contiguous sequence. Runs at Start and
+// on POST /fleet/reconcile.
+func (r *Router) Reconcile() map[string]any {
+	mReconciles.Inc()
+	r.PollOnce()
+	r.mu.Lock()
+	polled := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.up {
+			polled = append(polled, m.Member)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(polled, func(i, j int) bool { return polled[i].ID < polled[j].ID })
+
+	type liveClaim struct {
+		member string
+		seq    int64
+		key    string
+		peers  []string
+	}
+	type standbyClaim struct {
+		member string
+		next   int64
+		key    string
+	}
+	liveBy := make(map[string][]liveClaim)
+	standbyBy := make(map[string][]standbyClaim)
+	inventoried := 0
+	complete := true
+	for _, m := range polled {
+		resp, err := r.control(m.URL, http.MethodGet, "/v1/replication/inventory", nil)
+		if err != nil || resp.status != http.StatusOK {
+			complete = false
+			continue
+		}
+		var inv inventory
+		if json.Unmarshal(resp.body, &inv) != nil {
+			complete = false
+			continue
+		}
+		inventoried++
+		for _, l := range inv.Live {
+			liveBy[l.Session] = append(liveBy[l.Session], liveClaim{m.ID, l.Seq, l.Key, l.Peers})
+		}
+		for _, sb := range inv.Standby {
+			standbyBy[sb.Session] = append(standbyBy[sb.Session], standbyClaim{m.ID, sb.Next, sb.Key})
+		}
+	}
+
+	pinned, conflicts, adopted, released := 0, 0, 0, 0
+	liveSids := make([]string, 0, len(liveBy))
+	for sid := range liveBy {
+		liveSids = append(liveSids, sid)
+	}
+	sort.Strings(liveSids)
+	for _, sid := range liveSids {
+		claims := liveBy[sid]
+		r.mu.Lock()
+		owner := r.ring.Lookup(claims[0].key)
+		r.mu.Unlock()
+		sort.Slice(claims, func(i, j int) bool {
+			a, b := claims[i], claims[j]
+			if a.seq != b.seq {
+				return a.seq > b.seq
+			}
+			if (a.member == owner) != (b.member == owner) {
+				return a.member == owner
+			}
+			return a.member < b.member
+		})
+		winner := claims[0]
+		for _, loser := range claims[1:] {
+			conflicts++
+			mReconConflicts.Inc()
+			r.cfg.Logf("fleet: reconcile: force-closing double-claimed %s on %s (seq %d; winner %s at seq %d)",
+				sid, loser.member, loser.seq, winner.member, winner.seq)
+			if u := r.memberURL(loser.member); u != "" {
+				r.control(u, http.MethodDelete, "/v1/sessions/"+sid, nil)
+			}
+		}
+		r.pinSession(sid, winner.key, winner.member, r.knownMembers(winner.peers))
+		pinned++
+		// Standby copies on members outside the winner's active chain are
+		// leftovers from an older epoch; drop them.
+		chain := make(map[string]bool, len(winner.peers))
+		for _, p := range winner.peers {
+			chain[p] = true
+		}
+		for _, sb := range standbyBy[sid] {
+			if sb.member == winner.member || chain[sb.member] {
+				continue
+			}
+			if u := r.memberURL(sb.member); u != "" {
+				r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+				released++
+			}
+		}
+	}
+
+	standbySids := make([]string, 0, len(standbyBy))
+	for sid := range standbyBy {
+		if liveBy[sid] == nil {
+			standbySids = append(standbySids, sid)
+		}
+	}
+	sort.Strings(standbySids)
+	for _, sid := range standbySids {
+		claims := standbyBy[sid]
+		sort.Slice(claims, func(i, j int) bool {
+			if claims[i].next != claims[j].next {
+				return claims[i].next > claims[j].next
+			}
+			return claims[i].member < claims[j].member
+		})
+		best := claims[0]
+		if best.next < 1 {
+			continue
+		}
+		bm := r.member(best.member)
+		if bm == nil || !bm.up {
+			continue
+		}
+		r.mu.Lock()
+		newChain := r.chainLocked(best.key, best.member)
+		r.mu.Unlock()
+		r.releaseStandbys(sid, newChain)
+		hdr := http.Header{}
+		setPeerHeaders(hdr, newChain)
+		resp, err := r.forward(bm.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+		if err != nil || resp.status != http.StatusOK {
+			r.cfg.Logf("fleet: reconcile: adopt orphaned %s on %s failed (err=%v status=%d)",
+				sid, best.member, err, resp.statusOr0())
+			continue
+		}
+		mReconAdopts.Inc()
+		r.pinSession(sid, best.key, best.member, memberIDs(newChain))
+		adopted++
+		r.cfg.Logf("fleet: reconcile: adopted orphaned session %s on %s at seq %d", sid, best.member, best.next)
+	}
+
+	// Pins nothing in the fleet backs are stale — but only drop them when
+	// every up member answered, and never while the pinned primary is
+	// down (its journal may come back with it).
+	dropped := 0
+	if complete {
+		r.mu.Lock()
+		var stale []string
+		for sid, rt := range r.sessions {
+			if liveBy[sid] != nil || standbyBy[sid] != nil {
+				continue
+			}
+			if m := r.members[rt.primary]; m != nil && !m.up {
+				continue
+			}
+			stale = append(stale, sid)
+		}
+		for _, sid := range stale {
+			delete(r.sessions, sid)
+			dropped++
+		}
+		r.mu.Unlock()
+		if dropped > 0 {
+			r.cfg.Logf("fleet: reconcile: dropped %d stale pin(s)", dropped)
+		}
+	}
+	return map[string]any{
+		"members_inventoried": inventoried,
+		"complete":            complete,
+		"pinned":              pinned,
+		"conflicts":           conflicts,
+		"adopted":             adopted,
+		"released":            released,
+		"dropped":             dropped,
+	}
+}
+
+// pinSession installs (or overwrites) one session pin.
+func (r *Router) pinSession(sid, key, primary string, peers []string) {
+	r.mu.Lock()
+	rt := r.sessions[sid]
+	if rt == nil {
+		rt = &sessionRoute{id: sid}
+		r.sessions[sid] = rt
+	}
+	r.mu.Unlock()
+	rt.mu.Lock()
+	rt.key, rt.primary, rt.peers = key, primary, peers
+	rt.mu.Unlock()
+}
+
+// knownMembers filters a reported peer list down to ids the router
+// actually has as members.
+func (r *Router) knownMembers(ids []string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if r.members[id] != nil {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // reconcileRejoined clears sessions a rejoining member still holds from
@@ -870,7 +1367,9 @@ func (r *Router) handleMembers(w http.ResponseWriter, _ *http.Request) {
 	ringMembers := r.ring.Members()
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i]["id"].(string) < out[j]["id"].(string) })
-	writeJSON(w, http.StatusOK, map[string]any{"members": out, "ring": ringMembers})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members": out, "ring": ringMembers, "standbys": r.cfg.Standbys,
+	})
 }
 
 // handleDrain marks a member draining (no new sessions) and migrates

@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"hummingbird/internal/telemetry"
 )
@@ -16,22 +18,68 @@ var (
 	mStreamFramesSent = telemetry.NewCounter("fleet.stream_frames_sent")
 	mStreamAcks       = telemetry.NewCounter("fleet.stream_acks")
 	mStreamErrors     = telemetry.NewCounter("fleet.stream_errors")
+	mStreamRealigns   = telemetry.NewCounter("fleet.stream_realigns")
 )
 
 // FirstSeqHeader carries the sequence number of the first frame in a
-// replication POST body; PeerHeader tells a replica where to stream a
-// session's journal (base URL of the peer replica); PeerIDHeader names
-// that peer for diagnostics.
+// replication POST body. PeersHeader carries the session's replication
+// chain as "id=url,id=url,..." in ring order; the legacy single-peer
+// PeerHeader/PeerIDHeader pair is still parsed as a one-hop chain.
 const (
 	FirstSeqHeader = "X-Hb-First-Seq"
+	PeersHeader    = "X-Hb-Peers"
 	PeerHeader     = "X-Hb-Peer"
 	PeerIDHeader   = "X-Hb-Peer-Id"
 )
+
+// FormatPeers renders a replication chain for the PeersHeader.
+func FormatPeers(peers []Member) string {
+	parts := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p.ID == "" || p.URL == "" {
+			continue
+		}
+		parts = append(parts, p.ID+"="+p.URL)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePeers decodes a replication chain from request headers: the
+// multi-hop PeersHeader when present, else the legacy single-peer pair.
+// Malformed entries are dropped rather than failing the request — a
+// session with a short (or empty) chain still serves.
+func ParsePeers(h http.Header) []Member {
+	var out []Member
+	if v := h.Get(PeersHeader); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || id == "" || url == "" {
+				continue
+			}
+			out = append(out, Member{ID: id, URL: url})
+		}
+		return out
+	}
+	if url, id := h.Get(PeerHeader), h.Get(PeerIDHeader); url != "" {
+		out = append(out, Member{ID: id, URL: url})
+	}
+	return out
+}
 
 // framesPath is the replication endpoint for a session on a replica.
 func framesPath(session string) string {
 	return "/v1/replication/sessions/" + session + "/frames"
 }
+
+// Conflict-realign backoff: the first 409 in a flush realigns and
+// retries immediately (the common catch-up case), but a second
+// consecutive conflict means the peer and primary disagree persistently
+// — further attempts back off exponentially instead of hot-looping on
+// the request path.
+const (
+	conflictBackoffBase = 50 * time.Millisecond
+	conflictBackoffCap  = 5 * time.Second
+)
 
 // SessionStream replicates one session's journal frames to a peer
 // replica's standby endpoint. It implements journal.Sink: Commit is
@@ -52,6 +100,12 @@ type SessionStream struct {
 	base   int64 // sequence number of buf[0]
 	buf    [][]byte
 	closed bool
+
+	// 409-realign backoff state (under mu). conflicts counts consecutive
+	// conflict responses; retryAt gates Commit-path flushes while set.
+	conflicts int
+	retryAt   time.Time
+	nowFn     func() time.Time // test hook; nil = time.Now
 }
 
 // NewSessionStream builds a stream to peerURL for the session, primed
@@ -70,6 +124,13 @@ func NewSessionStream(client *http.Client, peerURL, peerID, session string, prim
 	return s
 }
 
+func (s *SessionStream) now() time.Time {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	return time.Now()
+}
+
 // Commit implements journal.Sink.
 func (s *SessionStream) Commit(frames [][]byte) {
 	s.mu.Lock()
@@ -78,19 +139,20 @@ func (s *SessionStream) Commit(frames [][]byte) {
 		return
 	}
 	s.buf = append(s.buf, frames...)
-	s.flushLocked()
+	s.flushLocked(false)
 }
 
 // Flush pushes the buffered backlog; it returns an error when frames
 // remain unacknowledged afterwards. Park and drain paths call it so a
-// migration never adopts a stale standby silently.
+// migration never adopts a stale standby silently. Flush ignores the
+// conflict backoff — a migration deserves one fresh attempt.
 func (s *SessionStream) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	s.flushLocked()
+	s.flushLocked(true)
 	if n := len(s.buf); n > 0 {
 		return fmt.Errorf("fleet: stream to %s lagging %d frame(s)", s.peerID, n)
 	}
@@ -122,9 +184,14 @@ func (s *SessionStream) Close() {
 
 // flushLocked pushes the whole buffer in one POST and advances past the
 // peer's acknowledged sequence. On a sequence conflict (the peer expects
-// frames we still hold) it realigns and retries once; on transport or
-// server errors it leaves the buffer intact for the next attempt.
-func (s *SessionStream) flushLocked() {
+// frames we still hold) it realigns and retries once; a second
+// consecutive conflict arms a capped exponential backoff that gates
+// Commit-path flushes (force bypasses it). Transport or server errors
+// leave the buffer intact for the next attempt.
+func (s *SessionStream) flushLocked(force bool) {
+	if !force && !s.retryAt.IsZero() && s.now().Before(s.retryAt) {
+		return // backing off after repeated conflicts; frames keep buffering
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if len(s.buf) == 0 {
 			return
@@ -150,6 +217,21 @@ func (s *SessionStream) flushLocked() {
 			s.base = next
 			if status == http.StatusOK {
 				mStreamAcks.Inc()
+				s.conflicts = 0
+				s.retryAt = time.Time{}
+				return
+			}
+			mStreamRealigns.Inc()
+			s.conflicts++
+			if s.conflicts >= 2 {
+				d := conflictBackoffBase
+				for i := 2; i < s.conflicts && d < conflictBackoffCap; i++ {
+					d *= 2
+				}
+				if d > conflictBackoffCap {
+					d = conflictBackoffCap
+				}
+				s.retryAt = s.now().Add(d)
 				return
 			}
 		default:
@@ -185,30 +267,126 @@ func (s *SessionStream) post() (next int64, status int, err error) {
 	return m.Next, resp.StatusCode, nil
 }
 
-// StreamSet tracks the live replication streams of one replica, for the
-// fleet.stream_lag_frames and fleet.streams_active gauges and for
-// shutdown.
+// HopLag reports one hop of a session's replication chain.
+type HopLag struct {
+	Peer string `json:"peer"`
+	URL  string `json:"url"`
+	Lag  int    `json:"lag"`
+}
+
+// MultiStream replicates one session's journal to a chain of standby
+// replicas — the session key's ring successors, in order. It implements
+// journal.Sink by fanning each committed frame batch to every hop
+// directly from the primary, so losing a mid-chain standby never starves
+// the hops behind it; the chain *order* still matters, because failover
+// prefers the earliest hop holding the highest contiguous sequence.
+type MultiStream struct {
+	hops []*SessionStream
+}
+
+// NewMultiStream builds the chain; nil hops are skipped.
+func NewMultiStream(hops ...*SessionStream) *MultiStream {
+	m := &MultiStream{}
+	for _, h := range hops {
+		if h != nil {
+			m.hops = append(m.hops, h)
+		}
+	}
+	return m
+}
+
+// Commit implements journal.Sink.
+func (m *MultiStream) Commit(frames [][]byte) {
+	for _, h := range m.hops {
+		h.Commit(frames)
+	}
+}
+
+// Flush pushes every hop's backlog; the returned error joins the hops
+// that still lag (a migration needs to know which standbys are current).
+func (m *MultiStream) Flush() error {
+	var errs []string
+	for _, h := range m.hops {
+		if err := h.Flush(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Lag is the worst per-hop lag — the bound on how many frames a
+// failover to the best standby might still need from a journal export.
+func (m *MultiStream) Lag() int {
+	worst := 0
+	for _, h := range m.hops {
+		if l := h.Lag(); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// HopLags reports each hop's peer and current lag, in chain order.
+func (m *MultiStream) HopLags() []HopLag {
+	out := make([]HopLag, 0, len(m.hops))
+	for _, h := range m.hops {
+		out = append(out, HopLag{Peer: h.Peer(), URL: h.PeerURL(), Lag: h.Lag()})
+	}
+	return out
+}
+
+// Peers lists the chain's replica ids in order.
+func (m *MultiStream) Peers() []string {
+	out := make([]string, 0, len(m.hops))
+	for _, h := range m.hops {
+		out = append(out, h.Peer())
+	}
+	return out
+}
+
+// Close stops every hop.
+func (m *MultiStream) Close() {
+	for _, h := range m.hops {
+		h.Close()
+	}
+}
+
+// StreamSet tracks the live replication chains of one replica, for the
+// fleet.stream_lag_frames / per-hop lag gauges and for shutdown.
 type StreamSet struct {
-	mu sync.Mutex
-	m  map[string]*SessionStream
+	mu        sync.Mutex
+	m         map[string]*MultiStream
+	hopGauges int // per-hop lag gauges registered so far
 }
 
 // NewStreamSet returns an empty set.
-func NewStreamSet() *StreamSet { return &StreamSet{m: make(map[string]*SessionStream)} }
+func NewStreamSet() *StreamSet { return &StreamSet{m: make(map[string]*MultiStream)} }
 
-// Attach registers the session's stream, closing any previous one.
-func (t *StreamSet) Attach(session string, s *SessionStream) {
+// Attach registers the session's chain, closing any previous one, and
+// lazily registers a fleet.stream_lag_hop<N> gauge per chain position
+// the first time a chain that deep appears.
+func (t *StreamSet) Attach(session string, s *MultiStream) {
 	t.mu.Lock()
 	old := t.m[session]
 	t.m[session] = s
+	for i := t.hopGauges; i < len(s.hops); i++ {
+		hop := i
+		telemetry.NewGaugeFunc(fmt.Sprintf("fleet.stream_lag_hop%d", hop+1), func() float64 {
+			return float64(t.HopLag(hop))
+		})
+		t.hopGauges = i + 1
+	}
 	t.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
 }
 
-// Detach removes and returns the session's stream (nil when absent).
-func (t *StreamSet) Detach(session string) *SessionStream {
+// Detach removes and returns the session's chain (nil when absent).
+func (t *StreamSet) Detach(session string) *MultiStream {
 	t.mu.Lock()
 	s := t.m[session]
 	delete(t.m, session)
@@ -216,44 +394,59 @@ func (t *StreamSet) Detach(session string) *SessionStream {
 	return s
 }
 
-// Get returns the session's stream (nil when absent).
-func (t *StreamSet) Get(session string) *SessionStream {
+// Get returns the session's chain (nil when absent).
+func (t *StreamSet) Get(session string) *MultiStream {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.m[session]
 }
 
-// Len is the number of active streams.
+// Len is the number of sessions with an active chain.
 func (t *StreamSet) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.m)
 }
 
-// TotalLag sums the unacknowledged frames across every stream — the
-// replication-lag gauge.
-func (t *StreamSet) TotalLag() int {
+func (t *StreamSet) snapshot() []*MultiStream {
 	t.mu.Lock()
-	streams := make([]*SessionStream, 0, len(t.m))
+	streams := make([]*MultiStream, 0, len(t.m))
 	for _, s := range t.m {
 		streams = append(streams, s)
 	}
 	t.mu.Unlock()
+	return streams
+}
+
+// TotalLag sums the worst-hop unacknowledged frames across every
+// session — the replication-lag gauge.
+func (t *StreamSet) TotalLag() int {
 	lag := 0
-	for _, s := range streams {
+	for _, s := range t.snapshot() {
 		lag += s.Lag()
 	}
 	return lag
 }
 
-// CloseAll closes every stream (replica shutdown).
+// HopLag sums the lag at one chain position across every session.
+func (t *StreamSet) HopLag(i int) int {
+	lag := 0
+	for _, s := range t.snapshot() {
+		if i < len(s.hops) {
+			lag += s.hops[i].Lag()
+		}
+	}
+	return lag
+}
+
+// CloseAll closes every chain (replica shutdown).
 func (t *StreamSet) CloseAll() {
 	t.mu.Lock()
-	streams := make([]*SessionStream, 0, len(t.m))
+	streams := make([]*MultiStream, 0, len(t.m))
 	for _, s := range t.m {
 		streams = append(streams, s)
 	}
-	t.m = make(map[string]*SessionStream)
+	t.m = make(map[string]*MultiStream)
 	t.mu.Unlock()
 	for _, s := range streams {
 		s.Close()

@@ -453,6 +453,40 @@ func (w *Writer) Close() error {
 // Path returns the journal file's path (diagnostics).
 func (w *Writer) Path() string { return w.path }
 
+// Seq returns the next sequence number the writer will append — equal to
+// the count of records already in the file. The fleet's reconcile flow
+// compares it across replicas to resolve double-claimed sessions.
+func (w *Writer) Seq() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// ParseFrame validates one framed journal line the way CheckFrame does
+// (any sequence) and returns the decoded record. Replicas use it to read
+// the open record out of a streamed standby journal's first frame — for
+// compile pre-warming and for recovering the session's design key —
+// without replaying the file.
+func ParseFrame(line []byte) (Record, error) {
+	s := strings.TrimSuffix(string(line), "\n")
+	crcHex, payload, ok := strings.Cut(s, " ")
+	if !ok {
+		return Record{}, fmt.Errorf("journal: frame has no checksum separator")
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("journal: bad frame checksum %q", crcHex)
+	}
+	if crc32.Checksum([]byte(payload), castagnoli) != uint32(want) {
+		return Record{}, fmt.Errorf("journal: frame checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return Record{}, fmt.Errorf("journal: decode frame: %w", err)
+	}
+	return rec, nil
+}
+
 // CheckFrame validates one framed journal line (with or without its
 // trailing newline): the checksum must cover the payload and the payload
 // must decode to a record carrying sequence wantSeq (any sequence when
