@@ -1,0 +1,215 @@
+// Fleet observability chaos test: SIGKILL a replica's process and check
+// the failover the router runs leaves one distributed trace — stitched
+// from the router's fragment and the surviving daemon's fragments, so
+// the probe→adopt path is visible across two OS processes — plus
+// correlated flight-recorder events on both sides, and that the
+// federated metrics surface stays valid and consistent with the
+// per-member scrapes throughout.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hummingbird/internal/fleet"
+	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/flight"
+	"hummingbird/internal/telemetry/span"
+)
+
+func TestFleetFailoverStitchedTrace(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	d1 := startDaemon(t, "-journal-dir", dir1, "-replica-id", "r1")
+	d2 := startDaemon(t, "-journal-dir", dir2, "-replica-id", "r2")
+	_, front := fleetFront(t, []fleet.Member{{ID: "r1", URL: d1.base}, {ID: "r2", URL: d2.base}})
+
+	sessions := openFleetSessions(t, front.URL, 1)
+	for _, s := range sessions {
+		if status, _, m := fleetJSON(t, "POST", front.URL+"/v1/sessions/"+s.id+"/edits", adjustEdit("g1", "100ps")); status != http.StatusOK {
+			t.Fatalf("edit %s: %d %v", s.id, status, m)
+		}
+	}
+	var victim fleetSession
+	for _, s := range sessions {
+		if s.replica == "r1" {
+			victim = s
+			break
+		}
+	}
+
+	d1.kill9(t)
+	// The next request on the displaced session triggers the failover the
+	// trace must cover.
+	status, hdr, _ := fleetJSON(t, "GET", front.URL+"/v1/sessions/"+victim.id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("displaced session after kill: %d", status)
+	}
+	if got := hdr.Get("X-Hb-Replica"); got != "r2" {
+		t.Fatalf("displaced session served by %q, want r2", got)
+	}
+
+	// Discover the failover's trace id the way an operator would: from
+	// the router's flight-recorder timeline.
+	traceID := ""
+	routerEvents := map[string]bool{}
+	status, _, raw := fleetDo(t, "GET", front.URL+"/events?session="+victim.id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("router events: %d", status)
+	}
+	var evResp struct {
+		Replica string         `json:"replica"`
+		Events  []flight.Event `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &evResp); err != nil {
+		t.Fatalf("router events decode: %v", err)
+	}
+	if evResp.Replica != "router" {
+		t.Fatalf("events replica %q, want router", evResp.Replica)
+	}
+	for _, ev := range evResp.Events {
+		routerEvents[ev.Kind] = true
+		if ev.Kind == "failover.end" {
+			traceID = ev.Trace
+		}
+	}
+	if !routerEvents["failover.begin"] || !routerEvents["failover.end"] {
+		t.Fatalf("router flight events lack the failover pair: %v", routerEvents)
+	}
+	if traceID == "" {
+		t.Fatal("failover.end event carries no trace id")
+	}
+
+	// The surviving daemon's flight recorder holds the adopt under the
+	// same trace id — the cross-process correlation the id exists for.
+	status, _, raw = fleetDo(t, "GET", d2.base+"/events?session="+victim.id, nil)
+	if status != http.StatusOK {
+		t.Fatalf("survivor events: %d", status)
+	}
+	var survResp struct {
+		Replica string         `json:"replica"`
+		Events  []flight.Event `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &survResp); err != nil {
+		t.Fatalf("survivor events decode: %v", err)
+	}
+	if survResp.Replica != "r2" {
+		t.Fatalf("survivor events replica %q, want r2", survResp.Replica)
+	}
+	adopted := false
+	for _, ev := range survResp.Events {
+		if ev.Kind == "repl.adopt" && ev.Trace == traceID {
+			adopted = true
+		}
+	}
+	if !adopted {
+		t.Fatalf("survivor has no repl.adopt event with trace %s: %+v", traceID, survResp.Events)
+	}
+
+	// One stitched trace covering probe→adopt on two processes.
+	status, _, raw = fleetDo(t, "GET", front.URL+"/fleet/trace/"+traceID, nil)
+	if status != http.StatusOK {
+		t.Fatalf("stitched trace: %d %s", status, raw)
+	}
+	var exp span.Export
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		t.Fatalf("stitched decode: %v", err)
+	}
+	procs := map[string]bool{}
+	names := map[string]int{}
+	var walk func(n *span.Node)
+	walk = func(n *span.Node) {
+		if n == nil {
+			return
+		}
+		if n.Process != "" {
+			procs[n.Process] = true
+		}
+		names[n.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(exp.Root)
+	if !procs["router"] || !procs["r2"] {
+		t.Fatalf("stitched trace covers %v, want router and r2", procs)
+	}
+	if names["fleet.failover"] == 0 || names["probe"] == 0 || names["adopt"] == 0 {
+		t.Fatalf("stitched trace lacks the failover steps: %v", names)
+	}
+	if names["server.repl_adopt"] == 0 {
+		t.Fatalf("stitched trace lacks the daemon-side adopt fragment: %v", names)
+	}
+
+	// The Chrome form spans two pids (two OS processes on one timeline).
+	status, _, raw = fleetDo(t, "GET", front.URL+"/fleet/trace/"+traceID+"?format=chrome", nil)
+	if status != http.StatusOK {
+		t.Fatalf("chrome trace: %d", status)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		t.Fatalf("chrome decode: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range evs {
+		pids[ev["pid"].(float64)] = true
+	}
+	if len(pids) < 2 {
+		t.Fatalf("chrome trace has %d pid(s), want >= 2", len(pids))
+	}
+
+	// Federated metrics stay valid mid-degradation and agree with the
+	// surviving member's own scrape.
+	status, _, raw = fleetDo(t, "GET", front.URL+"/fleet/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("fleet metrics: %d", status)
+	}
+	out := string(raw)
+	if err := telemetry.CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("federated exposition invalid after failover: %v", err)
+	}
+	status, _, snapRaw := fleetDo(t, "GET", d2.base+"/metrics.json", nil)
+	if status != http.StatusOK {
+		t.Fatalf("survivor metrics.json: %d", status)
+	}
+	var snap telemetry.Metrics
+	if err := json.Unmarshal(snapRaw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["fleet.sessions_adopted"] < 1 {
+		t.Fatalf("survivor adopted counter %d, want >= 1", snap.Counters["fleet.sessions_adopted"])
+	}
+	// The rollup sums the member scrapes; with r1 dead and the in-process
+	// router not serving sessions, r2's count IS the fleet count. The
+	// survivor may serve more requests between the two scrapes, so accept
+	// >= the snapshot value for the per-member line.
+	wantLine := fmt.Sprintf(`hb_fleet_sessions_adopted_total{replica="r2"} %d`, snap.Counters["fleet.sessions_adopted"])
+	if !strings.Contains(out, wantLine) {
+		t.Fatalf("federated exposition lacks %q", wantLine)
+	}
+	if !strings.Contains(out, fmt.Sprintf("hb_fleet_fleet_sessions_adopted_total %d", snap.Counters["fleet.sessions_adopted"])) {
+		t.Fatalf("fleet rollup does not match the member scrape")
+	}
+
+	// /fleet/status reflects the degraded fleet and carries the event tail.
+	status, _, raw = fleetDo(t, "GET", front.URL+"/fleet/status", nil)
+	if status != http.StatusOK {
+		t.Fatalf("fleet status: %d", status)
+	}
+	var st struct {
+		State  string         `json:"state"`
+		Up     int            `json:"up"`
+		Events []flight.Event `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "degraded" || st.Up != 1 {
+		t.Fatalf("fleet status after kill: %+v", st)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("fleet status carries no event tail")
+	}
+}

@@ -95,6 +95,7 @@ import (
 	"hummingbird/internal/netlist"
 	"hummingbird/internal/report"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/flight"
 	"hummingbird/internal/telemetry/span"
 )
 
@@ -137,15 +138,13 @@ func newTraceID() string {
 		strconv.FormatInt(traceSeq.Add(1), 36)
 }
 
-// inboundTraceID validates a client-supplied X-Trace-Id. A load
-// generator (or an upstream proxy) tags its requests so a slow response
-// can be matched to the daemon's trace exports; adopting an arbitrary
-// header verbatim would let a client inject log/filename garbage, so
-// only short ids over a conservative alphabet are accepted.
-func inboundTraceID(r *http.Request) (string, bool) {
-	id := r.Header.Get("X-Trace-Id")
+// headerTokenOK validates a caller-supplied trace or span identifier:
+// adopting an arbitrary header verbatim would let a client inject
+// log/filename garbage, so only short ids over a conservative alphabet
+// are accepted.
+func headerTokenOK(id string) bool {
 	if id == "" || len(id) > 64 {
-		return "", false
+		return false
 	}
 	for i := 0; i < len(id); i++ {
 		c := id[i]
@@ -153,8 +152,20 @@ func inboundTraceID(r *http.Request) (string, bool) {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
 			c == '-', c == '_', c == '.':
 		default:
-			return "", false
+			return false
 		}
+	}
+	return true
+}
+
+// inboundTraceID validates a client-supplied X-Trace-Id. A load
+// generator (or an upstream proxy, or the fleet router's failover
+// orchestration) tags its requests so a slow response can be matched to
+// the daemon's trace exports.
+func inboundTraceID(r *http.Request) (string, bool) {
+	id := r.Header.Get(span.TraceIDHeader)
+	if !headerTokenOK(id) {
+		return "", false
 	}
 	return id, true
 }
@@ -189,6 +200,8 @@ func run(args []string, w, errW io.Writer) error {
 		blockRate   = fs.Int("block-profile-rate", 0, "runtime blocking sampling rate in ns for /debug/pprof/block (0 = off)")
 		drainGrace  = fs.Duration("drain-grace", 0, "how long /readyz advertises draining before the listener stops accepting (0 = immediate)")
 		replicaID   = fs.String("replica-id", "", "stable replica id in a fleet (prefixes session ids, labels metrics; empty = standalone)")
+		traceRetain = fs.Int("trace-retain", 256, "finished request traces retained for GET /v1/traces/{id}")
+		eventRetain = fs.Int("events-retain", 512, "lifecycle events retained in the flight recorder (GET /events)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -241,6 +254,8 @@ func run(args []string, w, errW io.Writer) error {
 		traceDir:       *traceDir,
 		slowThreshold:  *slowThresh,
 		replicaID:      *replicaID,
+		traceRetain:    *traceRetain,
+		eventsRetain:   *eventRetain,
 		errLog:         errW,
 	}
 	if *journalDir != "" {
@@ -389,6 +404,8 @@ type serverConfig struct {
 	traceDir       string           // Chrome trace-event export dir; "" = off
 	slowThreshold  time.Duration    // slow-request log threshold; 0 = off
 	replicaID      string           // fleet replica id; "" = standalone
+	traceRetain    int              // trace ring capacity; <=0 = default
+	eventsRetain   int              // flight recorder capacity; <=0 = default
 	errLog         io.Writer        // panic stacks and replay diagnostics
 }
 
@@ -436,6 +453,22 @@ type server struct {
 	// build in flight (see warmStandby in replication.go).
 	warmMu sync.Mutex
 	warm   map[string]func()
+
+	// traces retains recently finished request traces for
+	// GET /v1/traces/{id} — the fragment store the fleet router's
+	// cross-process trace stitcher pulls from. flight is the bounded
+	// lifecycle-event timeline behind GET /events.
+	traces *span.Ring
+	flight *flight.Recorder
+}
+
+// processName labels this daemon's trace fragments and flight events:
+// the replica id in a fleet, the binary name standalone.
+func (s *server) processName() string {
+	if s.cfg.replicaID != "" {
+		return s.cfg.replicaID
+	}
+	return "hummingbirdd"
 }
 
 func newServer(lib *celllib.Library, cfg serverConfig) *server {
@@ -444,6 +477,9 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 	}
 	opts := core.DefaultOptions()
 	opts.MaxSweeps = cfg.maxSweeps
+	if cfg.traceRetain <= 0 {
+		cfg.traceRetain = 256
+	}
 	s := &server{
 		lib:         lib,
 		opts:        opts,
@@ -453,7 +489,13 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 		cache:       newLRU(cfg.cacheSize),
 		compile:     newCompileCache(),
 		warm:        make(map[string]func()),
+		traces:      span.NewRing(cfg.traceRetain),
 	}
+	name := "hummingbirdd"
+	if cfg.replicaID != "" {
+		name = cfg.replicaID
+	}
+	s.flight = flight.NewRecorder(name, cfg.eventsRetain)
 	if cfg.maxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.maxInflight)
 	}
@@ -530,11 +572,16 @@ func (s *server) handler() http.Handler {
 	// while the service lanes are saturated.
 	mux.HandleFunc("POST /v1/sessions/{id}/park", s.guard("park", s.handlePark))
 	mux.HandleFunc("GET /v1/sessions/{id}/journal", s.handleJournalExport)
-	mux.HandleFunc("POST /v1/replication/sessions/{id}/frames", s.handleReplFrames)
-	mux.HandleFunc("POST /v1/replication/sessions/{id}/adopt", s.handleReplAdopt)
-	mux.HandleFunc("POST /v1/replication/sessions/{id}/release", s.handleReplRelease)
-	mux.HandleFunc("POST /v1/replication/sessions/{id}/forget", s.handleReplForget)
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/frames", s.traced("repl_frames", s.handleReplFrames))
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/adopt", s.traced("repl_adopt", s.handleReplAdopt))
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/release", s.traced("repl_release", s.handleReplRelease))
+	mux.HandleFunc("POST /v1/replication/sessions/{id}/forget", s.traced("repl_forget", s.handleReplForget))
 	mux.HandleFunc("GET /v1/replication/inventory", s.handleReplInventory)
+	// Fleet observability: retained trace fragments (the router's
+	// /fleet/trace stitcher pulls these) and the flight-recorder event
+	// timeline. Unguarded — they must answer during failover storms.
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /events", s.flight.ServeHTTP)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -618,6 +665,15 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 			mTraceInherited.Inc()
 		}
 		tr := span.New(traceID, "server."+op)
+		tr.SetProcess(s.processName())
+		// A valid X-Hb-Parent-Span alongside the trace id marks this
+		// request as one hop of a distributed operation (the router's
+		// failover or migration): the fragment records which remote span
+		// it hangs off so the fleet stitcher can splice it into the
+		// cross-process tree.
+		if ps := r.Header.Get(span.ParentSpanHeader); headerTokenOK(ps) {
+			tr.SetRemoteParent(ps)
+		}
 		if id := r.PathValue("id"); id != "" {
 			tr.Root().Annotate("session", id)
 		}
@@ -693,11 +749,57 @@ func (s *server) guard(op string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// traced wraps an unguarded replication endpoint with opt-in tracing: a
+// span tree is created only when the caller sent a valid X-Trace-Id.
+// The router's failover and migration orchestration tags its hops, so
+// those requests become retained trace fragments this daemon serves at
+// /v1/traces/{id}; the high-rate standby frame stream from a peer
+// primary carries no trace header and keeps its zero-overhead path.
+func (s *server) traced(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		traceID, ok := inboundTraceID(r)
+		if !ok {
+			h(w, r)
+			return
+		}
+		mTraceInherited.Inc()
+		tr := span.New(traceID, "server."+op)
+		tr.SetProcess(s.processName())
+		if ps := r.Header.Get(span.ParentSpanHeader); headerTokenOK(ps) {
+			tr.SetRemoteParent(ps)
+		}
+		if id := r.PathValue("id"); id != "" {
+			tr.Root().Annotate("session", id)
+		}
+		w.Header().Set(span.TraceIDHeader, tr.ID())
+		defer func() {
+			tr.Finish()
+			s.traces.Add(tr)
+		}()
+		h(w, r.WithContext(span.NewContext(r.Context(), tr)))
+	}
+}
+
+// handleTraceGet serves one retained trace fragment in its wire form
+// (span.Export) — the unit the router's /fleet/trace/{id} stitcher
+// collects from every member and splices into a cross-process tree.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.traces.Get(id)
+	if t == nil {
+		httpError(w, http.StatusNotFound, "trace %q not retained on this replica", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	t.Export().WriteJSON(w)
+}
+
 // finishRequest closes a request's trace and fans it out: the per-op
 // latency histogram, the owning session's /trace/last slot, the
 // slow-request log, and the -trace-dir Chrome export.
 func (s *server) finishRequest(op string, tr *span.Trace) {
 	total := tr.Finish()
+	s.traces.Add(tr)
 	if t := requestTimers[op]; t != nil {
 		t.Observe(total)
 	}
@@ -712,6 +814,13 @@ func (s *server) finishRequest(op string, tr *span.Trace) {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "hummingbirdd: slow request %s took %v:\n", op, total)
 		tr.WriteText(&sb)
+		// The flight-recorder tail rides along: a slow request usually has
+		// fleet-lifecycle context (a failover in progress, a stream backing
+		// off) that the span tree alone cannot show.
+		if tail := s.flight.Tail(12); len(tail) > 0 {
+			fmt.Fprintf(&sb, "recent flight events:\n")
+			s.flight.WriteText(&sb, 12)
+		}
 		fmt.Fprint(s.cfg.errLog, sb.String())
 	}
 	if s.cfg.traceDir != "" {
@@ -815,6 +924,7 @@ func (s *server) quarantine(id, diag string) {
 	s.quarantined[id] = diag
 	s.mu.Unlock()
 	mQuarantined.Inc()
+	s.flight.Record(flight.Error, "session.quarantine", id, "", "%s", diag)
 	s.detachStream(id)
 	if ss != nil {
 		ss.mu.Lock()
@@ -836,6 +946,7 @@ func (s *server) quarantineUnserved(id, diag string) {
 	s.quarantined[id] = diag
 	s.mu.Unlock()
 	mQuarantined.Inc()
+	s.flight.Record(flight.Error, "session.quarantine", id, "", "%s", diag)
 	s.quarantineJournalFile(id)
 }
 

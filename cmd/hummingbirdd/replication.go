@@ -33,6 +33,7 @@ import (
 	"hummingbird/internal/incremental"
 	"hummingbird/internal/journal"
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/flight"
 )
 
 var (
@@ -225,7 +226,9 @@ func (s *server) attachStreams(id string, jw *journal.Writer, peers []fleet.Memb
 	}
 	hops := make([]*fleet.SessionStream, 0, len(peers))
 	for _, p := range peers {
-		hops = append(hops, fleet.NewSessionStream(s.streamClient, strings.TrimRight(p.URL, "/"), p.ID, id, primed))
+		h := fleet.NewSessionStream(s.streamClient, strings.TrimRight(p.URL, "/"), p.ID, id, primed)
+		h.SetFlightRecorder(s.flight)
+		hops = append(hops, h)
 	}
 	ms := fleet.NewMultiStream(hops...)
 	jw.SetSink(ms)
@@ -456,6 +459,8 @@ func (s *server) handleReplAdopt(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	mSessionsAdopted.Inc()
 	fmt.Fprintf(s.cfg.errLog, "hummingbirdd: adopted session %s (%d records)\n", id, len(batches)+1)
+	traceID, _ := inboundTraceID(r)
+	s.flight.Record(flight.Info, "repl.adopt", id, traceID, "adopted (%d records)", len(batches)+1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"session": id, "adopted": true, "records": len(batches) + 1,
 	})
@@ -602,6 +607,8 @@ func (s *server) handlePark(w http.ResponseWriter, r *http.Request) {
 	}
 	parked := s.parkEngine(eng)
 	mSessionsParked.Inc()
+	traceID, _ := inboundTraceID(r)
+	s.flight.Record(flight.Info, "session.park", id, traceID, "parked (stream lag %d)", lag)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"session": id, "parked": parked, "stream_lag": lag, "stream_peer": peer, "hops": hops,
 	})

@@ -227,8 +227,8 @@ func TestRequestTrace(t *testing.T) {
 		t.Fatalf("trace export has %d events, want >= 5", len(events))
 	}
 	for _, ev := range events {
-		if ev["ph"] != "X" {
-			t.Fatalf("event %v is not a complete event", ev)
+		if ev["ph"] != "X" && ev["ph"] != "M" {
+			t.Fatalf("event %v is not a complete or metadata event", ev)
 		}
 	}
 }

@@ -10,6 +10,10 @@
 //
 //	GET  /readyz              aggregated member readiness ("state": ready/degraded/down)
 //	GET  /metrics             router telemetry + per-replica liveness gauges
+//	GET  /events              router flight-recorder timeline (?since=&session=)
+//	GET  /fleet/metrics       federated Prometheus exposition across every member
+//	GET  /fleet/status        one-page fleet JSON: members, pins, recent events
+//	GET  /fleet/trace/{id}    stitched cross-process trace (?format=chrome for a Chrome trace)
 //	GET  /fleet/members       member detail (up, draining, readyz state, ring membership)
 //	POST /fleet/members/join  {"id","url"}: add a replica at runtime, rebalance displaced sessions
 //	POST /fleet/members/leave {"id"}: drain and remove a replica at runtime
@@ -71,6 +75,8 @@ func run(args []string, w, errW io.Writer) error {
 		standbys   = fs.Int("standbys", 2, "replication-chain length: journal frames stream to this many ring successors")
 		migrateCC  = fs.Int("migrate-concurrency", 4, "sessions migrated at once during drain/join/leave rebalancing")
 		shutGrace  = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections")
+		eventCap   = fs.Int("events-retain", 512, "flight-recorder ring size: lifecycle events kept for GET /events")
+		traceCap   = fs.Int("trace-retain", 256, "operation traces kept for GET /fleet/trace/{id}")
 		metricsOut = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on shutdown")
 		version    = fs.Bool("version", false, "print version and exit")
 	)
@@ -96,6 +102,8 @@ func run(args []string, w, errW io.Writer) error {
 		FailAfter:          *failAfter,
 		Standbys:           *standbys,
 		MigrateConcurrency: *migrateCC,
+		EventCapacity:      *eventCap,
+		TraceCapacity:      *traceCap,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(errW, "hummingbirdfleet: "+format+"\n", args...)
 		},

@@ -41,6 +41,7 @@ import (
 	"hummingbird/internal/incremental"
 	"hummingbird/internal/loadgen"
 	"hummingbird/internal/netlist"
+	"hummingbird/internal/telemetry"
 	"hummingbird/internal/workload"
 )
 
@@ -73,6 +74,7 @@ func run(args []string, w, errW io.Writer) error {
 		jsonOut   = fs.String("json-out", "", "write/update a benchfmt JSON run at this path")
 		jsonIn    = fs.String("json-in", "", "existing benchfmt JSON run to merge load rows into (e.g. a benchtables -json-out file)")
 		compare   = fs.Bool("compare", false, "compare two benchfmt files (args: old.json new.json) and exit 1 on regression")
+		checkExpo = fs.String("check-exposition", "", "fetch this Prometheus exposition URL (e.g. a router's /fleet/metrics), validate it, and exit")
 		noise     = fs.Float64("noise", 0.25, "relative noise threshold for -compare (0.25 = 25%)")
 		maxP99    = fs.Duration("assert-max-p99", 0, "fail if any op class's intent-measured p99 exceeds this (0 = off)")
 		no5xx     = fs.Bool("assert-no-5xx", false, "fail if any operation got a 5xx or transport error")
@@ -105,6 +107,10 @@ func run(args []string, w, errW io.Writer) error {
 			return fmt.Errorf("%d regression(s) beyond the %.0f%% noise threshold", n, *noise*100)
 		}
 		return nil
+	}
+
+	if *checkExpo != "" {
+		return checkExposition(w, *checkExpo)
 	}
 
 	if *jsonOut != "" && *jsonIn == "" && *date == "" {
@@ -202,6 +208,38 @@ func run(args []string, w, errW io.Writer) error {
 	if len(failures) > 0 {
 		return fmt.Errorf("assertion failed: %s", strings.Join(failures, "; "))
 	}
+	return nil
+}
+
+// checkExposition fetches a Prometheus text exposition and runs the
+// same structural validator the tests use (help/type lines, histogram
+// bucket monotonicity, _sum/_count consistency). It is how CI asserts a
+// live /metrics or federated /fleet/metrics endpoint is scrapeable,
+// without needing a Prometheus binary in the container.
+func checkExposition(w io.Writer, url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.CheckExposition(strings.NewReader(string(body))); err != nil {
+		return fmt.Errorf("%s: invalid exposition: %w", url, err)
+	}
+	lines := 0
+	for _, ln := range strings.Split(string(body), "\n") {
+		if ln != "" && !strings.HasPrefix(ln, "#") {
+			lines++
+		}
+	}
+	fmt.Fprintf(w, "exposition ok: %s (%d samples)\n", url, lines)
 	return nil
 }
 

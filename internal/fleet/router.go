@@ -2,17 +2,22 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/flight"
+	"hummingbird/internal/telemetry/span"
 )
 
 var (
@@ -65,6 +70,12 @@ type Config struct {
 	// MigrateConcurrency bounds how many sessions a bulk migration
 	// (drain, leave, join rebalance) moves at once (default 4).
 	MigrateConcurrency int
+	// EventCapacity bounds the flight-recorder ring behind GET /events
+	// (default flight.DefaultCapacity).
+	EventCapacity int
+	// TraceCapacity bounds the operation-trace retention ring behind
+	// GET /fleet/trace/{id} (default 256).
+	TraceCapacity int
 	// Logf receives router life-cycle events; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -98,6 +109,9 @@ type Router struct {
 	cfg      Config
 	client   *http.Client
 	healthc  *http.Client
+	flight   *flight.Recorder
+	traces   *span.Ring
+	traceSeq atomic.Int64
 	mu       sync.Mutex // members, ring, sessions
 	members  map[string]*memberState
 	ring     *Ring
@@ -138,10 +152,15 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 256
+	}
 	r := &Router{
 		cfg:      cfg,
 		client:   cfg.Client,
 		healthc:  cfg.HealthClient,
+		flight:   flight.NewRecorder("router", cfg.EventCapacity),
+		traces:   span.NewRing(cfg.TraceCapacity),
 		members:  make(map[string]*memberState, len(cfg.Members)),
 		sessions: make(map[string]*sessionRoute),
 		stop:     make(chan struct{}),
@@ -264,21 +283,63 @@ func memberIDs(peers []Member) []string {
 	return out
 }
 
+// newTraceID mints a router-originated trace id ("f" + base36 millis +
+// sequence) for the operation traces the router opens itself (failover,
+// migration, reconcile). The alphabet matches what the daemon accepts
+// as an inbound X-Trace-Id.
+func (r *Router) newTraceID() string {
+	return "f" + strconv.FormatInt(time.Now().UnixMilli(), 36) +
+		"-" + strconv.FormatInt(r.traceSeq.Add(1), 36)
+}
+
+// startOp opens one router-side operation trace: the returned context
+// carries it, so every forward/control issued under it stamps the
+// member request with the trace id and current span (the member's own
+// fragment then splices back under that span via GET /fleet/trace/{id}).
+// finish retains the trace in the ring; call it exactly once.
+func (r *Router) startOp(name string) (ctx context.Context, tr *span.Trace, finish func()) {
+	tr = span.New(r.newTraceID(), name)
+	tr.SetProcess("router")
+	return span.NewContext(context.Background(), tr), tr, func() {
+		tr.Finish()
+		r.traces.Add(tr)
+	}
+}
+
+// FlightRecorder exposes the router's event ring (read-mostly; tests
+// and embedding binaries).
+func (r *Router) FlightRecorder() *flight.Recorder { return r.flight }
+
+// validTraceID mirrors the daemon's inbound trace-id validation.
+func validTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		ok := r == '.' || r == '_' || r == '-' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // releaseStandbys drops the session's standby journal on each member —
 // stale copies from a previous epoch must never pollute the fresh
 // streams an adopt attaches.
-func (r *Router) releaseStandbys(sid string, peers []Member) {
+func (r *Router) releaseStandbys(ctx context.Context, sid string, peers []Member) {
 	for _, p := range peers {
-		r.control(p.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+		r.control(ctx, p.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
 	}
 }
 
 // probeStandbySeq asks a replica how many contiguous frames its standby
 // journal for the session holds; an empty frames POST mutates nothing.
-func (r *Router) probeStandbySeq(baseURL, sid string) (int64, bool) {
+func (r *Router) probeStandbySeq(ctx context.Context, baseURL, sid string) (int64, bool) {
 	hdr := http.Header{}
 	hdr.Set(FirstSeqHeader, "0")
-	resp, err := r.forward(baseURL, http.MethodPost, framesPath(sid), hdr, nil)
+	resp, err := r.forward(ctx, baseURL, http.MethodPost, framesPath(sid), hdr, nil)
 	if err != nil || resp.status != http.StatusOK {
 		return 0, false
 	}
@@ -304,6 +365,7 @@ func (r *Router) markDown(id string) bool {
 	mMemberDown.Inc()
 	r.rebuildRingLocked()
 	r.cfg.Logf("fleet: member %s down", id)
+	r.flight.Record(flight.Error, "member.down", "", "", "member %s marked down (proxy failure confirmed dead)", id)
 	return true
 }
 
@@ -321,6 +383,7 @@ func (r *Router) markUp(id string) {
 	r.rebuildRingLocked()
 	r.mu.Unlock()
 	r.cfg.Logf("fleet: member %s up", id)
+	r.flight.Record(flight.Info, "member.up", "", "", "member %s back up", id)
 	go r.reconcileRejoined(id)
 }
 
@@ -348,6 +411,7 @@ func (r *Router) pollMember(id string) {
 	wasUp, wasState := m.up, m.state
 	if err != nil {
 		m.fails++
+		fails := m.fails
 		failed := m.fails >= r.cfg.FailAfter && m.up
 		if failed {
 			m.up = false
@@ -357,6 +421,7 @@ func (r *Router) pollMember(id string) {
 		r.mu.Unlock()
 		if failed {
 			r.cfg.Logf("fleet: member %s down (%v)", id, err)
+			r.flight.Record(flight.Error, "member.down", "", "", "member %s marked down after %d failed probes (%v)", id, fails, err)
 			r.failoverAll(id)
 		}
 		return
@@ -375,10 +440,12 @@ func (r *Router) pollMember(id string) {
 	if !wasUp {
 		mMemberUp.Inc()
 		r.cfg.Logf("fleet: member %s up (state %s)", id, state)
+		r.flight.Record(flight.Info, "member.up", "", "", "member %s back up (state %s)", id, state)
 		go r.reconcileRejoined(id)
 	}
 	if selfDraining {
 		r.cfg.Logf("fleet: member %s draining; migrating its sessions", id)
+		r.flight.Record(flight.Warn, "member.drain", "", "", "member %s reports draining; migrating its sessions", id)
 		go r.drainMember(id)
 	}
 }
@@ -455,6 +522,10 @@ func (r *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", r.handleReadyz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /events", r.flight.ServeHTTP)
+	mux.HandleFunc("GET /fleet/metrics", r.handleFleetMetrics)
+	mux.HandleFunc("GET /fleet/status", r.handleFleetStatus)
+	mux.HandleFunc("GET /fleet/trace/{id}", r.handleFleetTrace)
 	mux.HandleFunc("GET /fleet/members", r.handleMembers)
 	mux.HandleFunc("POST /fleet/members/join", r.handleJoin)
 	mux.HandleFunc("POST /fleet/members/leave", r.handleLeave)
@@ -493,6 +564,7 @@ func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
 	r.mu.Unlock()
 	mJoins.Inc()
 	r.cfg.Logf("fleet: member %s joined at %s (state %s)", body.ID, url, state)
+	r.flight.Record(flight.Info, "member.join", "", "", "%s joined at %s (state %s)", body.ID, url, state)
 	migrated, errs := r.rebalance()
 	status := http.StatusOK
 	if len(errs) > 0 {
@@ -561,6 +633,7 @@ func (r *Router) handleLeave(w http.ResponseWriter, req *http.Request) {
 	r.mu.Unlock()
 	mLeaves.Inc()
 	r.cfg.Logf("fleet: member %s left (%d session(s) migrated)", id, migrated)
+	r.flight.Record(flight.Info, "member.leave", "", "", "%s left (%d session(s) migrated)", id, migrated)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"member": id, "left": true, "migrated": migrated, "errors": errs,
 	})
@@ -595,9 +668,9 @@ func (r *Router) handleOpen(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		hdr := http.Header{}
-		copyRequestHeaders(hdr, req.Header)
+		copyProxyHeaders(hdr, req.Header)
 		setPeerHeaders(hdr, chain)
-		resp, rerr := r.forward(pm.URL, http.MethodPost, "/v1/sessions", hdr, body)
+		resp, rerr := r.forward(req.Context(), pm.URL, http.MethodPost, "/v1/sessions", hdr, body)
 		if rerr != nil {
 			mProxyErrors.Inc()
 			if !r.probeAlive(pm.URL) && r.markDown(pm.ID) {
@@ -659,7 +732,7 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 	}
 	uri := req.URL.RequestURI()
 	hdr := http.Header{}
-	copyRequestHeaders(hdr, req.Header)
+	copyProxyHeaders(hdr, req.Header)
 
 	rt.mu.Lock()
 	primary := rt.primary
@@ -667,7 +740,7 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 	pm := r.member(primary)
 	attempted := false
 	if pm != nil && pm.up {
-		resp, rerr := r.forward(pm.URL, req.Method, uri, hdr, body)
+		resp, rerr := r.forward(req.Context(), pm.URL, req.Method, uri, hdr, body)
 		if rerr == nil {
 			r.finishSession(w, req, sid, rt, pm.ID, resp)
 			return
@@ -677,7 +750,7 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 		if r.probeAlive(pm.URL) {
 			// The member is alive; the failure was transient transport. One
 			// retry, any method — the request never reached a handler.
-			if resp, rerr = r.forward(pm.URL, req.Method, uri, hdr, body); rerr == nil {
+			if resp, rerr = r.forward(req.Context(), pm.URL, req.Method, uri, hdr, body); rerr == nil {
 				r.finishSession(w, req, sid, rt, pm.ID, resp)
 				return
 			}
@@ -713,7 +786,7 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "session %s: new primary %s vanished", sid, newPrimary)
 		return
 	}
-	resp, rerr := r.forward(npm.URL, req.Method, uri, hdr, body)
+	resp, rerr := r.forward(req.Context(), npm.URL, req.Method, uri, hdr, body)
 	if rerr != nil {
 		mProxyErrors.Inc()
 		httpError(w, http.StatusServiceUnavailable, "session %s: retry on %s failed: %v", sid, newPrimary, rerr)
@@ -737,7 +810,7 @@ func (r *Router) finishSession(w http.ResponseWriter, req *http.Request, sid str
 		// once the session is closed.
 		for _, peer := range peers {
 			if u := r.memberURL(peer); u != "" {
-				r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+				r.control(req.Context(), u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
 			}
 		}
 	}
@@ -774,26 +847,47 @@ func (r *Router) failoverAll(dead string) {
 // adopter's onward streams are wired to the key's new successors.
 // Single-flighted per session; returns the (possibly already updated)
 // primary.
-func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (string, error) {
+func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (target string, err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.primary != failed {
 		return rt.primary, nil // lost the race; someone already re-homed it
 	}
+	ctx, tr, finish := r.startOp("fleet.failover")
+	defer finish()
+	root := span.Current(ctx)
+	root.Annotate("session", sid)
+	root.Annotate("from", failed)
+	r.flight.Record(flight.Warn, "failover.begin", sid, tr.ID(),
+		"primary %s down; probing chain %v", failed, rt.peers)
+	defer func() {
+		if err != nil {
+			root.Annotate("error", err.Error())
+			r.flight.Record(flight.Error, "failover.error", sid, tr.ID(), "%v", err)
+		}
+	}()
 	if len(rt.peers) == 0 {
 		return "", fmt.Errorf("no journal peers")
 	}
 	var best *memberState
 	var bestNext int64
 	for _, pid := range rt.peers {
+		pctx, ps := span.Start(ctx, "probe")
+		ps.Annotate("peer", pid)
 		m := r.member(pid)
 		if m == nil || !m.up {
+			ps.Annotate("result", "down")
+			ps.End()
 			continue
 		}
-		next, ok := r.probeStandbySeq(m.URL, sid)
+		next, ok := r.probeStandbySeq(pctx, m.URL, sid)
 		if !ok || next < 1 {
+			ps.Annotate("result", "no-journal")
+			ps.End()
 			continue
 		}
+		ps.Annotate("seq", strconv.FormatInt(next, 10))
+		ps.End()
 		if best == nil || next > bestNext {
 			best, bestNext = m, next
 		}
@@ -801,16 +895,22 @@ func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (s
 	if best == nil {
 		return "", fmt.Errorf("no reachable standby holds session %s (chain %v)", sid, rt.peers)
 	}
-	target := best.ID
+	target = best.ID
+	root.Annotate("target", target)
 	r.mu.Lock()
 	newChain := r.chainLocked(rt.key, target)
 	r.mu.Unlock()
 	// Standby copies from the failed primary's epoch must not pollute the
 	// fresh streams the adopter attaches.
-	r.releaseStandbys(sid, newChain)
+	rctx, rs := span.Start(ctx, "release")
+	r.releaseStandbys(rctx, sid, newChain)
+	rs.End()
+	actx, as := span.Start(ctx, "adopt")
+	as.Annotate("target", target)
 	hdr := http.Header{}
 	setPeerHeaders(hdr, newChain)
-	resp, err := r.forward(best.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+	resp, err := r.forward(actx, best.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+	as.End()
 	if err != nil {
 		return "", fmt.Errorf("adopt on %s: %w", target, err)
 	}
@@ -820,6 +920,8 @@ func (r *Router) failoverSession(sid string, rt *sessionRoute, failed string) (s
 	rt.primary, rt.peers = target, memberIDs(newChain)
 	mFailovers.Inc()
 	r.cfg.Logf("fleet: session %s re-homed %s -> %s at seq %d (chain %v)", sid, failed, target, bestNext, rt.peers)
+	r.flight.Record(flight.Info, "failover.end", sid, tr.ID(),
+		"adopted on %s at seq %d (chain %v)", target, bestNext, rt.peers)
 	return target, nil
 }
 
@@ -889,7 +991,7 @@ func (r *Router) migrateMatching(match func(rt *sessionRoute, primary string) bo
 // the session on the old primary, make sure the target holds the full
 // journal (streamed standby when caught up, explicit export otherwise),
 // adopt on the target, then forget the journal on the old primary.
-func (r *Router) migrateSession(rt *sessionRoute, from string) error {
+func (r *Router) migrateSession(rt *sessionRoute, from string) (err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.primary != from {
@@ -913,9 +1015,33 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 		return nil // the ring still wants it here; nothing displaced
 	}
 
+	ctx, tr, finish := r.startOp("fleet.migrate")
+	defer finish()
+	root := span.Current(ctx)
+	root.Annotate("session", rt.id)
+	root.Annotate("from", from)
+	root.Annotate("target", target)
+	defer func() {
+		if err != nil {
+			root.Annotate("error", err.Error())
+			r.flight.Record(flight.Error, "migrate.error", rt.id, tr.ID(), "%s -> %s: %v", from, target, err)
+		}
+	}()
+
+	// rollback wraps rollbackPark in its own span so a failed migration's
+	// trace shows the compensating re-adopt as a step.
+	rollback := func() {
+		rbctx, rb := span.Start(ctx, "rollback")
+		r.rollbackPark(rbctx, fm, rt)
+		rb.End()
+		r.flight.Record(flight.Warn, "migrate.rollback", rt.id, tr.ID(), "re-adopted on %s", from)
+	}
+
 	// 1. Park on the old primary: flushes the replication chain and
 	// reports each hop's residual lag.
-	presp, err := r.control(fm.URL, http.MethodPost, "/v1/sessions/"+rt.id+"/park", nil)
+	pctx, ps := span.Start(ctx, "park")
+	presp, err := r.control(pctx, fm.URL, http.MethodPost, "/v1/sessions/"+rt.id+"/park", nil)
+	ps.End()
 	if err != nil {
 		return fmt.Errorf("park on %s: %w", from, err)
 	}
@@ -943,17 +1069,21 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 		caughtUp = true // legacy single-hop park response
 	}
 	if !caughtUp {
-		exp, err := r.control(fm.URL, http.MethodGet, "/v1/sessions/"+rt.id+"/journal", nil)
+		hctx, hs := span.Start(ctx, "journal-handoff")
+		hs.Annotate("target", target)
+		exp, err := r.control(hctx, fm.URL, http.MethodGet, "/v1/sessions/"+rt.id+"/journal", nil)
 		if err != nil || exp.status != http.StatusOK {
-			r.rollbackPark(fm, rt)
+			hs.End()
+			rollback()
 			return fmt.Errorf("journal export from %s failed (err=%v status=%d)", from, err, exp.statusOr0())
 		}
-		r.control(tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
+		r.control(hctx, tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
 		hdr := http.Header{}
 		hdr.Set(FirstSeqHeader, "0")
-		push, err := r.forward(tm.URL, http.MethodPost, framesPath(rt.id), hdr, exp.body)
+		push, err := r.forward(hctx, tm.URL, http.MethodPost, framesPath(rt.id), hdr, exp.body)
+		hs.End()
 		if err != nil || push.status != http.StatusOK {
-			r.rollbackPark(fm, rt)
+			rollback()
 			return fmt.Errorf("journal push to %s failed (err=%v status=%d)", target, err, push.statusOr0())
 		}
 	}
@@ -964,19 +1094,23 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 	r.mu.Lock()
 	newChain := r.chainLocked(rt.key, target)
 	r.mu.Unlock()
-	r.releaseStandbys(rt.id, newChain)
+	actx, as := span.Start(ctx, "adopt")
+	as.Annotate("target", target)
+	r.releaseStandbys(actx, rt.id, newChain)
 	hdr := http.Header{}
 	setPeerHeaders(hdr, newChain)
-	aresp, err := r.forward(tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
+	aresp, err := r.forward(actx, tm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
+	as.End()
 	if err != nil || aresp.status != http.StatusOK {
-		r.rollbackPark(fm, rt)
+		rollback()
 		return fmt.Errorf("adopt on %s failed (err=%v status=%d)", target, err, aresp.statusOr0())
 	}
 
 	// 4. The old primary's journal (and any stale standby on old chain
 	// members the new chain does not reuse) are now shadows; drop them so
 	// a restart cannot resurrect the session in two places.
-	r.control(fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/forget", nil)
+	fctx, fs := span.Start(ctx, "forget")
+	r.control(fctx, fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/forget", nil)
 	reused := map[string]bool{target: true}
 	for _, p := range newChain {
 		reused[p.ID] = true
@@ -986,12 +1120,14 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 			continue
 		}
 		if u := r.memberURL(old); u != "" {
-			r.control(u, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
+			r.control(fctx, u, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/release", nil)
 		}
 	}
+	fs.End()
 	rt.primary, rt.peers = target, memberIDs(newChain)
 	mMigrations.Inc()
 	r.cfg.Logf("fleet: session %s migrated %s -> %s (chain %v)", rt.id, from, target, rt.peers)
+	r.flight.Record(flight.Info, "migrate.end", rt.id, tr.ID(), "%s -> %s (chain %v)", from, target, rt.peers)
 	return nil
 }
 
@@ -999,14 +1135,14 @@ func (r *Router) migrateSession(rt *sessionRoute, from string) error {
 // failed migration, so the session keeps serving where it was; its
 // replication chain is rebuilt from the current ring. Caller holds
 // rt.mu.
-func (r *Router) rollbackPark(fm *memberState, rt *sessionRoute) {
+func (r *Router) rollbackPark(ctx context.Context, fm *memberState, rt *sessionRoute) {
 	r.mu.Lock()
 	chain := r.chainLocked(rt.key, fm.ID)
 	r.mu.Unlock()
-	r.releaseStandbys(rt.id, chain)
+	r.releaseStandbys(ctx, rt.id, chain)
 	hdr := http.Header{}
 	setPeerHeaders(hdr, chain)
-	r.forward(fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
+	r.forward(ctx, fm.URL, http.MethodPost, "/v1/replication/sessions/"+rt.id+"/adopt", hdr, nil)
 }
 
 // inventory mirrors the daemon's GET /v1/replication/inventory reply.
@@ -1038,6 +1174,9 @@ type inventory struct {
 // on POST /fleet/reconcile.
 func (r *Router) Reconcile() map[string]any {
 	mReconciles.Inc()
+	ctx, tr, finish := r.startOp("fleet.reconcile")
+	defer finish()
+	root := span.Current(ctx)
 	r.PollOnce()
 	r.mu.Lock()
 	polled := make([]Member, 0, len(r.members))
@@ -1064,8 +1203,9 @@ func (r *Router) Reconcile() map[string]any {
 	standbyBy := make(map[string][]standbyClaim)
 	inventoried := 0
 	complete := true
+	ictx, is := span.Start(ctx, "inventory")
 	for _, m := range polled {
-		resp, err := r.control(m.URL, http.MethodGet, "/v1/replication/inventory", nil)
+		resp, err := r.control(ictx, m.URL, http.MethodGet, "/v1/replication/inventory", nil)
 		if err != nil || resp.status != http.StatusOK {
 			complete = false
 			continue
@@ -1083,6 +1223,8 @@ func (r *Router) Reconcile() map[string]any {
 			standbyBy[sb.Session] = append(standbyBy[sb.Session], standbyClaim{m.ID, sb.Next, sb.Key})
 		}
 	}
+	is.AnnotateInt("members", inventoried)
+	is.End()
 
 	pinned, conflicts, adopted, released := 0, 0, 0, 0
 	liveSids := make([]string, 0, len(liveBy))
@@ -1111,8 +1253,14 @@ func (r *Router) Reconcile() map[string]any {
 			mReconConflicts.Inc()
 			r.cfg.Logf("fleet: reconcile: force-closing double-claimed %s on %s (seq %d; winner %s at seq %d)",
 				sid, loser.member, loser.seq, winner.member, winner.seq)
+			r.flight.Record(flight.Warn, "reconcile.conflict", sid, tr.ID(),
+				"force-closing on %s (seq %d; winner %s at seq %d)", loser.member, loser.seq, winner.member, winner.seq)
 			if u := r.memberURL(loser.member); u != "" {
-				r.control(u, http.MethodDelete, "/v1/sessions/"+sid, nil)
+				cctx, cs := span.Start(ctx, "force-close")
+				cs.Annotate("session", sid)
+				cs.Annotate("loser", loser.member)
+				r.control(cctx, u, http.MethodDelete, "/v1/sessions/"+sid, nil)
+				cs.End()
 			}
 		}
 		r.pinSession(sid, winner.key, winner.member, r.knownMembers(winner.peers))
@@ -1128,7 +1276,7 @@ func (r *Router) Reconcile() map[string]any {
 				continue
 			}
 			if u := r.memberURL(sb.member); u != "" {
-				r.control(u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
+				r.control(ctx, u, http.MethodPost, "/v1/replication/sessions/"+sid+"/release", nil)
 				released++
 			}
 		}
@@ -1160,10 +1308,14 @@ func (r *Router) Reconcile() map[string]any {
 		r.mu.Lock()
 		newChain := r.chainLocked(best.key, best.member)
 		r.mu.Unlock()
-		r.releaseStandbys(sid, newChain)
+		actx, as := span.Start(ctx, "adopt")
+		as.Annotate("session", sid)
+		as.Annotate("target", best.member)
+		r.releaseStandbys(actx, sid, newChain)
 		hdr := http.Header{}
 		setPeerHeaders(hdr, newChain)
-		resp, err := r.forward(bm.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+		resp, err := r.forward(actx, bm.URL, http.MethodPost, "/v1/replication/sessions/"+sid+"/adopt", hdr, nil)
+		as.End()
 		if err != nil || resp.status != http.StatusOK {
 			r.cfg.Logf("fleet: reconcile: adopt orphaned %s on %s failed (err=%v status=%d)",
 				sid, best.member, err, resp.statusOr0())
@@ -1173,6 +1325,8 @@ func (r *Router) Reconcile() map[string]any {
 		r.pinSession(sid, best.key, best.member, memberIDs(newChain))
 		adopted++
 		r.cfg.Logf("fleet: reconcile: adopted orphaned session %s on %s at seq %d", sid, best.member, best.next)
+		r.flight.Record(flight.Info, "reconcile.adopt", sid, tr.ID(),
+			"orphaned session adopted on %s at seq %d", best.member, best.next)
 	}
 
 	// Pins nothing in the fleet backs are stale — but only drop them when
@@ -1200,6 +1354,12 @@ func (r *Router) Reconcile() map[string]any {
 			r.cfg.Logf("fleet: reconcile: dropped %d stale pin(s)", dropped)
 		}
 	}
+	root.AnnotateInt("pinned", pinned)
+	root.AnnotateInt("conflicts", conflicts)
+	root.AnnotateInt("adopted", adopted)
+	r.flight.Record(flight.Info, "reconcile.end", "", tr.ID(),
+		"inventoried %d member(s): pinned %d, conflicts %d, adopted %d, released %d, dropped %d",
+		inventoried, pinned, conflicts, adopted, released, dropped)
 	return map[string]any{
 		"members_inventoried": inventoried,
 		"complete":            complete,
@@ -1248,7 +1408,7 @@ func (r *Router) reconcileRejoined(id string) {
 	if m == nil {
 		return
 	}
-	resp, err := r.control(m.URL, http.MethodGet, "/v1/sessions", nil)
+	resp, err := r.control(context.Background(), m.URL, http.MethodGet, "/v1/sessions", nil)
 	if err != nil || resp.status != http.StatusOK {
 		return
 	}
@@ -1272,7 +1432,7 @@ func (r *Router) reconcileRejoined(id string) {
 		}
 		if stale {
 			r.cfg.Logf("fleet: closing stale copy of %s on rejoined %s", s.Session, id)
-			r.control(m.URL, http.MethodDelete, "/v1/sessions/"+s.Session, nil)
+			r.control(context.Background(), m.URL, http.MethodDelete, "/v1/sessions/"+s.Session, nil)
 		}
 	}
 }
@@ -1354,6 +1514,189 @@ func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(buf.Bytes())
 }
 
+// scrapeMemberMetrics fetches one member's /metrics.json snapshot with
+// the short health-probe client, so a hung member cannot stall a
+// federated scrape.
+func (r *Router) scrapeMemberMetrics(baseURL string) (telemetry.Metrics, error) {
+	var m telemetry.Metrics
+	resp, err := r.healthc.Get(baseURL + "/metrics.json")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// upMembersSorted snapshots the up members in id order.
+func (r *Router) upMembersSorted() []Member {
+	r.mu.Lock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.up {
+			out = append(out, m.Member)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// handleFleetMetrics federates the fleet: it scrapes every up member's
+// /metrics.json snapshot, merges it with the router's own instruments
+// (replica "router"), and re-exposes one Prometheus exposition —
+// per-member series labelled replica="<id>" plus hb_fleet_* rollup
+// families carrying the merged values (see telemetry.WriteFederated).
+// Unreachable members are skipped and counted in
+// hb_fleet_federated_scrape_errors.
+func (r *Router) handleFleetMetrics(w http.ResponseWriter, _ *http.Request) {
+	members := []telemetry.MemberMetrics{{Replica: "router", Metrics: telemetry.Snapshot()}}
+	scrapeErrs := 0
+	for _, m := range r.upMembersSorted() {
+		snap, err := r.scrapeMemberMetrics(m.URL)
+		if err != nil {
+			scrapeErrs++
+			r.cfg.Logf("fleet: federated scrape of %s failed: %v", m.ID, err)
+			continue
+		}
+		members = append(members, telemetry.MemberMetrics{Replica: m.ID, Metrics: snap})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	telemetry.WriteFederated(&buf, members)
+	fmt.Fprintf(&buf, "# HELP hb_fleet_federated_scrape_errors Members that failed to scrape on this federation pass.\n")
+	fmt.Fprintf(&buf, "# TYPE hb_fleet_federated_scrape_errors gauge\nhb_fleet_federated_scrape_errors %d\n", scrapeErrs)
+	w.Write(buf.Bytes())
+}
+
+// handleFleetStatus is the operator one-pager: fleet health state,
+// every member with its pinned-session count and per-hop replication
+// lag (from the member's fleet.stream_lag_hop* gauges), the session pin
+// table, and the tail of the router's flight-recorder timeline.
+func (r *Router) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	type memberRow struct {
+		ID       string             `json:"id"`
+		URL      string             `json:"url"`
+		Up       bool               `json:"up"`
+		Draining bool               `json:"draining"`
+		State    string             `json:"state"`
+		Sessions int                `json:"sessions"`
+		HopLag   map[string]float64 `json:"hopLag,omitempty"`
+	}
+	rows := make([]*memberRow, 0, len(r.members))
+	byID := make(map[string]*memberRow, len(r.members))
+	up, total := 0, len(r.members)
+	for _, m := range r.members {
+		row := &memberRow{ID: m.ID, URL: m.URL, Up: m.up, Draining: m.draining, State: m.state}
+		rows = append(rows, row)
+		byID[m.ID] = row
+		if m.up {
+			up++
+		}
+	}
+	pins := make(map[string]map[string]any, len(r.sessions))
+	routes := make([]*sessionRoute, 0, len(r.sessions))
+	for _, rt := range r.sessions {
+		routes = append(routes, rt)
+	}
+	r.mu.Unlock()
+	for _, rt := range routes {
+		rt.mu.Lock()
+		pins[rt.id] = map[string]any{"primary": rt.primary, "peers": rt.peers}
+		if row := byID[rt.primary]; row != nil {
+			row.Sessions++
+		}
+		rt.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	for _, row := range rows {
+		if !row.Up {
+			continue
+		}
+		snap, err := r.scrapeMemberMetrics(row.URL)
+		if err != nil {
+			continue
+		}
+		for name, v := range snap.Gauges {
+			if strings.HasPrefix(name, "fleet.stream_lag_hop") {
+				if row.HopLag == nil {
+					row.HopLag = map[string]float64{}
+				}
+				row.HopLag[strings.TrimPrefix(name, "fleet.stream_lag_")] = v
+			}
+		}
+	}
+	state := "ready"
+	switch {
+	case up == 0:
+		state = "down"
+	case up < total:
+		state = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state":    state,
+		"up":       up,
+		"total":    total,
+		"standbys": r.cfg.Standbys,
+		"sessions": len(pins),
+		"members":  rows,
+		"pins":     pins,
+		"events":   r.flight.Tail(10),
+	})
+}
+
+// handleFleetTrace reassembles one distributed trace: the router's own
+// fragment (retained in its trace ring) plus the fragment each up
+// member retained for the same trace id (GET /v1/traces/{id}), spliced
+// by span.Stitch into a single cross-process tree. ?format=chrome
+// downloads it as a Chrome trace-event file; the default is the span
+// tree as JSON.
+func (r *Router) handleFleetTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !validTraceID(id) {
+		httpError(w, http.StatusBadRequest, "bad trace id")
+		return
+	}
+	var frags []*span.Export
+	if t := r.traces.Get(id); t != nil {
+		frags = append(frags, t.Export())
+	}
+	for _, m := range r.upMembersSorted() {
+		resp, err := r.healthc.Get(m.URL + "/v1/traces/" + id)
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var e span.Export
+		if json.Unmarshal(body, &e) == nil && e.Root != nil {
+			frags = append(frags, &e)
+		}
+	}
+	if len(frags) == 0 {
+		httpError(w, http.StatusNotFound, "trace %q not retained anywhere in the fleet", id)
+		return
+	}
+	stitched := span.Stitch(frags)
+	if req.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+		stitched.WriteChrome(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	stitched.WriteJSON(w)
+}
+
 // handleMembers reports full member detail for operators.
 func (r *Router) handleMembers(w http.ResponseWriter, _ *http.Request) {
 	r.mu.Lock()
@@ -1387,6 +1730,7 @@ func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
 	m.draining = true
 	r.rebuildRingLocked()
 	r.mu.Unlock()
+	r.flight.Record(flight.Info, "member.drain", "", "", "%s draining (operator request)", id)
 	migrated, errs := r.drainMember(id)
 	status := http.StatusOK
 	if len(errs) > 0 {
@@ -1410,6 +1754,7 @@ func (r *Router) handleUndrain(w http.ResponseWriter, req *http.Request) {
 	m.draining = false
 	r.rebuildRingLocked()
 	r.mu.Unlock()
+	r.flight.Record(flight.Info, "member.undrain", "", "", "%s back in the ring", id)
 	writeJSON(w, http.StatusOK, map[string]any{"member": id, "draining": false})
 }
 
@@ -1440,23 +1785,27 @@ func (b *bufferedResponse) sessionID() string {
 }
 
 func (b *bufferedResponse) writeTo(w http.ResponseWriter) {
-	for _, k := range []string{"Content-Type", "X-Trace-Id", "Retry-After"} {
-		if v := b.header.Get(k); v != "" {
-			w.Header().Set(k, v)
-		}
-	}
+	copyProxyHeaders(w.Header(), b.header)
 	w.WriteHeader(b.status)
 	w.Write(b.body)
 }
 
-// forward proxies one request to a member and buffers the reply.
-func (r *Router) forward(baseURL, method, uri string, hdr http.Header, body []byte) (*bufferedResponse, error) {
+// forward proxies one request to a member and buffers the reply. Every
+// outbound hop is tagged: when the explicit headers carry no trace id,
+// the trace on ctx (a proxied client's request trace, or a router
+// operation trace from startOp) is injected as X-Trace-Id plus the
+// current span id as X-Hb-Parent-Span, so member-side fragments splice
+// back into one cross-process tree.
+func (r *Router) forward(ctx context.Context, baseURL, method, uri string, hdr http.Header, body []byte) (*bufferedResponse, error) {
 	req, err := http.NewRequest(method, baseURL+uri, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
+	}
+	if req.Header.Get(span.TraceIDHeader) == "" {
+		span.Inject(ctx, req.Header)
 	}
 	if req.Header.Get("Content-Type") == "" && len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
@@ -1474,15 +1823,21 @@ func (r *Router) forward(baseURL, method, uri string, hdr http.Header, body []by
 }
 
 // control issues a short fleet-control request (park, adopt, release,
-// forget, export) against a member.
-func (r *Router) control(baseURL, method, uri string, body []byte) (*bufferedResponse, error) {
-	return r.forward(baseURL, method, uri, nil, body)
+// forget, export) against a member, trace-tagged from ctx like forward.
+func (r *Router) control(ctx context.Context, baseURL, method, uri string, body []byte) (*bufferedResponse, error) {
+	return r.forward(ctx, baseURL, method, uri, nil, body)
 }
 
-// copyRequestHeaders forwards the client headers the daemon cares
-// about; hop-by-hop and routing headers stay out.
-func copyRequestHeaders(dst, src http.Header) {
-	for _, k := range []string{"Content-Type", "X-Trace-Id", "Accept"} {
+// proxyHeaders is the one whitelist both proxy directions share:
+// client→member requests and member→client responses copy exactly
+// these headers; hop-by-hop and routing headers stay out. Retry-After
+// rides along in both directions so shed/realign signals survive every
+// proxied path.
+var proxyHeaders = []string{"Content-Type", "Accept", "X-Trace-Id", "Retry-After"}
+
+// copyProxyHeaders copies the shared whitelist from src to dst.
+func copyProxyHeaders(dst, src http.Header) {
+	for _, k := range proxyHeaders {
 		if v := src.Get(k); v != "" {
 			dst.Set(k, v)
 		}

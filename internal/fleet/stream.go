@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/flight"
 )
 
 var (
@@ -106,6 +107,19 @@ type SessionStream struct {
 	conflicts int
 	retryAt   time.Time
 	nowFn     func() time.Time // test hook; nil = time.Now
+
+	// events, when set, receives a flight event each time the conflict
+	// backoff arms — the signal operators grep for when replication is
+	// flapping.
+	events *flight.Recorder
+}
+
+// SetFlightRecorder wires the stream to a flight recorder; backoff
+// arming is recorded there. Safe to leave unset (events drop).
+func (s *SessionStream) SetFlightRecorder(rec *flight.Recorder) {
+	s.mu.Lock()
+	s.events = rec
+	s.mu.Unlock()
 }
 
 // NewSessionStream builds a stream to peerURL for the session, primed
@@ -232,6 +246,8 @@ func (s *SessionStream) flushLocked(force bool) {
 					d = conflictBackoffCap
 				}
 				s.retryAt = s.now().Add(d)
+				s.events.Record(flight.Warn, "stream.backoff", s.session, "",
+					"realign conflict #%d with %s; backing off %s", s.conflicts, s.peerID, d)
 				return
 			}
 		default:

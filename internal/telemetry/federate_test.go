@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// statsFromObs builds the TimerStats a single process would snapshot
+// after observing every duration in obs — the ground truth the
+// bucket-wise merge must reproduce.
+func statsFromObs(obs []int64) TimerStats {
+	var cs [timerBuckets + 1]int64
+	var total int64
+	for _, ns := range obs {
+		cs[bucketIndex(ns)]++
+		total += ns
+	}
+	n := int64(len(obs))
+	return TimerStats{
+		Count:   n,
+		TotalNs: total,
+		P50Ns:   percentile(cs, n, 0.50),
+		P90Ns:   percentile(cs, n, 0.90),
+		P99Ns:   percentile(cs, n, 0.99),
+		Buckets: append([]int64(nil), cs[:]...),
+	}
+}
+
+// TestMergeMetricsShardInvariance is the federation property test:
+// however a stream of observations is split across shards (replicas),
+// merging the per-shard histograms bucket-wise reproduces the
+// single-process histogram exactly — total count, total time, every
+// bucket, and therefore every percentile — and the merged percentiles
+// stay monotone (p50 <= p90 <= p99).
+func TestMergeMetricsShardInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nObs := 1 + rng.Intn(2000)
+		obs := make([]int64, nObs)
+		for i := range obs {
+			// Log-uniform over ~1µs .. ~16s so every bucket regime
+			// (first, middle, +Inf overflow) is exercised.
+			shift := 8 + rng.Intn(27)
+			obs[i] = (int64(1) << shift) + rng.Int63n(int64(1)<<shift)
+		}
+		full := statsFromObs(obs)
+
+		nShards := 1 + rng.Intn(6)
+		shards := make([][]int64, nShards)
+		for _, ns := range obs {
+			k := rng.Intn(nShards)
+			shards[k] = append(shards[k], ns)
+		}
+		members := make([]Metrics, nShards)
+		var counterSum int64
+		for k, sh := range shards {
+			c := rng.Int63n(1000)
+			counterSum += c
+			members[k] = Metrics{
+				Counters: map[string]int64{"ops": c},
+				Timers:   map[string]TimerStats{"lat": statsFromObs(sh)},
+				Gauges:   map[string]float64{"g": float64(k)},
+			}
+		}
+
+		merged := MergeMetrics(members...)
+		if merged.Counters["ops"] != counterSum {
+			t.Fatalf("trial %d: counter sum %d != %d", trial, merged.Counters["ops"], counterSum)
+		}
+		got := merged.Timers["lat"]
+		if got.Count != full.Count || got.TotalNs != full.TotalNs {
+			t.Fatalf("trial %d: merged count/total %d/%d, want %d/%d",
+				trial, got.Count, got.TotalNs, full.Count, full.TotalNs)
+		}
+		for i := range full.Buckets {
+			if got.Buckets[i] != full.Buckets[i] {
+				t.Fatalf("trial %d: bucket %d = %d, want %d", trial, i, got.Buckets[i], full.Buckets[i])
+			}
+		}
+		if got.P50Ns != full.P50Ns || got.P90Ns != full.P90Ns || got.P99Ns != full.P99Ns {
+			t.Fatalf("trial %d: merged percentiles %d/%d/%d, want %d/%d/%d",
+				trial, got.P50Ns, got.P90Ns, got.P99Ns, full.P50Ns, full.P90Ns, full.P99Ns)
+		}
+		if got.P50Ns > got.P90Ns || got.P90Ns > got.P99Ns {
+			t.Fatalf("trial %d: percentiles not monotone: %d/%d/%d", trial, got.P50Ns, got.P90Ns, got.P99Ns)
+		}
+	}
+}
+
+func TestMergeMetricsBucketlessMember(t *testing.T) {
+	withBuckets := Metrics{Timers: map[string]TimerStats{
+		"lat": statsFromObs([]int64{2000, 3000, 4000}),
+	}}
+	legacy := Metrics{Timers: map[string]TimerStats{
+		"lat": {Count: 5, TotalNs: 50_000},
+	}}
+	m := MergeMetrics(withBuckets, legacy)
+	got := m.Timers["lat"]
+	if got.Count != 8 || got.TotalNs != 59_000 {
+		t.Fatalf("merged count/total = %d/%d", got.Count, got.TotalNs)
+	}
+	if len(got.Buckets) != timerBuckets+1 {
+		t.Fatalf("merged buckets len %d", len(got.Buckets))
+	}
+}
+
+func TestWriteFederatedExposition(t *testing.T) {
+	members := []MemberMetrics{
+		{Replica: "r1", Metrics: Metrics{
+			Counters: map[string]int64{"server.requests": 10, "fleet.frames_received": 3},
+			Timers:   map[string]TimerStats{"server.request.open": statsFromObs([]int64{1500, 900_000})},
+			Gauges:   map[string]float64{"server.sessions_active": 2},
+		}},
+		{Replica: "r2", Metrics: Metrics{
+			Counters: map[string]int64{"server.requests": 32},
+			Timers:   map[string]TimerStats{"server.request.open": statsFromObs([]int64{70_000})},
+			Gauges:   map[string]float64{"server.sessions_active": 5},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteFederated(&sb, members); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// The federated exposition must satisfy the strict validator even
+	// though one histogram family carries several labelled series.
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("federated exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`hb_server_requests_total{replica="r1"} 10`,
+		`hb_server_requests_total{replica="r2"} 32`,
+		"hb_fleet_server_requests_total 42",
+		`hb_fleet_frames_received_total{replica="r1"} 3`,
+		"hb_fleet_fleet_frames_received_total 3",
+		`hb_server_sessions_active{replica="r1"} 2`,
+		"hb_fleet_server_sessions_active 7",
+		`hb_server_request_open_seconds_count{replica="r2"} 1`,
+		"hb_fleet_server_request_open_seconds_count 3",
+		"hb_fleet_federated_members 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federated exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckExpositionLabelledHistograms(t *testing.T) {
+	// Two replicas' series of one family interleave: each series is
+	// cumulative on its own, but the raw line sequence is not — the
+	// validator must key state per label set.
+	good := `# TYPE hb_lat_seconds histogram
+hb_lat_seconds_bucket{replica="r1",le="0.001"} 1
+hb_lat_seconds_bucket{replica="r1",le="+Inf"} 2
+hb_lat_seconds_sum{replica="r1"} 0.5
+hb_lat_seconds_count{replica="r1"} 2
+hb_lat_seconds_bucket{replica="r2",le="0.001"} 0
+hb_lat_seconds_bucket{replica="r2",le="+Inf"} 1
+hb_lat_seconds_sum{replica="r2"} 0.9
+hb_lat_seconds_count{replica="r2"} 1
+`
+	if err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("labelled histograms rejected: %v", err)
+	}
+	// Within one series, non-cumulative buckets must still be caught.
+	bad := `# TYPE hb_lat_seconds histogram
+hb_lat_seconds_bucket{replica="r1",le="0.001"} 5
+hb_lat_seconds_bucket{replica="r1",le="0.002"} 3
+hb_lat_seconds_bucket{replica="r1",le="+Inf"} 5
+hb_lat_seconds_sum{replica="r1"} 0.5
+hb_lat_seconds_count{replica="r1"} 5
+`
+	if err := CheckExposition(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-cumulative series passed")
+	}
+	// A series missing its +Inf bucket must still be caught even when a
+	// sibling series has one.
+	missing := `# TYPE hb_lat_seconds histogram
+hb_lat_seconds_bucket{replica="r1",le="+Inf"} 2
+hb_lat_seconds_sum{replica="r1"} 0.5
+hb_lat_seconds_count{replica="r1"} 2
+hb_lat_seconds_bucket{replica="r2",le="0.001"} 1
+hb_lat_seconds_sum{replica="r2"} 0.1
+hb_lat_seconds_count{replica="r2"} 1
+`
+	if err := CheckExposition(strings.NewReader(missing)); err == nil {
+		t.Fatal("series without +Inf bucket passed")
+	}
+}
+
+func TestFleetNameCannotCollide(t *testing.T) {
+	// A genuine fleet.* instrument and the rollup namespace must stay
+	// distinguishable: rollups always carry the doubled prefix.
+	if got := fleetName("fleet.requests_routed"); got != "hb_fleet_fleet_requests_routed" {
+		t.Fatalf("fleetName = %q", got)
+	}
+	if got := fleetName("server.requests"); got != "hb_fleet_server_requests" {
+		t.Fatalf("fleetName = %q", got)
+	}
+}
+
+func BenchmarkMergeMetrics(b *testing.B) {
+	members := make([]Metrics, 4)
+	for i := range members {
+		obs := make([]int64, 256)
+		for j := range obs {
+			obs[j] = int64(1000 * (j + 1))
+		}
+		members[i] = Metrics{
+			Counters: map[string]int64{"a": 1, "b": 2, "c": 3},
+			Timers: map[string]TimerStats{
+				fmt.Sprintf("t%d", i%2): statsFromObs(obs),
+			},
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeMetrics(members...)
+	}
+}

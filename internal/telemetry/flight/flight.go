@@ -1,0 +1,208 @@
+// Package flight is the fleet's flight recorder: a bounded in-memory
+// ring of structured lifecycle events — failover begin/end, migration
+// step outcomes, 409-realign backoff arming, quarantine, membership
+// mutation, reconcile double-claim resolutions — each carrying a
+// severity, the emitting replica, the session involved, and the trace
+// id of the operation that produced it, so an event timeline can be
+// cross-referenced with the distributed span trees.
+//
+// Both the daemon and the router own a Recorder and expose it at
+// GET /events?since=&session=. Every Recorder method is nil-safe, so
+// call sites record unconditionally; a nil recorder costs one branch.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hummingbird/internal/telemetry"
+)
+
+// Severities. Free-form strings on the wire; these three are the ones
+// the system emits.
+const (
+	Info  = "info"
+	Warn  = "warn"
+	Error = "error"
+)
+
+// Event is one recorded lifecycle event. Seq increases by one per
+// event per recorder and never resets, so pollers resume with
+// ?since=<last seen seq>.
+type Event struct {
+	Seq        int64  `json:"seq"`
+	TimeUnixNs int64  `json:"timeUnixNs"`
+	Severity   string `json:"severity"`
+	Kind       string `json:"kind"`
+	Replica    string `json:"replica,omitempty"`
+	Session    string `json:"session,omitempty"`
+	Trace      string `json:"trace,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+var eventsRecorded = telemetry.NewCounter("flight.events_recorded")
+
+// Recorder is a bounded ring of events. The zero value is unusable;
+// construct with NewRecorder. All methods are safe for concurrent use
+// and on a nil receiver.
+type Recorder struct {
+	replica string
+
+	mu   sync.Mutex
+	buf  []Event // ring storage, len == cap once full
+	next int64   // seq of the next event to be recorded
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity.
+const DefaultCapacity = 512
+
+// NewRecorder returns a recorder attributing events to the given
+// replica name ("router" for the fleet router).
+func NewRecorder(replica string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{replica: replica, buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event. detail is a Sprintf format string.
+func (r *Recorder) Record(severity, kind, session, trace, detail string, args ...any) {
+	if r == nil {
+		return
+	}
+	if len(args) > 0 {
+		detail = fmt.Sprintf(detail, args...)
+	}
+	eventsRecorded.Inc()
+	r.mu.Lock()
+	ev := Event{
+		Seq:        r.next,
+		TimeUnixNs: time.Now().UnixNano(),
+		Severity:   severity,
+		Kind:       kind,
+		Replica:    r.replica,
+		Session:    session,
+		Trace:      trace,
+		Detail:     detail,
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next%int64(cap(r.buf))] = ev
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Since returns, oldest first, the retained events with Seq >= since,
+// optionally filtered to one session, and the seq the caller should
+// pass next (one past the newest recorded event).
+func (r *Recorder) Since(since int64, session string) ([]Event, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int64(len(r.buf))
+	if n == 0 {
+		return nil, r.next
+	}
+	oldest := r.next - n
+	if since < oldest {
+		since = oldest
+	}
+	var out []Event
+	for seq := since; seq < r.next; seq++ {
+		ev := r.buf[seq%int64(cap(r.buf))]
+		if session != "" && ev.Session != session {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out, r.next
+}
+
+// Tail returns the newest n events, oldest first.
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	from := r.next - int64(n)
+	r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	evs, _ := r.Since(from, "")
+	return evs
+}
+
+// WriteText renders the newest n events one per line — appended to the
+// slow-request log after the span tree, so a slow request's dump
+// carries the fleet events that surrounded it.
+func (r *Recorder) WriteText(w io.Writer, n int) {
+	for _, ev := range r.Tail(n) {
+		ts := time.Unix(0, ev.TimeUnixNs).UTC().Format("15:04:05.000")
+		fmt.Fprintf(w, "  [%s] %s %s %s", ts, ev.Severity, ev.Replica, ev.Kind)
+		if ev.Session != "" {
+			fmt.Fprintf(w, " session=%s", ev.Session)
+		}
+		if ev.Trace != "" {
+			fmt.Fprintf(w, " trace=%s", ev.Trace)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(w, " %s", ev.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// eventsResponse is the GET /events payload.
+type eventsResponse struct {
+	Replica string  `json:"replica"`
+	Next    int64   `json:"next"`
+	Events  []Event `json:"events"`
+}
+
+// ServeHTTP implements GET /events?since=<seq>&session=<id>&limit=<n>.
+// The response's next field is the since value that resumes polling
+// without gaps or duplicates.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, `{"error":"flight recorder disabled"}`, http.StatusNotFound)
+		return
+	}
+	var since int64
+	if v := req.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, `{"error":"bad since"}`, http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	events, next := r.Since(since, req.URL.Query().Get("session"))
+	if v := req.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, `{"error":"bad limit"}`, http.StatusBadRequest)
+			return
+		}
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(eventsResponse{Replica: r.replica, Next: next, Events: events})
+}

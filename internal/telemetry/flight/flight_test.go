@@ -1,0 +1,150 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordSinceAndWrap(t *testing.T) {
+	r := NewRecorder("r1", 4)
+	for i := 0; i < 6; i++ {
+		r.Record(Info, "k", fmt.Sprintf("s%d", i%2), "", "event %d", i)
+	}
+	// Capacity 4, 6 recorded: seqs 2..5 retained.
+	evs, next := r.Since(0, "")
+	if next != 6 || len(evs) != 4 {
+		t.Fatalf("next=%d events=%d, want 6/4", next, len(evs))
+	}
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Fatalf("retained seqs %d..%d, want 2..5", evs[0].Seq, evs[3].Seq)
+	}
+	if evs[0].Detail != "event 2" || evs[0].Replica != "r1" {
+		t.Fatalf("event content: %+v", evs[0])
+	}
+	// since resumes without duplicates.
+	evs2, _ := r.Since(4, "")
+	if len(evs2) != 2 || evs2[0].Seq != 4 {
+		t.Fatalf("since=4 → %+v", evs2)
+	}
+	// Session filter.
+	only, _ := r.Since(0, "s1")
+	for _, ev := range only {
+		if ev.Session != "s1" {
+			t.Fatalf("filter leaked %+v", ev)
+		}
+	}
+	if len(only) != 2 {
+		t.Fatalf("s1 events = %d, want 2", len(only))
+	}
+}
+
+func TestTailAndWriteText(t *testing.T) {
+	r := NewRecorder("router", 8)
+	r.Record(Warn, "failover.begin", "sess-1", "tr-9", "standby=%s seq=%d", "r2", 41)
+	r.Record(Info, "failover.end", "sess-1", "tr-9", "")
+	tail := r.Tail(1)
+	if len(tail) != 1 || tail[0].Kind != "failover.end" {
+		t.Fatalf("tail = %+v", tail)
+	}
+	if got := r.Tail(0); got != nil {
+		t.Fatalf("Tail(0) = %v", got)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb, 10)
+	out := sb.String()
+	for _, want := range []string{"warn router failover.begin", "session=sess-1", "trace=tr-9", "standby=r2 seq=41"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record(Info, "k", "", "", "ignored")
+	if evs, next := r.Since(0, ""); evs != nil || next != 0 {
+		t.Fatal("nil recorder returned events")
+	}
+	if r.Tail(3) != nil {
+		t.Fatal("nil recorder tail")
+	}
+	var sb strings.Builder
+	r.WriteText(&sb, 3)
+	if sb.Len() != 0 {
+		t.Fatal("nil recorder wrote text")
+	}
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil recorder handler status %d", rec.Code)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRecorder("r2", 16)
+	r.Record(Info, "adopt", "sess-a", "tr-1", "records=%d", 7)
+	r.Record(Error, "quarantine", "sess-b", "", "panic")
+
+	get := func(url string) (int, eventsResponse) {
+		rec := httptest.NewRecorder()
+		r.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var resp eventsResponse
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("bad JSON from %s: %v", url, err)
+			}
+		}
+		return rec.Code, resp
+	}
+
+	code, resp := get("/events")
+	if code != 200 || resp.Replica != "r2" || len(resp.Events) != 2 || resp.Next != 2 {
+		t.Fatalf("GET /events → %d %+v", code, resp)
+	}
+	code, resp = get("/events?since=" + fmt.Sprint(resp.Next))
+	if code != 200 || len(resp.Events) != 0 {
+		t.Fatalf("resume poll returned %d events", len(resp.Events))
+	}
+	code, resp = get("/events?session=sess-b")
+	if code != 200 || len(resp.Events) != 1 || resp.Events[0].Kind != "quarantine" {
+		t.Fatalf("session filter → %+v", resp.Events)
+	}
+	code, resp = get("/events?limit=1")
+	if code != 200 || len(resp.Events) != 1 || resp.Events[0].Kind != "quarantine" {
+		t.Fatalf("limit → %+v", resp.Events)
+	}
+	if code, _ := get("/events?since=bogus"); code != 400 {
+		t.Fatalf("bad since → %d", code)
+	}
+	if code, _ := get("/events?limit=-1"); code != 400 {
+		t.Fatalf("bad limit → %d", code)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder("r1", 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Info, "k", "", "", "")
+			}
+		}()
+	}
+	wg.Wait()
+	evs, next := r.Since(0, "")
+	if next != 800 || len(evs) != 32 {
+		t.Fatalf("next=%d retained=%d, want 800/32", next, len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %d → %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

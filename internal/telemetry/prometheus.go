@@ -184,6 +184,27 @@ func CheckExposition(r io.Reader) error {
 		haveSum   bool
 		haveCount bool
 	}
+	// Histogram state is tracked per series — (family, label set minus
+	// le) — not per family, so a federated exposition that interleaves
+	// one family's histograms from several replicas still validates
+	// bucket cumulativity within each replica's series.
+	seriesKey := func(family, labels string) string {
+		if labels == "" {
+			return family
+		}
+		kvs := strings.Split(labels, ",")
+		kept := kvs[:0]
+		for _, kv := range kvs {
+			if k, _, ok := strings.Cut(kv, "="); !ok || strings.TrimSpace(k) != "le" {
+				kept = append(kept, kv)
+			}
+		}
+		if len(kept) == 0 {
+			return family
+		}
+		sort.Strings(kept)
+		return family + "{" + strings.Join(kept, ",") + "}"
+	}
 	types := map[string]string{} // family → type
 	hists := map[string]*histState{}
 	sawSample := false
@@ -245,10 +266,11 @@ func CheckExposition(r io.Reader) error {
 		if typ != "histogram" {
 			continue
 		}
-		h := hists[family]
+		key := seriesKey(family, labels)
+		h := hists[key]
 		if h == nil {
 			h = &histState{lastLe: -1}
-			hists[family] = h
+			hists[key] = h
 		}
 		switch {
 		case strings.HasSuffix(name, "_bucket"):
@@ -293,9 +315,9 @@ func CheckExposition(r io.Reader) error {
 	if !sawSample {
 		return fmt.Errorf("no samples in exposition")
 	}
-	for f, h := range hists {
+	for key, h := range hists {
 		if !h.haveInf || !h.haveSum || !h.haveCount {
-			return fmt.Errorf("histogram %s missing +Inf bucket, _sum or _count", f)
+			return fmt.Errorf("histogram series %s missing +Inf bucket, _sum or _count", key)
 		}
 	}
 	return nil

@@ -175,13 +175,19 @@ func TestWriteJSONAndChrome(t *testing.T) {
 	if err := json.Unmarshal([]byte(cb.String()), &events); err != nil {
 		t.Fatalf("WriteChrome not a JSON array: %v", err)
 	}
-	if len(events) != 2 {
-		t.Fatalf("chrome events = %d, want 2", len(events))
-	}
+	var complete, meta int
 	for _, ev := range events {
-		if ev["ph"] != "X" {
-			t.Fatalf("event not complete-phase: %v", ev)
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase: %v", ev)
 		}
+	}
+	if complete != 2 || meta != 1 {
+		t.Fatalf("chrome events: %d complete + %d metadata, want 2 + 1", complete, meta)
 	}
 
 	var tb strings.Builder

@@ -240,12 +240,18 @@ func percentile(counts [timerBuckets + 1]int64, count int64, q float64) int64 {
 // TimerStats is one timer's accumulated state in a snapshot. The
 // percentiles are histogram estimates (linear interpolation within the
 // fixed buckets), deterministic for a given sequence of observations.
+// Buckets holds the per-bucket (non-cumulative) counts — timerBuckets
+// finite cells in TimerBounds order plus one +Inf cell — which is what
+// makes snapshots from different processes mergeable bucket-wise
+// (MergeMetrics): the geometry is fixed, so merge is element-wise
+// addition.
 type TimerStats struct {
-	Count   int64 `json:"count"`
-	TotalNs int64 `json:"totalNs"`
-	P50Ns   int64 `json:"p50Ns"`
-	P90Ns   int64 `json:"p90Ns"`
-	P99Ns   int64 `json:"p99Ns"`
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"totalNs"`
+	P50Ns   int64   `json:"p50Ns"`
+	P90Ns   int64   `json:"p90Ns"`
+	P99Ns   int64   `json:"p99Ns"`
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Metrics is a point-in-time copy of every registered instrument — the
@@ -293,6 +299,7 @@ func Snapshot() Metrics {
 			P50Ns:   percentile(cs, n, 0.50),
 			P90Ns:   percentile(cs, n, 0.90),
 			P99Ns:   percentile(cs, n, 0.99),
+			Buckets: append([]int64(nil), cs[:]...),
 		}
 	}
 	gauges := make(map[string]func() float64, len(registry.gauges))
