@@ -10,6 +10,9 @@
 //	-ablations  A1 block-vs-enumeration, A2 borrowing, A3 break search,
 //	            A4 redesign loop, A5 scaling
 //	-all        everything above (default when no flag is given)
+//	-scaling    workers x design-size parallel-analysis scaling table on
+//	            the SoC workload (opt-in: the 1M-cell point is expensive,
+//	            so -all does not imply it)
 package main
 
 import (
@@ -17,6 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"hummingbird/internal/baseline"
@@ -47,6 +53,12 @@ func main() {
 		jsonOut   = flag.String("json-out", "", "write the Table-1 rows as a benchfmt JSON run to this file (implies -table1)")
 		label     = flag.String("label", "local", "label recorded in the -json-out run")
 		date      = flag.String("date", "", "date (YYYY-MM-DD) recorded in the -json-out run; required with -json-out")
+
+		scaling        = flag.Bool("scaling", false, "run the workers x design-size scaling table on the SoC workload")
+		scalingCells   = flag.String("scaling-cells", "10000,100000,1000000", "comma-separated SoC cell counts for -scaling")
+		scalingWorkers = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling")
+		scalingGate    = flag.Float64("scaling-gate", 0, "with -scaling: exit non-zero unless the highest worker count reaches this speedup over 1 worker on the largest design (0 = no gate)")
+		scalingJSON    = flag.String("scaling-json", "", "merge the -scaling rows into this benchfmt JSON file (created with -label/-date when absent)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -56,7 +68,7 @@ func main() {
 			must(fmt.Errorf("-json-out requires -date (the run date is recorded, never guessed)"))
 		}
 	}
-	any := *table1 || *fig1 || *fig2 || *fig3 || *fig4 || *ablations
+	any := *table1 || *fig1 || *fig2 || *fig3 || *fig4 || *ablations || *scaling
 	if *all || !any {
 		*table1, *fig1, *fig2, *fig3, *fig4, *ablations = true, true, true, true, true, true
 	}
@@ -86,6 +98,135 @@ func main() {
 	if *ablations {
 		runAblations(w)
 	}
+	if *scaling {
+		rows := runScaling(w, parseIntList(*scalingCells), parseIntList(*scalingWorkers))
+		if *scalingJSON != "" {
+			run, err := benchfmt.ReadFile(*scalingJSON)
+			if os.IsNotExist(err) {
+				if *date == "" {
+					must(fmt.Errorf("-scaling-json on a new file requires -date"))
+				}
+				run, err = benchfmt.NewRun(*label, *date), nil
+			}
+			must(err)
+			run.MergeScaling(rows)
+			must(benchfmt.WriteFile(*scalingJSON, run))
+			fmt.Fprintf(w, "merged %d scaling rows into %s\n\n", len(rows), *scalingJSON)
+		}
+		checkScalingGate(rows, *scalingGate)
+	}
+}
+
+// parseIntList splits a comma-separated list of positive integers.
+func parseIntList(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		must(err)
+		if n < 1 {
+			must(fmt.Errorf("list entry %d < 1", n))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// checkScalingGate enforces the CI speedup floor: on the largest design
+// measured, the highest worker count must beat the 1-worker time by the
+// given factor.
+func checkScalingGate(rows []benchfmt.ScalingRow, gate float64) {
+	if gate <= 0 {
+		return
+	}
+	maxCells, maxWorkers := 0, 0
+	for _, r := range rows {
+		if r.Cells > maxCells {
+			maxCells = r.Cells
+		}
+	}
+	for _, r := range rows {
+		if r.Cells == maxCells && r.Workers > maxWorkers {
+			maxWorkers = r.Workers
+		}
+	}
+	for _, r := range rows {
+		if r.Cells == maxCells && r.Workers == maxWorkers {
+			if r.Speedup < gate {
+				must(fmt.Errorf("scaling gate: %d workers reach %.2fx on %d cells, need %.2fx",
+					maxWorkers, r.Speedup, maxCells, gate))
+			}
+			fmt.Printf("scaling gate ok: %d workers reach %.2fx on %d cells (floor %.2fx)\n",
+				maxWorkers, r.Speedup, maxCells, gate)
+			return
+		}
+	}
+	must(fmt.Errorf("scaling gate: no row for %d cells at %d workers (is 1 in -scaling-workers?)", maxCells, maxWorkers))
+}
+
+// runScaling measures the level-scheduled parallel analysis across the
+// workers x design-size grid on the SoC workload, plus the parallel
+// incremental recompute over a large dirty set, best of three each.
+func runScaling(w io.Writer, cellSizes, workerCounts []int) []benchfmt.ScalingRow {
+	fmt.Fprintln(w, "== Scaling: level-scheduled parallel analysis, workers x design size (SoC workload) ==")
+	fmt.Fprintf(w, "host: %d CPUs, GOMAXPROCS %d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	lib := celllib.Default()
+	var out []benchfmt.ScalingRow
+	fmt.Fprintf(w, "%9s %9s %7s %8s %12s %9s %14s %7s\n",
+		"cells", "clusters", "levels", "workers", "analyze", "speedup", "recompute", "dirty")
+	for _, cells := range cellSizes {
+		d := mustGen(workload.SoCCells(cells, 1))
+		stats := d.Stats(lib)
+		a, err := core.Load(lib, d, core.DefaultOptions())
+		must(err)
+		cd, st := a.CD, a.St
+		// Dirty set for the incremental point: evenly spaced cluster ids,
+		// capped at 256 — large enough for the parallel path on every
+		// design size measured here.
+		nDirty := len(cd.CC)
+		if nDirty > 256 {
+			nDirty = 256
+		}
+		ids := make([]int, nDirty)
+		for i := range ids {
+			ids[i] = i * len(cd.CC) / nDirty
+		}
+		res := sta.Analyze(cd, st)
+		var base time.Duration
+		for _, workers := range workerCounts {
+			var analyze, recompute time.Duration
+			for i := 0; i < 3; i++ {
+				t0 := time.Now()
+				sta.AnalyzeParallel(cd, st, workers)
+				if e := time.Since(t0); analyze == 0 || e < analyze {
+					analyze = e
+				}
+				t1 := time.Now()
+				sta.RecomputeParallel(cd, st, res, ids, workers)
+				if e := time.Since(t1); recompute == 0 || e < recompute {
+					recompute = e
+				}
+			}
+			if workers == 1 {
+				base = analyze
+			}
+			row := benchfmt.ScalingRow{
+				Workload: d.Name, Cells: stats.Cells,
+				Clusters: len(cd.CC), Levels: cd.NumLevels(), Workers: workers,
+				AnalyzeNs:   analyze.Nanoseconds(),
+				RecomputeNs: recompute.Nanoseconds(), DirtyClusters: nDirty,
+			}
+			if base > 0 {
+				row.Speedup = float64(base) / float64(analyze)
+			}
+			out = append(out, row)
+			fmt.Fprintf(w, "%9d %9d %7d %8d %12v %8.2fx %14v %7d\n",
+				row.Cells, row.Clusters, row.Levels, row.Workers,
+				analyze.Round(time.Microsecond), row.Speedup,
+				recompute.Round(time.Microsecond), nDirty)
+		}
+	}
+	fmt.Fprintln(w)
+	return out
 }
 
 // mustGen unwraps a workload generator result.

@@ -190,6 +190,7 @@ func run(args []string, w, errW io.Writer) error {
 		maxInflight = fs.Int("max-inflight", 32, "maximum concurrently served requests (0 = unbounded)")
 		queueWait   = fs.Duration("queue-timeout", time.Second, "how long an over-limit request may wait before 429")
 		maxSweeps   = fs.Int("max-sweeps", 0, "fixed-point sweep budget per iteration (0 = auto)")
+		workers     = fs.Int("workers", 0, "parallel analysis workers per request; full analyses and large incremental recomputes spread across this many goroutines (<=1 = sequential)")
 		journalDir  = fs.String("journal-dir", "", "directory for per-session edit journals (crash recovery; empty = off)")
 		shutGrace   = fs.Duration("shutdown-grace", 5*time.Second, "how long shutdown may drain connections and flush journals")
 		failpoints  = fs.Bool("failpoints", false, "expose /debug/failpoints fault-injection endpoints")
@@ -250,6 +251,7 @@ func run(args []string, w, errW io.Writer) error {
 		maxInflight:    *maxInflight,
 		queueTimeout:   *queueWait,
 		maxSweeps:      *maxSweeps,
+		workers:        *workers,
 		failpoints:     *failpoints,
 		traceDir:       *traceDir,
 		slowThreshold:  *slowThresh,
@@ -399,6 +401,7 @@ type serverConfig struct {
 	maxInflight    int           // 0 = unbounded
 	queueTimeout   time.Duration
 	maxSweeps      int              // 0 = auto
+	workers        int              // parallel analysis workers; <=1 = sequential
 	journal        *journal.Manager // nil = journaling off
 	failpoints     bool             // expose /debug/failpoints
 	traceDir       string           // Chrome trace-event export dir; "" = off
@@ -477,6 +480,7 @@ func newServer(lib *celllib.Library, cfg serverConfig) *server {
 	}
 	opts := core.DefaultOptions()
 	opts.MaxSweeps = cfg.maxSweeps
+	opts.Workers = cfg.workers
 	if cfg.traceRetain <= 0 {
 		cfg.traceRetain = 256
 	}

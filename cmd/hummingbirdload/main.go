@@ -59,7 +59,7 @@ func run(args []string, w, errW io.Writer) error {
 		addr      = fs.String("addr", "http://127.0.0.1:7077", "base URL of the target hummingbirdd (or fleet router)")
 		readyzAdr = fs.String("readyz-addr", "", "base URL whose /readyz the drain poller watches (default: -addr); point at one replica when -addr is a fleet router")
 		replicas  = fs.Int("replicas", 0, "fleet size behind -addr, recorded on bench rows (0 = standalone)")
-		wlName    = fs.String("workload", "sm1f", "target design: des, alu, sm1f or sm1h")
+		wlName    = fs.String("workload", "sm1f", "target design: des, alu, sm1f, sm1h or soc (100k-cell hierarchical grid)")
 		rate      = fs.Float64("rate", 200, "scheduled arrival rate, operations/sec")
 		duration  = fs.Duration("duration", 10*time.Second, "steady-state run length (after session ramp)")
 		sessions  = fs.Int("sessions", 64, "concurrent sessions held open")
@@ -281,8 +281,10 @@ func buildWorkload(name string) (*netlist.Design, error) {
 		return workload.SM1F(), nil
 	case "sm1h":
 		return workload.SM1H(), nil
+	case "soc":
+		return workload.SoCCells(100_000, 1)
 	}
-	return nil, fmt.Errorf("unknown workload %q (want des, alu, sm1f or sm1h)", name)
+	return nil, fmt.Errorf("unknown workload %q (want des, alu, sm1f, sm1h or soc)", name)
 }
 
 // probeDesign opens the design in-process and finds up to n instances

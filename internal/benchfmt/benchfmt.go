@@ -59,6 +59,9 @@ type Run struct {
 	Rows []Row `json:"rows,omitempty"`
 	// Load are the open-loop load-test results per (workload, op class).
 	Load []LoadRow `json:"load,omitempty"`
+	// Scaling are the workers x design-size parallel-analysis points
+	// emitted by benchtables -scaling.
+	Scaling []ScalingRow `json:"scaling,omitempty"`
 }
 
 // NewRun builds the metadata envelope for a run.
@@ -155,6 +158,54 @@ type LoadRow struct {
 	// Service-time percentiles (from send, not intent).
 	ServiceP50Ns int64 `json:"serviceP50Ns"`
 	ServiceP99Ns int64 `json:"serviceP99Ns"`
+}
+
+// ScalingRow is one (workload, cells, workers) point of the parallel
+// scaling table: wall time of a full level-scheduled analysis and of an
+// incremental recompute over a large dirty set, at a fixed worker count.
+type ScalingRow struct {
+	Workload string `json:"workload"`
+	Cells    int    `json:"cells"`
+	Clusters int    `json:"clusters"`
+	Levels   int    `json:"levels"`
+	Workers  int    `json:"workers"`
+	// AnalyzeNs is the best-of-N wall time of one full analysis.
+	AnalyzeNs int64 `json:"analyzeNs"`
+	// Speedup is the 1-worker AnalyzeNs of the same (workload, cells)
+	// divided by this row's — 1.0 on the 1-worker row by construction.
+	Speedup float64 `json:"speedup,omitempty"`
+	// RecomputeNs is the best-of-N wall time of recomputing
+	// DirtyClusters dirty clusters through the same scheduler.
+	RecomputeNs   int64 `json:"recomputeNs,omitempty"`
+	DirtyClusters int   `json:"dirtyClusters,omitempty"`
+}
+
+// MergeScaling appends scaling rows to the run, replacing any existing
+// row with the same (workload, cells, workers) key so re-measuring one
+// configuration updates it in place.
+func (r *Run) MergeScaling(rows []ScalingRow) {
+	for _, nr := range rows {
+		replaced := false
+		for i, old := range r.Scaling {
+			if old.Workload == nr.Workload && old.Cells == nr.Cells && old.Workers == nr.Workers {
+				r.Scaling[i] = nr
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			r.Scaling = append(r.Scaling, nr)
+		}
+	}
+	sort.Slice(r.Scaling, func(i, j int) bool {
+		if r.Scaling[i].Workload != r.Scaling[j].Workload {
+			return r.Scaling[i].Workload < r.Scaling[j].Workload
+		}
+		if r.Scaling[i].Cells != r.Scaling[j].Cells {
+			return r.Scaling[i].Cells < r.Scaling[j].Cells
+		}
+		return r.Scaling[i].Workers < r.Scaling[j].Workers
+	})
 }
 
 // Write serialises a run as indented JSON.

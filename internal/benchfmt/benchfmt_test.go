@@ -25,7 +25,33 @@ func sampleRun() *Run {
 			P50Ns: 400_000, P90Ns: 900_000, P99Ns: 2_000_000, P999Ns: 5_000_000,
 		},
 	}
+	r.Scaling = []ScalingRow{
+		{Workload: "soc625", Cells: 103_380, Clusters: 814, Levels: 9,
+			Workers: 1, AnalyzeNs: 40_000_000, Speedup: 1},
+		{Workload: "soc625", Cells: 103_380, Clusters: 814, Levels: 9,
+			Workers: 8, AnalyzeNs: 8_000_000, Speedup: 5,
+			RecomputeNs: 3_000_000, DirtyClusters: 256},
+	}
 	return r
+}
+
+func TestMergeScalingReplacesByKey(t *testing.T) {
+	run := sampleRun()
+	run.MergeScaling([]ScalingRow{
+		{Workload: "soc625", Cells: 103_380, Workers: 8, AnalyzeNs: 7_000_000, Speedup: 5.7},
+		{Workload: "soc625", Cells: 1_030_000, Workers: 1, AnalyzeNs: 400_000_000, Speedup: 1},
+	})
+	if len(run.Scaling) != 3 {
+		t.Fatalf("want 3 scaling rows after merge, got %d", len(run.Scaling))
+	}
+	// Sorted by (workload, cells, workers); the 8-worker row was replaced
+	// in place and the 1M-cell row appended after the 100k rows.
+	if run.Scaling[1].Workers != 8 || run.Scaling[1].AnalyzeNs != 7_000_000 {
+		t.Fatalf("merge did not replace by key: %+v", run.Scaling)
+	}
+	if run.Scaling[2].Cells != 1_030_000 {
+		t.Fatalf("merge order wrong: %+v", run.Scaling)
+	}
 }
 
 func TestRoundTrip(t *testing.T) {

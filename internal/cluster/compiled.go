@@ -63,7 +63,31 @@ type CompiledDesign struct {
 	// MaxClusterNets is the largest cluster net count, sizing the pooled
 	// per-cluster scratch arenas.
 	MaxClusterNets int
+
+	// Level[c] is cluster c's topological level in the cluster DAG: the
+	// graph whose edge A→B exists when some synchronising element's data
+	// input is captured by A (an Out of A) and whose output asserts into B
+	// (an In of B). Levels order clusters for the level-scheduled parallel
+	// analysis and group the incremental dirty walk; they are a scheduling
+	// structure only — within one block analysis clusters touch disjoint
+	// result slices, so no level ever *has* to finish before the next
+	// starts. Clusters on combinational-feedback cycles through latches
+	// (which levelization cannot order) are all placed together on one
+	// final level.
+	Level []int32
+
+	// LevelStart/LevelOrder are the flat CSR form of the level grouping:
+	// the clusters of level L are LevelOrder[LevelStart[L]:LevelStart[L+1]],
+	// ascending by cluster id. Because the shared arc backing is laid out
+	// in cluster-id order, a within-level walk of LevelOrder sweeps the
+	// backing front to back — the cache-linear traversal the parallel
+	// kernels chunk over.
+	LevelStart []int32
+	LevelOrder []int32
 }
+
+// NumLevels returns the number of topological levels in the cluster DAG.
+func (cd *CompiledDesign) NumLevels() int { return len(cd.LevelStart) - 1 }
 
 // Compile freezes an elaborated network into its analysis-ready form. The
 // network's per-cluster arc slices are re-laid into one contiguous backing
@@ -117,7 +141,108 @@ func Compile(nw *Network) *CompiledDesign {
 	for i, e := range nw.Elems {
 		cd.InitialOdz[i] = e.InitialOdz()
 	}
+	cd.levelize()
 	return cd
+}
+
+// levelize computes the topological level of every cluster over the
+// inter-cluster element edges and lays the per-level cluster order out as
+// flat CSR arrays (see the CompiledDesign field docs). Deterministic:
+// edges are derived from the clusters' sorted Inputs/Outputs and levels
+// from a Kahn relaxation whose result is independent of visit order.
+func (cd *CompiledDesign) levelize() {
+	nc := len(cd.Network.Clusters)
+	cd.Level = make([]int32, nc)
+	if nc == 0 {
+		cd.LevelStart = []int32{0}
+		return
+	}
+
+	// producers[e] lists the clusters capturing into element e (e's data
+	// input is one of their Outputs).
+	producers := make(map[int][]int, len(cd.Elems))
+	for _, cl := range cd.Network.Clusters {
+		for _, out := range cl.Outputs {
+			producers[out.Elem] = append(producers[out.Elem], cl.ID)
+		}
+	}
+	// Adjacency producer→consumer, deduplicated; self-loops (a latch whose
+	// input and output touch the same cluster) carry no ordering and are
+	// dropped.
+	adj := make([][]int32, nc)
+	indeg := make([]int32, nc)
+	seen := make(map[int64]bool)
+	for _, cl := range cd.Network.Clusters {
+		for _, in := range cl.Inputs {
+			for _, p := range producers[in.Elem] {
+				if p == cl.ID {
+					continue
+				}
+				key := int64(p)<<32 | int64(cl.ID)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				adj[p] = append(adj[p], int32(cl.ID))
+				indeg[cl.ID]++
+			}
+		}
+	}
+
+	// Kahn with level relaxation: level(c) = 1 + max level over its
+	// predecessors. Clusters left with positive in-degree sit on cycles
+	// (or downstream of one); they all land on one final level.
+	queue := make([]int32, 0, nc)
+	for c := 0; c < nc; c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, int32(c))
+		}
+	}
+	var maxLevel int32
+	processed := 0
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		processed++
+		if cd.Level[c] > maxLevel {
+			maxLevel = cd.Level[c]
+		}
+		for _, d := range adj[c] {
+			if l := cd.Level[c] + 1; l > cd.Level[d] {
+				cd.Level[d] = l
+			}
+			if indeg[d]--; indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if processed < nc {
+		cyclic := maxLevel + 1
+		for c := 0; c < nc; c++ {
+			if indeg[c] > 0 {
+				cd.Level[c] = cyclic
+			}
+		}
+		maxLevel = cyclic
+	}
+
+	// Counting sort into the CSR arrays; within a level ascending cluster
+	// id = ascending arc-backing offset.
+	nl := int(maxLevel) + 1
+	cd.LevelStart = make([]int32, nl+1)
+	for _, l := range cd.Level {
+		cd.LevelStart[l+1]++
+	}
+	for l := 0; l < nl; l++ {
+		cd.LevelStart[l+1] += cd.LevelStart[l]
+	}
+	cd.LevelOrder = make([]int32, nc)
+	fill := append([]int32(nil), cd.LevelStart[:nl]...)
+	for c := 0; c < nc; c++ {
+		l := cd.Level[c]
+		cd.LevelOrder[fill[l]] = int32(c)
+		fill[l]++
+	}
 }
 
 func compileCluster(cl *Cluster) *CompiledCluster {
@@ -183,6 +308,9 @@ func (cd *CompiledDesign) CloneArcs() *CompiledDesign {
 		ElemClusters:   cd.ElemClusters,
 		InitialOdz:     cd.InitialOdz,
 		MaxClusterNets: cd.MaxClusterNets,
+		Level:          cd.Level,
+		LevelStart:     cd.LevelStart,
+		LevelOrder:     cd.LevelOrder,
 	}
 	off := 0
 	for i, cl := range cd.Network.Clusters {

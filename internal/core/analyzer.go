@@ -48,6 +48,12 @@ type Options struct {
 	// Adjustments holds per-instance additive delay adjustments (ps),
 	// applied before elaboration — the interactive what-if mode of §8.
 	Adjustments map[string]clock.Time
+	// Workers sets the worker count of the level-scheduled parallel block
+	// analysis: full analyses and sufficiently large incremental
+	// recomputes are spread across this many goroutines (see
+	// sta.AnalyzeParallel / sta.RecomputeParallel). 0 or 1 keeps every
+	// analysis sequential; results are identical either way.
+	Workers int
 	// FullSweeps disables incremental re-analysis: every fixed-point sweep
 	// recomputes every cluster, as the paper's plain formulation does.
 	// The default (incremental) recomputes only the clusters adjacent to
@@ -146,10 +152,10 @@ func (a *Analyzer) sweep(ctx context.Context, iter string, k int, res *sta.Resul
 	if a.Opts.FullSweeps {
 		mFullSweeps.Inc()
 		if ctx != nil {
-			r, err := sta.AnalyzeContext(sctx, a.CD, a.St)
+			r, err := sta.AnalyzeParallelContext(sctx, a.CD, a.St, a.Opts.Workers)
 			return r, moved, len(a.CD.CC), err
 		}
-		return sta.Analyze(a.CD, a.St), moved, len(a.CD.CC), nil
+		return sta.AnalyzeParallel(a.CD, a.St, a.Opts.Workers), moved, len(a.CD.CC), nil
 	}
 	ids := a.dirtyIDs[:0]
 	for w, word := range a.dirty {
@@ -161,12 +167,12 @@ func (a *Analyzer) sweep(ctx context.Context, iter string, k int, res *sta.Resul
 	mIncrClusters.Add(int64(len(ids)))
 	mIncrSkipped.Add(int64(len(a.CD.CC) - len(ids)))
 	if ctx != nil {
-		if err := sta.RecomputeContext(sctx, a.CD, a.St, res, ids); err != nil {
+		if err := sta.RecomputeParallelContext(sctx, a.CD, a.St, res, ids, a.Opts.Workers); err != nil {
 			return nil, moved, len(ids), err
 		}
 		return res, moved, len(ids), nil
 	}
-	sta.Recompute(a.CD, a.St, res, ids)
+	sta.RecomputeParallel(a.CD, a.St, res, ids, a.Opts.Workers)
 	return res, moved, len(ids), nil
 }
 
@@ -281,7 +287,7 @@ func (a *Analyzer) ResetOffsets() { a.St.Reset() }
 func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	return a.identifySlowPathsFrom(nil, sta.Analyze(a.CD, a.St))
+	return a.identifySlowPathsFrom(nil, sta.AnalyzeParallel(a.CD, a.St, a.Opts.Workers))
 }
 
 // IdentifySlowPathsCtx is IdentifySlowPaths with cancellation: the context
@@ -292,7 +298,7 @@ func (a *Analyzer) IdentifySlowPaths() (*Report, error) {
 func (a *Analyzer) IdentifySlowPathsCtx(ctx context.Context) (*Report, error) {
 	t0 := time.Now()
 	defer func() { tAnalysis.Observe(time.Since(t0)) }()
-	res, err := sta.AnalyzeContext(ctx, a.CD, a.St)
+	res, err := sta.AnalyzeParallelContext(ctx, a.CD, a.St, a.Opts.Workers)
 	if err != nil {
 		a.conv.reset(a.Opts.Trace != nil)
 		return nil, a.cancelled("", 0, err)

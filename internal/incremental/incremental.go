@@ -659,13 +659,16 @@ func (e *Engine) applyDelayOnly(ctx context.Context, edits []Edit) (*Outcome, er
 	e.an.ResetOffsets()
 	res := e.base.Clone()
 	if len(ids) > 0 {
+		// Large dirty sets (≥ the sta threshold) ride the level-scheduled
+		// parallel walk when the engine was opened with Options.Workers;
+		// small ones stay on the sequential allocation-free path.
 		if ctx != nil {
-			if err := sta.RecomputeContext(ctx, e.an.CD, e.an.St, res, ids); err != nil {
+			if err := sta.RecomputeParallelContext(ctx, e.an.CD, e.an.St, res, ids, e.opts.Workers); err != nil {
 				rollback()
 				return nil, err
 			}
 		} else {
-			sta.Recompute(e.an.CD, e.an.St, res, ids)
+			sta.RecomputeParallel(e.an.CD, e.an.St, res, ids, e.opts.Workers)
 		}
 		e.base = res.CloneInto(e.spare)
 		e.spare = nil
@@ -788,11 +791,11 @@ func (e *Engine) analyzeFresh(ctx context.Context, an *core.Analyzer) error {
 	var res *sta.Result
 	var err error
 	if ctx != nil {
-		if res, err = sta.AnalyzeContext(ctx, an.CD, an.St); err != nil {
+		if res, err = sta.AnalyzeParallelContext(ctx, an.CD, an.St, an.Opts.Workers); err != nil {
 			return err
 		}
 	} else {
-		res = sta.Analyze(an.CD, an.St)
+		res = sta.AnalyzeParallel(an.CD, an.St, an.Opts.Workers)
 	}
 	base := res.Clone()
 	var rep *core.Report

@@ -1,0 +1,287 @@
+package sta
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hummingbird/internal/clock"
+	"hummingbird/internal/cluster"
+	"hummingbird/internal/telemetry"
+	"hummingbird/internal/telemetry/span"
+)
+
+// Level-scheduled work-stealing analysis.
+//
+// The compile layer levelizes the cluster DAG (cluster.CompiledDesign's
+// Level/LevelStart/LevelOrder); the scheduler here walks that order with a
+// fixed worker pool. Within one block analysis clusters write disjoint
+// slices of the Result — every net, and every element terminal, belongs to
+// exactly one cluster, and the element offsets the kernels read are frozen
+// for the duration — so the level structure imposes no synchronisation
+// requirement at all: no level barrier is ever *required*, and none is
+// taken. What the levels buy is the traversal order: within a level,
+// clusters ascend in arc-backing offset, so workers sweep the shared CSR
+// arrays front to back (cache-linear), and the incremental path groups its
+// dirty walk the same way.
+//
+// Work distribution: the level order is cut into contiguous chunks sized
+// by arc count (clusters vary by orders of magnitude in size; counting
+// clusters would leave one worker stuck with the giant one). Chunks are
+// dealt round-robin into per-worker queues; each worker drains its own
+// queue via an atomic cursor, then steals from the other queues' cursors.
+// A fetch-add on a victim's cursor claims a chunk exactly once, so
+// stealing needs no locks and the details merge stays deterministic.
+
+// chunk is a contiguous run order[lo:hi] of a level-grouped cluster order.
+type chunk struct{ lo, hi int32 }
+
+// workQueue is one worker's dealt chunk list plus the atomic claim cursor
+// owner and thieves race on. Padded so cursors of adjacent queues do not
+// false-share a cache line.
+type workQueue struct {
+	chunks []chunk
+	next   atomic.Int32
+	_      [56]byte
+}
+
+const (
+	// minChunkArcs floors the chunk size: below this the per-chunk
+	// scheduling overhead (one fetch-add) rivals the analysis work.
+	minChunkArcs = 1024
+	// chunksPerWorker oversizes the chunk count relative to the worker
+	// count so stealing can rebalance uneven levels.
+	chunksPerWorker = 4
+)
+
+// buildChunks cuts the level-grouped cluster order into contiguous chunks
+// of roughly even arc counts. Chunks never span a level boundary, keeping
+// each worker's traversal cache-linear within the arc backing.
+func buildChunks(cd *cluster.CompiledDesign, order []int32, workers int) []chunk {
+	total := 0
+	for _, id := range order {
+		total += len(cd.CC[id].Arcs)
+	}
+	target := total / (workers * chunksPerWorker)
+	if target < minChunkArcs {
+		target = minChunkArcs
+	}
+	chunks := make([]chunk, 0, workers*chunksPerWorker+cd.NumLevels())
+	for i := 0; i < len(order); {
+		lvl := cd.Level[order[i]]
+		start := i
+		acc := 0
+		for i < len(order) && cd.Level[order[i]] == lvl {
+			acc += len(cd.CC[order[i]].Arcs)
+			i++
+			if acc >= target {
+				break
+			}
+		}
+		chunks = append(chunks, chunk{int32(start), int32(i)})
+	}
+	return chunks
+}
+
+// runLevelScheduled executes fn once per cluster id in order, spread
+// across the worker pool with stealing. fn must be safe for concurrent
+// invocation on distinct ids; each invocation receives the calling
+// worker's private scratch arena. check (optional) runs before every
+// cluster; its first error stops all workers and is returned.
+func runLevelScheduled(cd *cluster.CompiledDesign, st *AnalysisState, order []int32, workers int, check func() error, fn func(id int32, buf *[]clock.Time)) error {
+	chunks := buildChunks(cd, order, workers)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	mParallelRuns.Inc()
+	mParallelWorkers.Add(int64(workers))
+	queues := make([]workQueue, workers)
+	for i, c := range chunks {
+		q := &queues[i%workers]
+		q.chunks = append(q.chunks, c)
+	}
+
+	// Utilisation accounting reads the clock per worker, so it is gated
+	// on the telemetry switch rather than paid unconditionally.
+	instrument := telemetry.Enabled()
+	var wallStart time.Time
+	if instrument {
+		wallStart = time.Now()
+	}
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			// One scratch arena per worker, reused across every cluster
+			// and level this worker executes.
+			buf := st.getScratch()
+			defer st.putScratch(buf)
+			var t0 time.Time
+			if instrument {
+				t0 = time.Now()
+			}
+			var steals int64
+			// Own queue first (vi=0), then steal in ring order.
+			for vi := 0; vi < workers && !stop.Load(); vi++ {
+				q := &queues[(k+vi)%workers]
+				for !stop.Load() {
+					ci := int(q.next.Add(1)) - 1
+					if ci >= len(q.chunks) {
+						break
+					}
+					if vi != 0 {
+						steals++
+					}
+					c := q.chunks[ci]
+					for _, id := range order[c.lo:c.hi] {
+						if check != nil {
+							if err := check(); err != nil {
+								fail(err)
+								return
+							}
+						}
+						fn(id, buf)
+					}
+				}
+			}
+			mSteals.Add(steals)
+			if instrument {
+				busy := time.Since(t0)
+				mWorkerBusyNs.Add(busy.Nanoseconds())
+				mWorkerBusy.Observe(busy)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if instrument {
+		mParallelWallNs.Add(time.Since(wallStart).Nanoseconds())
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}
+
+// AnalyzeParallel is Analyze with the per-cluster work spread across the
+// given number of workers by the level-scheduled work-stealing scheduler.
+// Clusters touch disjoint slices of the result, so no locking is needed
+// beyond the final deterministic merge of the pass details. Results are
+// identical to Analyze.
+func AnalyzeParallel(cd *cluster.CompiledDesign, st *AnalysisState, workers int) *Result {
+	if workers <= 1 || len(cd.CC) <= 1 {
+		return Analyze(cd, st)
+	}
+	res, _ := analyzeLevelScheduled(nil, cd, st, workers)
+	return res
+}
+
+// AnalyzeParallelContext is AnalyzeParallel with cancellation, checked
+// before every cluster on every worker. On expiry the partial result is
+// discarded and the cause returned, exactly like AnalyzeContext.
+func AnalyzeParallelContext(ctx context.Context, cd *cluster.CompiledDesign, st *AnalysisState, workers int) (*Result, error) {
+	if workers <= 1 || len(cd.CC) <= 1 {
+		return AnalyzeContext(ctx, cd, st)
+	}
+	mAnalyses.Inc()
+	_, sp := span.Start(ctx, "sta.analyze_parallel")
+	sp.AnnotateInt("clusters", len(cd.CC))
+	sp.AnnotateInt("levels", cd.NumLevels())
+	sp.AnnotateInt("workers", workers)
+	defer sp.End()
+	return analyzeLevelScheduled(interrupt(ctx), cd, st, workers)
+}
+
+func analyzeLevelScheduled(check func() error, cd *cluster.CompiledDesign, st *AnalysisState, workers int) (*Result, error) {
+	res := newResult(cd)
+	// Every worker writes its clusters' details into a disjoint slot of
+	// this table; the merge below runs in cluster order, so the pass list
+	// is byte-for-byte the sequential one.
+	details := make([][]PassDetail, len(cd.CC))
+	err := runLevelScheduled(cd, st, cd.LevelOrder, workers, check, func(id int32, buf *[]clock.Time) {
+		details[id] = analyzeClusterScratch(cd, cd.CC[id], st, res, nil, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range details {
+		res.Passes = append(res.Passes, d...)
+	}
+	return res, nil
+}
+
+// recomputeParallelThreshold is the dirty-set size (clusters) below which
+// the parallel dirty walk falls back to the sequential recompute: small
+// dirty sets are dominated by per-goroutine overhead, and the sequential
+// path preserves the steady-state allocation guarantee of delay edits.
+const recomputeParallelThreshold = 64
+
+// RecomputeParallel is Recompute with the dirty-cluster walk dispatched
+// through the level-scheduled scheduler: dirty clusters are grouped by
+// DAG level (then cluster id, i.e. arc-backing order) and chunked by arc
+// count across the workers. Below recomputeParallelThreshold dirty
+// clusters — or with a single worker — it is exactly Recompute, keeping
+// small incremental edits allocation-free.
+func RecomputeParallel(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int, workers int) {
+	recomputeParallel(nil, cd, st, res, clusterIDs, workers)
+}
+
+// RecomputeParallelContext is RecomputeParallel with cancellation. On a
+// non-nil error res has been partially rebuilt and must be discarded, as
+// with RecomputeContext.
+func RecomputeParallelContext(ctx context.Context, cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int, workers int) error {
+	if workers <= 1 || len(clusterIDs) < recomputeParallelThreshold {
+		return RecomputeContext(ctx, cd, st, res, clusterIDs)
+	}
+	_, sp := span.Start(ctx, "sta.recompute_parallel")
+	sp.AnnotateInt("dirtyClusters", len(clusterIDs))
+	sp.AnnotateInt("workers", workers)
+	defer sp.End()
+	return recomputeParallel(interrupt(ctx), cd, st, res, clusterIDs, workers)
+}
+
+func recomputeParallel(check func() error, cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int, workers int) error {
+	if workers <= 1 || len(clusterIDs) < recomputeParallelThreshold {
+		return recompute(cd, st, res, clusterIDs, check)
+	}
+	mRecomputes.Inc()
+	resetDirty(cd, st, res, clusterIDs)
+	// Group the dirty set by (level, id): the same traversal order the
+	// full parallel analysis uses, restricted to the dirty clusters.
+	order := make([]int32, 0, len(clusterIDs))
+	for _, lo := range cd.LevelOrder {
+		if st.isDirty(int(lo)) {
+			order = append(order, lo)
+		}
+	}
+	details := make([][]PassDetail, len(cd.CC))
+	err := runLevelScheduled(cd, st, order, workers, check, func(id int32, buf *[]clock.Time) {
+		details[id] = analyzeClusterScratch(cd, cd.CC[id], st, res, nil, buf)
+	})
+	if err != nil {
+		return err
+	}
+	// Append in ascending cluster id (arc-backing order) so the pass list
+	// reaches restorePassOrder nearly sorted, exactly as the sequential
+	// walk leaves it when callers pass sorted ids.
+	for id := range details {
+		if details[id] != nil {
+			res.Passes = append(res.Passes, details[id]...)
+		}
+	}
+	restorePassOrder(res)
+	return nil
+}

@@ -1,0 +1,150 @@
+package sta
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hummingbird/internal/cluster"
+	"hummingbird/internal/workload"
+)
+
+// socFixture compiles a small SoC grid: wide levels, cross-chain edges,
+// multiple clock domains and gated stages — the shape the level scheduler
+// is built for, at a size -race can afford.
+func socFixture(t *testing.T, blocks, depth, domains int, seed int64) *cluster.CompiledDesign {
+	t.Helper()
+	nw := buildWorkload(t, mustGen(workload.SoC(blocks, depth, domains, seed)))
+	return cluster.Compile(nw)
+}
+
+// TestAnalyzeParallelSoCEquivalence: randomized seeds and worker counts on
+// the SoC grid must reproduce the sequential result exactly, pass details
+// included. Under -race this is the scheduler's main concurrency probe.
+func TestAnalyzeParallelSoCEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(0x50C))
+	for trial := 0; trial < 4; trial++ {
+		seed := r.Int63()
+		cd := socFixture(t, 24, 6, 1+trial%4, seed)
+		st := NewState(cd)
+		seq := Analyze(cd, st)
+		for _, workers := range []int{2, 3, 1 + r.Intn(8), 8} {
+			par := AnalyzeParallel(cd, st, workers)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("trial %d seed %#x workers %d: parallel result differs", trial, seed, workers)
+			}
+		}
+	}
+}
+
+// TestRecomputeParallelSoCEquivalence: dirty sets above the parallel
+// threshold, recomputed through the level scheduler, must leave the result
+// deeply identical to the sequential dirty walk.
+func TestRecomputeParallelSoCEquivalence(t *testing.T) {
+	cd := socFixture(t, 96, 8, 4, 0xD1)
+	if len(cd.CC) < recomputeParallelThreshold {
+		t.Fatalf("fixture has %d clusters, below the parallel threshold %d",
+			len(cd.CC), recomputeParallelThreshold)
+	}
+	st := NewState(cd)
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		// Random dirty set over the threshold; ascending ids, as the
+		// incremental engine passes them.
+		n := recomputeParallelThreshold + r.Intn(len(cd.CC)-recomputeParallelThreshold)
+		perm := r.Perm(len(cd.CC))[:n]
+		ids := append([]int(nil), perm...)
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+				ids[j-1], ids[j] = ids[j], ids[j-1]
+			}
+		}
+		seqRes := Analyze(cd, st)
+		parRes := Analyze(cd, st)
+		Recompute(cd, st, seqRes, ids)
+		for _, workers := range []int{2, 4, 8} {
+			RecomputeParallel(cd, st, parRes, ids, workers)
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Fatalf("trial %d workers %d: parallel recompute differs (%d dirty)", trial, workers, n)
+			}
+		}
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err checks: a
+// deterministic way to land a cancellation in the middle of a parallel
+// run, with workers already spread across the level order.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestAnalyzeParallelCancelMidLevel: a context that expires partway
+// through the cluster walk must stop every worker, discard the partial
+// result and surface the cause — matching AnalyzeContext's contract.
+func TestAnalyzeParallelCancelMidLevel(t *testing.T) {
+	cd := socFixture(t, 48, 6, 2, 0xCA)
+	st := NewState(cd)
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(int64(len(cd.CC) / 2))
+	res, err := AnalyzeParallelContext(ctx, cd, st, 4)
+	if err == nil {
+		t.Fatal("mid-level cancellation returned no error")
+	}
+	if res != nil {
+		t.Fatal("cancelled analysis leaked a partial result")
+	}
+	// The state must remain usable: a fresh uncancelled run still matches
+	// the sequential analysis.
+	seq := Analyze(cd, st)
+	par := AnalyzeParallel(cd, st, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("analysis after cancellation differs from sequential")
+	}
+}
+
+// TestRecomputeParallelCancel: same contract for the incremental path.
+func TestRecomputeParallelCancel(t *testing.T) {
+	cd := socFixture(t, 96, 8, 4, 0xCB)
+	st := NewState(cd)
+	res := Analyze(cd, st)
+	ids := make([]int, len(cd.CC))
+	for i := range ids {
+		ids[i] = i
+	}
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(int64(len(ids) / 2))
+	if err := RecomputeParallelContext(ctx, cd, st, res, ids, 4); err == nil {
+		t.Fatal("mid-level cancellation returned no error")
+	}
+}
+
+// TestRecomputeParallelSmallSetAllocs: below the work threshold the
+// parallel entry point must be the sequential fast path, preserving the
+// steady-state allocation guarantee of small delay edits even when the
+// caller asks for many workers.
+func TestRecomputeParallelSmallSetAllocs(t *testing.T) {
+	nw := buildWorkload(t, mustGen(workload.ALU()))
+	cd := cluster.Compile(nw)
+	st := NewState(cd)
+	res := Analyze(cd, st)
+	ids := []int{0}
+	RecomputeParallel(cd, st, res, ids, 8)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		RecomputeParallel(cd, st, res, ids, 8)
+	})
+	const limit = 3
+	if allocs > limit {
+		t.Fatalf("small-set RecomputeParallel allocates %.1f times per run, limit %d", allocs, limit)
+	}
+}

@@ -15,9 +15,6 @@ package sta
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"hummingbird/internal/breakopen"
 	"hummingbird/internal/celllib"
@@ -30,8 +27,11 @@ import (
 
 // Hot-path instruments. Counters are atomic and lock-free; when
 // telemetry is disabled each costs one atomic load (see
-// internal/telemetry). Per-worker utilisation of AnalyzeParallel is
-// derived as parallel_worker_busy_ns / (parallel_wall_ns × workers).
+// internal/telemetry). Per-worker utilisation of the level-scheduled
+// parallel analysis is exported directly: sta.worker.busy is a histogram
+// of each worker's busy time per run, and the aggregate utilisation is
+// parallel_worker_busy_ns / (parallel_wall_ns × workers). sta.steals
+// counts chunks a worker executed from another worker's queue.
 var (
 	mAnalyses         = telemetry.NewCounter("sta.analyses")
 	mRecomputes       = telemetry.NewCounter("sta.recomputes")
@@ -42,6 +42,8 @@ var (
 	mWorkerBusyNs     = telemetry.NewCounter("sta.parallel_worker_busy_ns")
 	mParallelWallNs   = telemetry.NewCounter("sta.parallel_wall_ns")
 	mCancelled        = telemetry.NewCounter("sta.cancelled")
+	mWorkerBusy       = telemetry.NewTimer("sta.worker.busy")
+	mSteals           = telemetry.NewCounter("sta.steals")
 )
 
 const (
@@ -228,61 +230,6 @@ func AnalyzeContext(ctx context.Context, cd *cluster.CompiledDesign, st *Analysi
 	return res, nil
 }
 
-// AnalyzeParallel is Analyze with the per-cluster work spread across the
-// given number of goroutines. Clusters touch disjoint slices of the result
-// (every net, and every element terminal, belongs to exactly one cluster),
-// so no locking is needed beyond the final deterministic merge of the pass
-// details. Results are identical to Analyze.
-func AnalyzeParallel(cd *cluster.CompiledDesign, st *AnalysisState, workers int) *Result {
-	if workers <= 1 || len(cd.CC) <= 1 {
-		return Analyze(cd, st)
-	}
-	mParallelRuns.Inc()
-	mParallelWorkers.Add(int64(workers))
-	// Utilisation accounting reads the clock per cluster, so it is gated
-	// on the telemetry switch rather than paid unconditionally.
-	instrument := telemetry.Enabled()
-	var wallStart time.Time
-	if instrument {
-		wallStart = time.Now()
-	}
-	res := newResult(cd)
-	details := make([][]PassDetail, len(cd.CC))
-	var wg sync.WaitGroup
-	next := int32(0)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var busy time.Duration
-			for {
-				i := int(atomic.AddInt32(&next, 1)) - 1
-				if i >= len(cd.CC) {
-					break
-				}
-				if instrument {
-					t0 := time.Now()
-					details[i] = analyzeCluster(cd, cd.CC[i], st, res, nil)
-					busy += time.Since(t0)
-				} else {
-					details[i] = analyzeCluster(cd, cd.CC[i], st, res, nil)
-				}
-			}
-			if instrument {
-				mWorkerBusyNs.Add(busy.Nanoseconds())
-			}
-		}()
-	}
-	wg.Wait()
-	if instrument {
-		mParallelWallNs.Add(time.Since(wallStart).Nanoseconds())
-	}
-	for _, d := range details {
-		res.Passes = append(res.Passes, d...)
-	}
-	return res
-}
-
 // Recompute re-runs the block analysis for just the named clusters,
 // updating res in place. Because every net, and every element terminal,
 // belongs to exactly one cluster, a cluster's contributions to the result
@@ -306,9 +253,25 @@ func RecomputeContext(ctx context.Context, cd *cluster.CompiledDesign, st *Analy
 
 func recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int, check func() error) error {
 	mRecomputes.Inc()
-	// The dirty set is the state's reusable bitset — incremental sweeps
-	// call recompute once per sweep, so a per-call map allocation here is
-	// hot-path garbage.
+	resetDirty(cd, st, res, clusterIDs)
+	for _, id := range clusterIDs {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		res.Passes = analyzeCluster(cd, cd.CC[id], st, res, res.Passes)
+	}
+	restorePassOrder(res)
+	return nil
+}
+
+// resetDirty marks the named clusters in the state's reusable bitset,
+// resets every slack they own to +Inf and drops their old pass details in
+// one filter pass. The dirty set is the state's bitset — incremental
+// sweeps call recompute once per sweep, so a per-call map allocation here
+// is hot-path garbage.
+func resetDirty(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clusterIDs []int) {
 	st.clearDirty()
 	for _, id := range clusterIDs {
 		st.markDirty(id)
@@ -323,7 +286,6 @@ func recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clust
 			res.NetSlack[n] = posInf
 		}
 	}
-	// Drop every dirty cluster's old pass details in one filter pass.
 	kept := res.Passes[:0]
 	for _, p := range res.Passes {
 		if !st.isDirty(p.Cluster) {
@@ -331,19 +293,15 @@ func recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clust
 		}
 	}
 	res.Passes = kept
-	for _, id := range clusterIDs {
-		if check != nil {
-			if err := check(); err != nil {
-				return err
-			}
-		}
-		res.Passes = analyzeCluster(cd, cd.CC[id], st, res, res.Passes)
-	}
-	// Keep the pass list in Analyze's (cluster, pass) order so a result
-	// maintained by Recompute stays interchangeable with a fresh Analyze.
-	// The kept run and the appended details are each already ordered, so
-	// an insertion pass restores the global order; unlike sort.Slice it
-	// does not allocate, and recompute runs once per incremental sweep.
+}
+
+// restorePassOrder keeps the pass list in Analyze's (cluster, pass) order
+// so a result maintained by Recompute stays interchangeable with a fresh
+// Analyze. The kept run and the appended details are each already
+// ordered, so an insertion pass restores the global order; unlike
+// sort.Slice it does not allocate, and recompute runs once per
+// incremental sweep.
+func restorePassOrder(res *Result) {
 	ps := res.Passes
 	for i := 1; i < len(ps); i++ {
 		for j := i; j > 0 && (ps[j].Cluster < ps[j-1].Cluster ||
@@ -351,7 +309,6 @@ func recompute(cd *cluster.CompiledDesign, st *AnalysisState, res *Result, clust
 			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
 	}
-	return nil
 }
 
 func newResult(cd *cluster.CompiledDesign) *Result {
@@ -374,16 +331,24 @@ func newResult(cd *cluster.CompiledDesign) *Result {
 // however many passes it runs. They escape into the caller's Result
 // (reports hold them), so they cannot come from the pooled scratch.
 func analyzeCluster(cd *cluster.CompiledDesign, cc *cluster.CompiledCluster, st *AnalysisState, res *Result, dst []PassDetail) []PassDetail {
+	// One pooled arena holds all four per-net vectors; the level-scheduled
+	// scheduler's workers instead pass their own arena to
+	// analyzeClusterScratch directly, reusing it across clusters and
+	// levels.
+	buf := st.getScratch()
+	defer st.putScratch(buf)
+	return analyzeClusterScratch(cd, cc, st, res, dst, buf)
+}
+
+// analyzeClusterScratch is analyzeCluster against a caller-owned scratch
+// arena (≥ 4×MaxClusterNets entries).
+func analyzeClusterScratch(cd *cluster.CompiledDesign, cc *cluster.CompiledCluster, st *AnalysisState, res *Result, dst []PassDetail, buf *[]clock.Time) []PassDetail {
 	mClustersAnalyzed.Inc()
 	mPasses.Add(int64(len(cc.Plan.Breaks)))
 	T := cd.Clocks.Overall()
 	n := len(cc.Nets)
 	details := dst
 	db := make([]clock.Time, 4*n*len(cc.Plan.Breaks))
-	// One pooled arena holds all four per-net vectors; AnalyzeParallel
-	// workers each borrow their own.
-	buf := st.getScratch()
-	defer st.putScratch(buf)
 	scratch := (*buf)[:4*n]
 	readyR := scratch[0*n : 1*n]
 	readyF := scratch[1*n : 2*n]

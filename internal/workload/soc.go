@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hummingbird/internal/clock"
+	"hummingbird/internal/netlist"
+)
+
+// SoC-scale hierarchical workload generator.
+//
+// SoC composes Table-1-style pipeline blocks into a grid of latch-bounded
+// chains, the shape of a flattened system-on-chip netlist at 100k–1M
+// cells:
+//
+//   - The grid has ceil(blocks/depth) chains of up to `depth` blocks. One
+//     block is an input latch bank followed by socLayers layers of random
+//     bit-sliced logic — exactly the inter-bank region of Pipeline — so
+//     every block becomes one combinational cluster, and the latch banks
+//     become the inter-cluster edges of the DAG the level scheduler walks:
+//     stage s of every chain lands on the same level, giving levels that
+//     are ceil(blocks/depth) clusters wide.
+//   - `domains` two-phase clock pairs share one period but are phase
+//     shifted against each other (shift < period/10, so both pulses stay
+//     in-period). Chain c runs in domain c%domains; the shared primary
+//     input bus and the inter-chain links cross domains, exercising the
+//     §4 multi-phase machinery at scale.
+//   - After every stage, a link latch carries one bit from chain c into
+//     chain c+1's next stage: cross-hierarchy wiring that adds diagonal
+//     DAG edges without merging clusters (the latch is a synchronising
+//     element).
+//   - Every fourth stage of a chain latches on a gated clock — an enable
+//     latched on the opposite phase ANDed with the phase clock — the §4
+//     enable-path idiom of Pipeline's GatedBank at SoC density.
+//
+// The generator is deterministic: the same (blocks, depth, domains, seed)
+// always yields the same netlist.
+
+const (
+	// socWidth is the bit width of every latch bank and logic layer.
+	socWidth = 32
+	// socLayers is the number of gate layers per block.
+	socLayers = 4
+)
+
+// SoCBlockCells is the approximate leaf-cell count contributed by one
+// block (latch bank plus gate layers); sizing helpers divide by it.
+const SoCBlockCells = socWidth * (socLayers + 1)
+
+// SoC builds the hierarchical SoC workload described in the package
+// comment above. blocks is the total block count, depth the pipeline
+// depth of each chain (clamped to blocks), domains the number of
+// phase-shifted two-phase clock pairs.
+func SoC(blocks, depth, domains int, seed int64) (*netlist.Design, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("workload soc: blocks %d < 1", blocks)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > blocks {
+		depth = blocks
+	}
+	if domains < 1 {
+		domains = 1
+	}
+	chains := (blocks + depth - 1) / depth
+
+	r := rand.New(rand.NewSource(seed))
+	d := netlist.New(fmt.Sprintf("soc%d", blocks))
+	p := 100 * clock.Ns
+
+	// Phase-shifted two-phase pairs: clkA_d rises at the shift, clkB_d
+	// half a period later. shift < p/10 keeps clkB's fall inside the
+	// period for every domain.
+	phase := func(dom, s int) string {
+		if s%2 == 0 {
+			return fmt.Sprintf("clkA_%d", dom)
+		}
+		return fmt.Sprintf("clkB_%d", dom)
+	}
+	for dom := 0; dom < domains; dom++ {
+		shift := clock.Time(dom) * (p / 10) / clock.Time(domains)
+		d.AddClock(clock.Signal{Name: phase(dom, 0), Period: p, RiseAt: shift, FallAt: shift + p*2/5})
+		d.AddClock(clock.Signal{Name: phase(dom, 1), Period: p, RiseAt: shift + p/2, FallAt: shift + p/2 + p*2/5})
+	}
+
+	inst := func(name, ref string, conns map[string]string) {
+		d.AddInstance(netlist.Instance{Name: name, Ref: ref, Conns: conns})
+	}
+
+	// One shared primary input bus feeds every chain's first latch bank.
+	pi := make([]string, socWidth)
+	for w := range pi {
+		name := fmt.Sprintf("IN%d", w)
+		d.AddPort(netlist.Port{Name: name, Dir: netlist.Input, RefClock: phase(0, 1), RefEdge: clock.Fall})
+		pi[w] = name
+	}
+
+	// exists reports whether chain c has a block at stage s (only the
+	// last chain can be short).
+	exists := func(c, s int) bool { return s < depth && c*depth+s < blocks }
+
+	cur := make([][]string, chains) // nets feeding each chain's next bank
+	for c := range cur {
+		cur[c] = pi
+	}
+	linkIn := make([]string, chains) // pending cross-chain link per chain
+
+	for s := 0; s < depth; s++ {
+		for c := 0; c < chains; c++ {
+			if !exists(c, s) {
+				continue
+			}
+			dom := c % domains
+			ck := phase(dom, s)
+			// Gated stage: enable latched on the opposite phase gates
+			// this bank's clock.
+			if s%4 == 3 {
+				en := fmt.Sprintf("c%ds%d_en", c, s)
+				gck := fmt.Sprintf("c%ds%d_gck", c, s)
+				inst(fmt.Sprintf("gle_c%ds%d", c, s), "DLATCH_X1",
+					map[string]string{"D": cur[c][0], "G": phase(dom, s+1), "Q": en})
+				inst(fmt.Sprintf("gand_c%ds%d", c, s), "AND2_X1",
+					map[string]string{"A": ck, "B": en, "Y": gck})
+				ck = gck
+			}
+			// Input latch bank.
+			bank := make([]string, socWidth)
+			for w := 0; w < socWidth; w++ {
+				q := fmt.Sprintf("c%ds%dw%d_q", c, s, w)
+				inst(fmt.Sprintf("lat_c%ds%dw%d", c, s, w), "DLATCH_X1",
+					map[string]string{"D": cur[c][w], "G": ck, "Q": q})
+				bank[w] = q
+			}
+			// Gate layers; bit column A keeps every upstream net
+			// consumed, the rest mix randomly across the word. The
+			// incoming cross-chain link, when present, replaces bit 0
+			// of layer 0 with an explicit two-input mix.
+			src := bank
+			for l := 0; l < socLayers; l++ {
+				out := make([]string, socWidth)
+				for w := 0; w < socWidth; w++ {
+					net := fmt.Sprintf("c%ds%dl%dw%d", c, s, l, w)
+					if l == 0 && w == 0 && linkIn[c] != "" {
+						inst(fmt.Sprintf("glk_c%ds%d", c, s), "XOR2_X1",
+							map[string]string{"A": src[0], "B": linkIn[c], "Y": net})
+						out[w] = net
+						continue
+					}
+					g := gatePool[r.Intn(len(gatePool))]
+					conns := map[string]string{}
+					ins := []string{"A", "B", "C"}
+					conns[ins[0]] = src[w%len(src)]
+					for i := 1; i < g.nIn; i++ {
+						conns[ins[i]] = src[r.Intn(len(src))]
+					}
+					conns["Y"] = net
+					inst(fmt.Sprintf("g_c%ds%dl%dw%d", c, s, l, w), g.cell, conns)
+					out[w] = net
+				}
+				src = out
+			}
+			linkIn[c] = ""
+			cur[c] = src
+		}
+		// Cross-chain links into the next stage: one bit of chain c,
+		// latched in the target chain's next-stage phase, feeds chain
+		// c+1. The latch keeps the clusters separate; the DAG gains a
+		// level-monotone diagonal edge.
+		next := make([]string, chains)
+		for c := 0; c < chains; c++ {
+			t := (c + 1) % chains
+			if !exists(c, s) || !exists(t, s+1) {
+				continue
+			}
+			ln := fmt.Sprintf("link_c%ds%d", c, s)
+			inst(fmt.Sprintf("lk_c%ds%d", c, s), "DLATCH_X1",
+				map[string]string{"D": cur[c][0], "G": phase(t%domains, s+1), "Q": ln})
+			next[t] = ln
+		}
+		linkIn = next
+	}
+
+	// Per-chain primary output: XOR-reduce the final layer (so every net
+	// is consumed) and buffer it out, referenced to the chain's domain.
+	for c := 0; c < chains; c++ {
+		dom := c % domains
+		acc := cur[c][0]
+		for w := 1; w < socWidth; w++ {
+			net := fmt.Sprintf("red_c%dw%d", c, w)
+			inst(fmt.Sprintf("gr_c%dw%d", c, w), "XOR2_X1",
+				map[string]string{"A": acc, "B": cur[c][w], "Y": net})
+			acc = net
+		}
+		out := fmt.Sprintf("OUT%d", c)
+		lastStage := depth - 1
+		if c == chains-1 {
+			lastStage = blocks - c*depth - 1
+		}
+		d.AddPort(netlist.Port{Name: out, Dir: netlist.Output,
+			RefClock: phase(dom, lastStage+1), RefEdge: clock.Fall, Offset: -1 * clock.Ns})
+		inst(fmt.Sprintf("go_c%d", c), "BUF_X2", map[string]string{"A": acc, "Y": out})
+	}
+	return d, nil
+}
+
+// SoCCells builds an SoC workload sized to approximately the given leaf
+// cell count (within a few percent — link latches, gating and output
+// reduction ride on top of the block grid), with the default shape:
+// depth-8 chains across four clock domains.
+func SoCCells(cells int, seed int64) (*netlist.Design, error) {
+	blocks := cells / SoCBlockCells
+	if blocks < 1 {
+		blocks = 1
+	}
+	return SoC(blocks, 8, 4, seed)
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"hummingbird/internal/core"
+)
+
+func TestSoCValid(t *testing.T) {
+	d := mustGen(SoC(32, 8, 4, 1))
+	s := validate(t, d)
+	want := 32 * SoCBlockCells
+	if s.Cells < want || s.Cells > want+want/10 {
+		t.Fatalf("SoC cells = %d, want %d..%d", s.Cells, want, want+want/10)
+	}
+	if s.Latches < 32*socWidth {
+		t.Fatalf("SoC latches = %d, want at least one bank per block (%d)", s.Latches, 32*socWidth)
+	}
+}
+
+func TestSoCMultiDomain(t *testing.T) {
+	d := mustGen(SoC(16, 4, 3, 2))
+	validate(t, d)
+	if got := len(d.Clocks); got != 6 {
+		t.Fatalf("SoC clocks = %d, want 2 per domain (6)", got)
+	}
+	seen := map[int64]bool{}
+	for _, c := range d.Clocks {
+		seen[int64(c.RiseAt)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("SoC domain phases collide: %d distinct rise times of 6", len(seen))
+	}
+}
+
+func TestSoCDeterminism(t *testing.T) {
+	a, b := mustGen(SoC(24, 6, 2, 42)), mustGen(SoC(24, 6, 2, 42))
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatal("nondeterministic instance count")
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Name != b.Instances[i].Name || a.Instances[i].Ref != b.Instances[i].Ref {
+			t.Fatalf("instance %d differs", i)
+		}
+		for pin, net := range a.Instances[i].Conns {
+			if b.Instances[i].Conns[pin] != net {
+				t.Fatalf("instance %s pin %s differs", a.Instances[i].Name, pin)
+			}
+		}
+	}
+	c := mustGen(SoC(24, 6, 2, 43))
+	diff := false
+	for i := range a.Instances {
+		if a.Instances[i].Ref != c.Instances[i].Ref {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical gate choices")
+	}
+}
+
+func TestSoCAnalyzable(t *testing.T) {
+	a, err := core.Load(lib, mustGen(SoC(32, 8, 4, 1)), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IdentifySlowPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("SoC not timing-clean (worst %v)", rep.WorstSlack())
+	}
+}
+
+func TestSoCLevelStructure(t *testing.T) {
+	const blocks, depth, domains = 32, 8, 4
+	a, err := core.Load(lib, mustGen(SoC(blocks, depth, domains, 1)), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := a.CD
+	// One cluster per block plus the primary-input singletons and the
+	// enable clusters of the gated stages.
+	if len(cd.CC) < blocks {
+		t.Fatalf("clusters = %d, want at least one per block (%d)", len(cd.CC), blocks)
+	}
+	// The chain stages pipeline through the DAG: at least depth+1 levels
+	// (PI singletons, then one level per stage).
+	if got := cd.NumLevels(); got < depth+1 {
+		t.Fatalf("levels = %d, want >= %d", got, depth+1)
+	}
+	// Stage levels are as wide as the chain grid — that width is what
+	// the level scheduler spreads across workers.
+	chains := (blocks + depth - 1) / depth
+	wide := 0
+	for l := 0; l < cd.NumLevels(); l++ {
+		if int(cd.LevelStart[l+1]-cd.LevelStart[l]) >= chains {
+			wide++
+		}
+	}
+	if wide < depth {
+		t.Fatalf("only %d levels have >= %d clusters, want >= %d wide levels", wide, chains, depth)
+	}
+}
+
+func TestSoCCellsSizing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	const target = 50_000
+	d, err := SoCCells(target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := validate(t, d)
+	if s.Cells < target*9/10 || s.Cells > target*11/10 {
+		t.Fatalf("SoCCells(%d) = %d cells, outside 10%% band", target, s.Cells)
+	}
+}
